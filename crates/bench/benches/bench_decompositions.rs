@@ -1,0 +1,97 @@
+//! Wall-clock benches for every decomposition algorithm (substrate of
+//! experiments E1/E2/E8/E9).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dapc_decomp::blackbox::{blackbox_ldd, BlackboxParams};
+use dapc_decomp::elkin_neiman::{elkin_neiman, EnParams};
+use dapc_decomp::mpx::mpx;
+use dapc_decomp::network_decomposition::network_decomposition;
+use dapc_decomp::sparse_cover::sparse_cover;
+use dapc_decomp::three_phase::{three_phase_ldd, LddParams};
+use dapc_graph::{gen, Hypergraph};
+
+fn bench_elkin_neiman(c: &mut Criterion) {
+    let g = gen::gnp(2000, 0.003, &mut gen::seeded_rng(1));
+    let params = EnParams::new(0.2, 2000.0);
+    c.bench_function("elkin_neiman/gnp2000", |b| {
+        b.iter_batched(
+            || gen::seeded_rng(7),
+            |mut rng| elkin_neiman(&g, &params, &mut rng, None),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mpx(c: &mut Criterion) {
+    let g = gen::grid(45, 45);
+    c.bench_function("mpx/grid45x45", |b| {
+        b.iter_batched(
+            || gen::seeded_rng(8),
+            |mut rng| mpx(&g, 0.2, 2025.0, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_three_phase(c: &mut Criterion) {
+    let g = gen::gnp(1000, 0.006, &mut gen::seeded_rng(2));
+    let params = LddParams::scaled(0.3, 1000.0, 0.05);
+    let mut group = c.benchmark_group("three_phase");
+    group.sample_size(10);
+    group.bench_function("gnp1000", |b| {
+        b.iter_batched(
+            || gen::seeded_rng(9),
+            |mut rng| three_phase_ldd(&g, &params, &mut rng, None),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_blackbox(c: &mut Criterion) {
+    let g = gen::grid(20, 20);
+    let params = BlackboxParams::new(0.3, 400.0, 0.02);
+    let mut group = c.benchmark_group("blackbox");
+    group.sample_size(10);
+    group.bench_function("grid20x20", |b| {
+        b.iter_batched(
+            || gen::seeded_rng(10),
+            |mut rng| blackbox_ldd(&g, &params, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_sparse_cover(c: &mut Criterion) {
+    let h = Hypergraph::from_graph(&gen::grid(30, 30));
+    c.bench_function("sparse_cover/grid30x30", |b| {
+        b.iter_batched(
+            || gen::seeded_rng(11),
+            |mut rng| sparse_cover(&h, 0.2, 900.0, &mut rng, None, None),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_network_decomposition(c: &mut Criterion) {
+    let g = gen::gnp(800, 0.008, &mut gen::seeded_rng(3));
+    c.bench_function("network_decomposition/gnp800", |b| {
+        b.iter_batched(
+            || gen::seeded_rng(12),
+            |mut rng| network_decomposition(&g, 800.0, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_elkin_neiman,
+    bench_mpx,
+    bench_three_phase,
+    bench_blackbox,
+    bench_sparse_cover,
+    bench_network_decomposition
+);
+criterion_main!(benches);

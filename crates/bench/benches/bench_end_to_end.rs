@@ -1,0 +1,65 @@
+//! Wall-clock benches for the end-to-end Theorem 1.2/1.3 solvers and the
+//! GKM17 baseline (experiments E3–E6).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dapc_core::covering::approximate_covering;
+use dapc_core::gkm::{gkm_solve, GkmParams};
+use dapc_core::packing::approximate_packing;
+use dapc_core::params::PcParams;
+use dapc_graph::gen;
+use dapc_ilp::problems;
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing");
+    group.sample_size(10);
+    for n in [24usize, 48] {
+        let g = gen::cycle(n);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let params = PcParams::packing_scaled(0.3, n as f64, 0.02, 0.3);
+        group.bench_function(format!("mis_cycle{n}"), |b| {
+            b.iter_batched(
+                || gen::seeded_rng(5),
+                |mut rng| approximate_packing(&ilp, &params, &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covering");
+    group.sample_size(10);
+    for n in [24usize, 48] {
+        let g = gen::cycle(n);
+        let ilp = problems::min_vertex_cover_unweighted(&g);
+        let params = PcParams::covering_scaled(0.3, n as f64, 0.02, 0.3, 1.0);
+        group.bench_function(format!("vc_cycle{n}"), |b| {
+            b.iter_batched(
+                || gen::seeded_rng(6),
+                |mut rng| approximate_covering(&ilp, &params, &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_gkm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gkm_baseline");
+    group.sample_size(10);
+    let g = gen::cycle(48);
+    let ilp = problems::max_independent_set_unweighted(&g);
+    let params = GkmParams::new(0.3, 48.0, 0.2);
+    group.bench_function("mis_cycle48", |b| {
+        b.iter_batched(
+            || gen::seeded_rng(7),
+            |mut rng| gkm_solve(&ilp, &params, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing, bench_covering, bench_gkm);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Wall-clock benches for the graph and simulator substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dapc_graph::{gen, girth, lps, power, traversal, Hypergraph};
+use dapc_local::gather::gather_views;
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("gen/gnp_10k_sparse", |b| {
+        b.iter(|| gen::gnp(10_000, 0.0008, &mut gen::seeded_rng(1)))
+    });
+    c.bench_function("gen/random_regular_2k_d4", |b| {
+        b.iter(|| gen::random_regular(2000, 4, &mut gen::seeded_rng(2)))
+    });
+    let mut group = c.benchmark_group("gen_lps");
+    group.sample_size(10);
+    group.bench_function("lps_5_13", |b| b.iter(|| lps::lps_graph(5, 13)));
+    group.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let g = gen::gnp(5000, 0.0015, &mut gen::seeded_rng(3));
+    c.bench_function("traversal/bfs_gnp5000", |b| {
+        b.iter(|| traversal::bfs_distances(&g, 0))
+    });
+    c.bench_function("traversal/ball_r5", |b| {
+        b.iter(|| traversal::ball(&g, &[0], 5, None))
+    });
+}
+
+fn bench_girth_and_power(c: &mut Criterion) {
+    let x = lps::lps_graph(17, 5);
+    c.bench_function("girth/lps_17_5", |b| b.iter(|| girth::girth(&x.graph)));
+    let g = gen::grid(25, 25);
+    c.bench_function("power/grid25_k3", |b| b.iter(|| power::power_graph(&g, 3)));
+}
+
+fn bench_hypergraph(c: &mut Criterion) {
+    let ilp = dapc_ilp::problems::k_dominating_set(&gen::cycle(1000), 2, vec![1; 1000]);
+    let h: &Hypergraph = ilp.hypergraph();
+    c.bench_function("hypergraph/ball_kds_r10", |b| {
+        b.iter(|| h.ball(&[0], 10, None, None))
+    });
+    c.bench_function("hypergraph/primal_graph", |b| b.iter(|| h.primal_graph()));
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let g = gen::grid(20, 20);
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("gather_r4_grid20", |b| b.iter(|| gather_views(&g, 4)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_traversal,
+    bench_girth_and_power,
+    bench_hypergraph,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates the experiment tables of `EXPERIMENTS.md`.
+//!
+//! Usage: `tables [quick|full] [e1 e2 …]` — defaults to `full` and all
+//! experiments.
+
+use dapc_bench::{run_experiment, Profile, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = Profile::Full;
+    let mut ids: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "quick" => profile = Profile::Quick,
+            "full" => profile = Profile::Full,
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        let start = std::time::Instant::now();
+        let table = run_experiment(id, profile);
+        println!("{table}");
+        eprintln!("[{id} finished in {:.1?}]", start.elapsed());
+    }
+}

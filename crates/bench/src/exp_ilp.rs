@@ -1,0 +1,422 @@
+//! Experiments E3–E6 and E10 — the packing/covering solvers, the GKM17
+//! round-complexity comparison, and the ablations.
+
+use crate::table::{f3, Table};
+use dapc_core::covering::approximate_covering;
+use dapc_core::gkm::{gkm_solve, GkmParams};
+use dapc_core::packing::approximate_packing;
+use dapc_core::params::PcParams;
+use dapc_graph::{gen, Graph};
+use dapc_ilp::{problems, verify, IlpInstance, SolverBudget};
+
+fn packing_row(
+    t: &mut Table,
+    name: &str,
+    ilp: &IlpInstance,
+    eps: f64,
+    seeds: u64,
+    params: &PcParams,
+) {
+    let (opt, _) = verify::optimum(ilp, &params.budget);
+    let mut min_ratio = f64::INFINITY;
+    let mut sum_ratio = 0.0;
+    let mut rounds = 0usize;
+    for seed in 0..seeds {
+        let out = approximate_packing(ilp, params, &mut gen::seeded_rng(seed));
+        assert!(ilp.is_feasible(&out.assignment), "{name}: infeasible");
+        let ratio = out.value as f64 / opt.max(1) as f64;
+        min_ratio = min_ratio.min(ratio);
+        sum_ratio += ratio;
+        rounds = out.rounds();
+    }
+    t.row(vec![
+        name.into(),
+        ilp.n().to_string(),
+        format!("{eps}"),
+        opt.to_string(),
+        f3(min_ratio),
+        f3(sum_ratio / seeds as f64),
+        (min_ratio + 1e-9 >= 1.0 - eps).to_string(),
+        rounds.to_string(),
+    ]);
+}
+
+/// E3 (Theorem 1.2): (1 − ε)-approximate MIS across families and ε.
+pub fn e3(seeds: u64) -> String {
+    let mut t = Table::new(
+        "E3 — Theorem 1.2: (1 − ε)-approximate maximum independent set",
+        &["family", "n", "eps", "OPT", "min ratio", "mean ratio", "≥1−ε", "rounds"],
+    );
+    let families: Vec<(&str, Graph)> = vec![
+        ("cycle", gen::cycle(40)),
+        ("grid", gen::grid(6, 7)),
+        ("gnp", gen::gnp(44, 0.07, &mut gen::seeded_rng(1))),
+        ("tree", gen::random_tree(42, &mut gen::seeded_rng(2))),
+        ("reg4", gen::random_regular(40, 4, &mut gen::seeded_rng(3))),
+    ];
+    for (name, g) in &families {
+        for eps in [0.1f64, 0.2, 0.3] {
+            let ilp = problems::max_independent_set_unweighted(g);
+            let params = PcParams::packing_scaled(eps, g.n() as f64, 0.02, 0.3);
+            packing_row(&mut t, name, &ilp, eps, seeds, &params);
+        }
+    }
+    // A weighted and a general instance.
+    let g = gen::gnp(36, 0.08, &mut gen::seeded_rng(4));
+    let w: Vec<u64> = (0..36).map(|i| 1 + (i as u64 % 5)).collect();
+    let ilp = problems::max_independent_set(&g, w);
+    let params = PcParams::packing_scaled(0.2, 36.0, 0.02, 0.3);
+    packing_row(&mut t, "weighted-gnp", &ilp, 0.2, seeds, &params);
+    let ilp = problems::random_packing(30, 20, 3, &mut gen::seeded_rng(5));
+    let params = PcParams::packing_scaled(0.2, 30.0, 0.02, 0.3);
+    packing_row(&mut t, "general-ILP", &ilp, 0.2, seeds, &params);
+    let mut out = t.render();
+    out.push_str(&e3_large_scale(seeds.min(5)));
+    out
+}
+
+/// E3 (large scale): cycles long enough that the carve radius sits *below*
+/// the diameter, so Phases 1–3 genuinely delete and the (1 − ε) guarantee
+/// is earned rather than inherited from a single whole-graph solve.
+fn e3_large_scale(seeds: u64) -> String {
+    let mut t = Table::new(
+        "E3 (cont.) — large-scale carving: MIS on long cycles (OPT = n/2)",
+        &["n", "eps", "min ratio", "mean ratio", "≥1−ε", "deleted", "components", "rounds"],
+    );
+    for n in [1500usize, 3000] {
+        for eps in [0.2f64, 0.3] {
+            let g = gen::cycle(n);
+            let ilp = problems::max_independent_set_unweighted(&g);
+            let opt = (n / 2) as u64;
+            let params = PcParams::packing_scaled(eps, n as f64, 0.1, 0.3);
+            let mut min_ratio = f64::INFINITY;
+            let mut sum = 0.0;
+            let mut deleted = 0usize;
+            let mut components = 0usize;
+            let mut rounds = 0usize;
+            for seed in 0..seeds {
+                let out = approximate_packing(&ilp, &params, &mut gen::seeded_rng(seed));
+                assert!(ilp.is_feasible(&out.assignment));
+                let ratio = out.value as f64 / opt as f64;
+                min_ratio = min_ratio.min(ratio);
+                sum += ratio;
+                deleted = deleted.max(out.stats.deleted_carving + out.stats.deleted_phase3);
+                components = components.max(out.stats.components);
+                rounds = out.rounds();
+            }
+            t.row(vec![
+                n.to_string(),
+                format!("{eps}"),
+                f3(min_ratio),
+                f3(sum / seeds as f64),
+                (min_ratio + 1e-9 >= 1.0 - eps).to_string(),
+                deleted.to_string(),
+                components.to_string(),
+                rounds.to_string(),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// E4 (Theorem 1.2): (1 − ε)-approximate maximum matching vs blossom.
+pub fn e4(seeds: u64) -> String {
+    let mut t = Table::new(
+        "E4 — Theorem 1.2: (1 − ε)-approximate maximum matching (OPT by blossom)",
+        &["family", "n", "eps", "OPT", "min ratio", "mean ratio", "≥1−ε", "rounds"],
+    );
+    let families: Vec<(&str, Graph)> = vec![
+        ("cycle", gen::cycle(36)),
+        ("path", gen::path(40)),
+        ("gnp", gen::gnp(36, 0.08, &mut gen::seeded_rng(6))),
+        ("reg3", gen::random_regular(36, 3, &mut gen::seeded_rng(7))),
+        ("grid", gen::grid(5, 7)),
+    ];
+    for (name, g) in &families {
+        for eps in [0.2f64, 0.3] {
+            let m = problems::max_matching(g);
+            let opt = dapc_ilp::solvers::blossom::max_matching(g).size() as u64;
+            let params = PcParams::packing_scaled(eps, g.n() as f64, 0.02, 0.3);
+            let mut min_ratio = f64::INFINITY;
+            let mut sum = 0.0;
+            let mut rounds = 0;
+            for seed in 0..seeds {
+                let out = approximate_packing(&m.ilp, &params, &mut gen::seeded_rng(seed));
+                let ratio = out.value as f64 / opt.max(1) as f64;
+                min_ratio = min_ratio.min(ratio);
+                sum += ratio;
+                rounds = out.rounds();
+            }
+            t.row(vec![
+                name.to_string(),
+                g.n().to_string(),
+                format!("{eps}"),
+                opt.to_string(),
+                f3(min_ratio),
+                f3(sum / seeds as f64),
+                (min_ratio + 1e-9 >= 1.0 - eps).to_string(),
+                rounds.to_string(),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// E5 (Theorem 1.3): (1 + ε)-approximate covering (VC, DS, k-DS, set
+/// cover).
+pub fn e5(seeds: u64) -> String {
+    let mut t = Table::new(
+        "E5 — Theorem 1.3: (1 + ε)-approximate covering problems",
+        &["problem", "n", "eps", "OPT", "max ratio", "mean ratio", "≤1+ε", "rounds"],
+    );
+    let budget = SolverBudget::default();
+    let mut run = |name: &str, ilp: &IlpInstance, eps: f64| {
+        let (opt, opt_exact) = verify::optimum(ilp, &budget);
+        let params = PcParams::covering_scaled(eps, ilp.n() as f64, 0.02, 0.3, 1.0);
+        let mut max_ratio = 0.0f64;
+        let mut sum = 0.0;
+        let mut rounds = 0;
+        for seed in 0..seeds {
+            let out = approximate_covering(ilp, &params, &mut gen::seeded_rng(seed));
+            assert!(ilp.is_feasible(&out.assignment), "{name}: infeasible");
+            let ratio = out.value as f64 / opt.max(1) as f64;
+            max_ratio = max_ratio.max(ratio);
+            sum += ratio;
+            rounds = out.rounds();
+        }
+        t.row(vec![
+            name.to_string(),
+            ilp.n().to_string(),
+            format!("{eps}"),
+            // Mark budget-limited (unproven) reference optima.
+            if opt_exact { opt.to_string() } else { format!("{opt}*") },
+            f3(max_ratio),
+            f3(sum / seeds as f64),
+            (max_ratio <= 1.0 + eps + 1e-9).to_string(),
+            rounds.to_string(),
+        ]);
+    };
+    for eps in [0.2f64, 0.4] {
+        run("VC/cycle", &problems::min_vertex_cover_unweighted(&gen::cycle(36)), eps);
+        run(
+            "VC/gnp",
+            &problems::min_vertex_cover_unweighted(&gen::gnp(32, 0.1, &mut gen::seeded_rng(8))),
+            eps,
+        );
+        run("DS/cycle", &problems::min_dominating_set_unweighted(&gen::cycle(33)), eps);
+        run("DS/grid", &problems::min_dominating_set_unweighted(&gen::grid(5, 6)), eps);
+        run(
+            "2-DS/cycle",
+            &problems::k_dominating_set(&gen::cycle(30), 2, vec![1; 30]),
+            eps,
+        );
+    }
+    // Weighted VC and a general covering ILP.
+    let g = gen::gnp(28, 0.11, &mut gen::seeded_rng(9));
+    let w: Vec<u64> = (0..28).map(|i| 1 + (i as u64 % 4) * 2).collect();
+    run("weighted-VC", &problems::min_vertex_cover(&g, w), 0.3);
+    run(
+        "general-ILP",
+        &problems::random_covering(24, 16, 3, &mut gen::seeded_rng(10)),
+        0.3,
+    );
+    let mut out = t.render();
+    out.push_str(&e5_large_scale(seeds.min(5)));
+    out
+}
+
+/// E5 (large scale): vertex cover on long cycles with genuine carving
+/// (fixing + hyperedge deletion + isolated regions).
+fn e5_large_scale(seeds: u64) -> String {
+    let mut t = Table::new(
+        "E5 (cont.) — large-scale carving: VC on long cycles (OPT = n/2)",
+        &["n", "eps", "max ratio", "mean ratio", "≤1+ε", "fixed w", "edges cut", "rounds"],
+    );
+    for n in [1500usize, 3000] {
+        for eps in [0.3f64, 0.4] {
+            let g = gen::cycle(n);
+            let ilp = problems::min_vertex_cover_unweighted(&g);
+            let opt = (n / 2) as u64;
+            let params = PcParams::covering_scaled(eps, n as f64, 0.3, 0.3, 1.0);
+            let mut max_ratio = 0.0f64;
+            let mut sum = 0.0;
+            let mut fixed = 0u64;
+            let mut cut = 0usize;
+            let mut rounds = 0usize;
+            for seed in 0..seeds {
+                let out = approximate_covering(&ilp, &params, &mut gen::seeded_rng(seed));
+                assert!(ilp.is_feasible(&out.assignment));
+                let ratio = out.value as f64 / opt as f64;
+                max_ratio = max_ratio.max(ratio);
+                sum += ratio;
+                fixed = fixed.max(out.stats.fixed_weight);
+                cut = cut.max(out.stats.deleted_edges);
+                rounds = out.rounds();
+            }
+            t.row(vec![
+                n.to_string(),
+                format!("{eps}"),
+                f3(max_ratio),
+                f3(sum / seeds as f64),
+                (max_ratio <= 1.0 + eps + 1e-9).to_string(),
+                fixed.to_string(),
+                cut.to_string(),
+                rounds.to_string(),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// E6 (§1.2 vs §1.3): LOCAL round complexity — ours vs GKM17, sweeping n
+/// at fixed ε and ε at fixed n.
+///
+/// Expected shape (and what the table shows): in the **n sweep** the
+/// GKM/ours ratio *grows* (log³ n vs log n); in the **ε sweep** at fixed n
+/// it *shrinks* — ours pays the extra `log³(1/ε)` factor while both share
+/// the `1/ε`, exactly the trade Theorem 1.2 makes to win the `log² n`.
+pub fn e6() -> String {
+    let mut t = Table::new(
+        "E6 — round complexity: Theorem 1.2 (Õ(log n/ε)) vs GKM17 (O(log³ n/ε))",
+        &["sweep", "n", "eps", "ours rounds", "GKM rounds", "GKM/ours"],
+    );
+    // GKM's round bill depends on the random colour count of its network
+    // decomposition; average a few seeds to stabilise.
+    let gkm_rounds = |ilp: &IlpInstance, eps: f64, n: usize| -> f64 {
+        let mut total = 0usize;
+        for seed in 0..3u64 {
+            total += gkm_solve(
+                ilp,
+                &GkmParams::new(eps, n as f64, 0.2),
+                &mut gen::seeded_rng(seed),
+            )
+            .rounds();
+        }
+        total as f64 / 3.0
+    };
+    let eps = 0.3;
+    for n in [32usize, 64, 128, 256, 512] {
+        let g = gen::cycle(n);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let ours = approximate_packing(
+            &ilp,
+            &PcParams::packing_scaled(eps, n as f64, 0.02, 0.3),
+            &mut gen::seeded_rng(1),
+        );
+        let gkm = gkm_rounds(&ilp, eps, n);
+        t.row(vec![
+            "n".into(),
+            n.to_string(),
+            format!("{eps}"),
+            ours.rounds().to_string(),
+            format!("{gkm:.0}"),
+            f3(gkm / ours.rounds() as f64),
+        ]);
+    }
+    let n = 64usize;
+    for eps in [0.4f64, 0.2, 0.1, 0.05] {
+        let g = gen::cycle(n);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let ours = approximate_packing(
+            &ilp,
+            &PcParams::packing_scaled(eps, n as f64, 0.02, 0.3),
+            &mut gen::seeded_rng(2),
+        );
+        let gkm = gkm_rounds(&ilp, eps, n);
+        t.row(vec![
+            "eps".into(),
+            n.to_string(),
+            format!("{eps}"),
+            ours.rounds().to_string(),
+            format!("{gkm:.0}"),
+            f3(gkm / ours.rounds() as f64),
+        ]);
+    }
+    t.render()
+}
+
+/// E10 — ablations called out in DESIGN.md: preparation count, covering
+/// iteration budget, and the LDD Phase 2 toggle.
+pub fn e10(seeds: u64) -> String {
+    let mut t = Table::new(
+        "E10 — ablations (prep count, covering t, LDD Phase 2)",
+        &["ablation", "setting", "min/max ratio", "mean ratio", "rounds", "note"],
+    );
+    // (a) Packing preparation count.
+    let g = gen::gnp(36, 0.08, &mut gen::seeded_rng(11));
+    let ilp = problems::max_independent_set_unweighted(&g);
+    let (opt, _) = verify::optimum(&ilp, &SolverBudget::default());
+    for prep in [1usize, 2, 4, 8] {
+        let mut params = PcParams::packing_scaled(0.2, 36.0, 0.02, 0.3);
+        params.prep_count = prep;
+        let mut min_ratio = f64::INFINITY;
+        let mut sum = 0.0;
+        let mut rounds = 0;
+        for seed in 0..seeds {
+            let out = approximate_packing(&ilp, &params, &mut gen::seeded_rng(seed));
+            let r = out.value as f64 / opt as f64;
+            min_ratio = min_ratio.min(r);
+            sum += r;
+            rounds = out.rounds();
+        }
+        t.row(vec![
+            "packing prep_count".into(),
+            prep.to_string(),
+            f3(min_ratio),
+            f3(sum / seeds as f64),
+            rounds.to_string(),
+            "paper: 16·ln ñ".into(),
+        ]);
+    }
+    // (b) Covering iteration budget t (the §1.4.3 "skip Phase 2" design).
+    let g = gen::cycle(33);
+    let ilp = problems::min_dominating_set_unweighted(&g);
+    let (opt, _) = verify::optimum(&ilp, &SolverBudget::default());
+    for t_slack in [0.0f64, 1.0, 3.0] {
+        let params = PcParams::covering_scaled(0.3, 33.0, 0.02, 0.3, t_slack.max(0.01));
+        let mut max_ratio = 0.0f64;
+        let mut sum = 0.0;
+        let mut rounds = 0;
+        for seed in 0..seeds {
+            let out = approximate_covering(&ilp, &params, &mut gen::seeded_rng(seed));
+            let r = out.value as f64 / opt as f64;
+            max_ratio = max_ratio.max(r);
+            sum += r;
+            rounds = out.rounds();
+        }
+        t.row(vec![
+            "covering t_slack".into(),
+            format!("{t_slack} (t={})", params.t),
+            f3(max_ratio),
+            f3(sum / seeds as f64),
+            rounds.to_string(),
+            "paper: +8".into(),
+        ]);
+    }
+    // (c) LDD Phase 2 on/off.
+    use dapc_decomp::three_phase::{three_phase_ldd, LddParams};
+    let g = gen::gnp(600, 0.01, &mut gen::seeded_rng(12));
+    for phase2 in [true, false] {
+        let mut params = LddParams::scaled(0.2, 600.0, 0.05);
+        params.run_phase2 = phase2;
+        let mut worst = 0.0f64;
+        let mut sum = 0.0;
+        let mut rounds = 0;
+        for seed in 0..seeds {
+            let out = three_phase_ldd(&g, &params, &mut gen::seeded_rng(seed), None);
+            let f = out.decomposition.deleted_fraction();
+            worst = worst.max(f);
+            sum += f;
+            rounds = out.decomposition.rounds();
+        }
+        t.row(vec![
+            "LDD run_phase2".into(),
+            phase2.to_string(),
+            f3(worst),
+            f3(sum / seeds as f64),
+            rounds.to_string(),
+            "§1.4.1: Phase 2 buys one iteration".into(),
+        ]);
+    }
+    t.render()
+}

@@ -1,0 +1,108 @@
+//! Experiment E7 — the Theorem 1.4 / Appendix B lower-bound measurements.
+
+use crate::table::{f3, f4, Table};
+use dapc_graph::girth::girth;
+use dapc_graph::lps::{lps_graph, LpsCase};
+use dapc_graph::subdivide::subdivide;
+use dapc_graph::gen;
+use dapc_lower::capped::greedy_mis_rounds;
+use dapc_lower::harness::indistinguishability;
+
+/// E7a: the LPS family and the indistinguishability gap as a function of
+/// the round cap (Theorem B.2's mechanism).
+pub fn e7_indistinguishability(trials: usize) -> String {
+    let mut t = Table::new(
+        "E7a — Theorem B.2: round-capped MIS on bipartite vs non-bipartite LPS graphs",
+        &[
+            "rounds", "E[|I|]/n bip", "E[|I|]/n non", "gap", "tree-like", "bip α/n", "non α/n ≤",
+        ],
+    );
+    let bip = lps_graph(5, 13);
+    let non = lps_graph(5, 29);
+    assert_eq!(bip.case, LpsCase::Bipartite);
+    assert_eq!(non.case, LpsCase::NonBipartite);
+    let g_min = girth(&bip.graph)
+        .unwrap_or(0)
+        .min(girth(&non.graph).unwrap_or(0));
+    let locality = ((g_min as usize).saturating_sub(1)) / 2;
+    let mut rng = gen::seeded_rng(707);
+    for rounds in 1..=locality + 2 {
+        let rep = indistinguishability(
+            &bip.graph,
+            &non.graph,
+            rounds,
+            trials,
+            &mut rng,
+            |g, t, r| greedy_mis_rounds(g, t, r),
+        );
+        t.row(vec![
+            rounds.to_string(),
+            f4(rep.mean_a),
+            f4(rep.mean_b),
+            f4(rep.gap),
+            rep.locally_identical.to_string(),
+            f3(0.5),
+            f3(non.independence_upper_bound() / non.graph.n() as f64),
+        ]);
+    }
+    t.render()
+}
+
+/// E7b: approximation quality vs round budget on subdivided cycles — the
+/// Theorem B.3 trade-off (reaching (1 − ε) on `G_x` requires Ω(x) more
+/// rounds).
+pub fn e7_subdivision_tradeoff(trials: usize) -> String {
+    let mut t = Table::new(
+        "E7b — Theorem B.3 trade-off: rounds needed vs subdivision factor",
+        &["x", "n(G_x)", "rounds", "E[|I|]/α", "near-opt?"],
+    );
+    let base = gen::cycle(30);
+    let mut rng = gen::seeded_rng(717);
+    for x in [0usize, 1, 2] {
+        let sub = subdivide(&base, x);
+        let g = &sub.graph;
+        let alpha = (g.n() / 2) as f64; // even cycles: α = n/2
+        for rounds in [2usize, 4, 8, 16] {
+            let mut total = 0usize;
+            for _ in 0..trials {
+                total += greedy_mis_rounds(g, rounds, &mut rng)
+                    .iter()
+                    .filter(|&&b| b)
+                    .count();
+            }
+            let ratio = total as f64 / trials as f64 / alpha;
+            t.row(vec![
+                x.to_string(),
+                g.n().to_string(),
+                rounds.to_string(),
+                f3(ratio),
+                (ratio >= 0.95).to_string(),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// E7c: the structural facts of Theorem B.1 for the constructed LPS
+/// graphs (degree, size, girth vs bound, bipartiteness, α bound).
+pub fn e7_lps_structure() -> String {
+    let mut t = Table::new(
+        "E7c — Theorem B.1: LPS Ramanujan graph structure",
+        &["p", "q", "n", "degree", "case", "girth", "girth bound", "α upper bound"],
+    );
+    for (p, q) in [(5u64, 13u64), (5, 29), (17, 5), (13, 5)] {
+        let x = lps_graph(p, q);
+        let girth_val = girth(&x.graph);
+        t.row(vec![
+            p.to_string(),
+            q.to_string(),
+            x.graph.n().to_string(),
+            (p + 1).to_string(),
+            format!("{:?}", x.case),
+            format!("{:?}", girth_val),
+            f3(x.girth_lower_bound),
+            f3(x.independence_upper_bound()),
+        ]);
+    }
+    t.render()
+}

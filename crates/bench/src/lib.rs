@@ -1,0 +1,94 @@
+//! # dapc-bench
+//!
+//! The experiment harness regenerating every table in `EXPERIMENTS.md`:
+//! one function per experiment id (E1–E10, see DESIGN.md §3), each
+//! returning a rendered markdown table. The `tables` binary drives them:
+//!
+//! ```sh
+//! cargo run -p dapc-bench --release --bin tables          # all
+//! cargo run -p dapc-bench --release --bin tables -- e1 e6 # selected
+//! cargo run -p dapc-bench --release --bin tables -- quick # reduced trials
+//! ```
+//!
+//! Criterion wall-clock benches for the substrate live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp_ilp;
+pub mod exp_ldd;
+pub mod exp_lower;
+pub mod table;
+
+/// Trial-count profile for the experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// Reduced trial counts (~seconds per experiment).
+    Quick,
+    /// Full trial counts (the EXPERIMENTS.md numbers).
+    Full,
+}
+
+impl Profile {
+    /// Trials for distribution-tail experiments.
+    pub fn tail_trials(self) -> usize {
+        match self {
+            Profile::Quick => 200,
+            Profile::Full => 2000,
+        }
+    }
+
+    /// Trials for quality experiments.
+    pub fn quality_trials(self) -> usize {
+        match self {
+            Profile::Quick => 5,
+            Profile::Full => 20,
+        }
+    }
+
+    /// Seeds for solver experiments.
+    pub fn solver_seeds(self) -> u64 {
+        match self {
+            Profile::Quick => 3,
+            Profile::Full => 10,
+        }
+    }
+
+    /// Trials for the indistinguishability profiling.
+    pub fn profile_trials(self) -> usize {
+        match self {
+            Profile::Quick => 30,
+            Profile::Full => 120,
+        }
+    }
+}
+
+/// Runs one experiment by id (`"e1"`…`"e10"`), returning its table(s).
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run_experiment(id: &str, profile: Profile) -> String {
+    match id {
+        "e1" => exp_ldd::e1(profile.quality_trials()),
+        "e2" => exp_ldd::e2(profile.tail_trials()),
+        "e3" => exp_ilp::e3(profile.solver_seeds()),
+        "e4" => exp_ilp::e4(profile.solver_seeds()),
+        "e5" => exp_ilp::e5(profile.solver_seeds()),
+        "e6" => exp_ilp::e6(),
+        "e7" => {
+            let mut s = exp_lower::e7_lps_structure();
+            s.push_str(&exp_lower::e7_indistinguishability(profile.profile_trials()));
+            s.push_str(&exp_lower::e7_subdivision_tradeoff(profile.profile_trials()));
+            s
+        }
+        "e8" => exp_ldd::e8(profile.quality_trials()),
+        "e9" => exp_ldd::e9(profile.quality_trials()),
+        "e10" => exp_ilp::e10(profile.solver_seeds()),
+        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL_EXPERIMENTS: [&str; 10] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];

@@ -1,0 +1,98 @@
+//! Empirical validation of the Appendix A bounds: simulated tails never
+//! exceed the certified ones (up to sampling noise).
+
+use dapc_conc::bounds;
+use dapc_conc::dist::{bernoulli, Geometric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn lemma_a1_upper_tail_certificate() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (n, p, trials) = (600usize, 0.08f64, 3000usize);
+    let mu = n as f64 * p;
+    let sums: Vec<f64> = (0..trials)
+        .map(|_| (0..n).filter(|_| bernoulli(&mut rng, p)).count() as f64)
+        .collect();
+    for delta in [0.25, 0.5, 1.0] {
+        let emp = sums.iter().filter(|&&s| s > (1.0 + delta) * mu).count() as f64
+            / trials as f64;
+        let bound = bounds::chernoff_upper(mu, delta);
+        assert!(
+            emp <= bound + 3.0 * (bound.max(1e-6) / trials as f64).sqrt() + 0.005,
+            "delta {delta}: empirical {emp} > certificate {bound}"
+        );
+    }
+}
+
+#[test]
+fn lemma_a1_lower_tail_certificate() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (n, p, trials) = (600usize, 0.08f64, 3000usize);
+    let mu = n as f64 * p;
+    let sums: Vec<f64> = (0..trials)
+        .map(|_| (0..n).filter(|_| bernoulli(&mut rng, p)).count() as f64)
+        .collect();
+    for delta in [0.25, 0.5, 0.9] {
+        let emp = sums.iter().filter(|&&s| s < (1.0 - delta) * mu).count() as f64
+            / trials as f64;
+        let bound = bounds::chernoff_lower(mu, delta);
+        assert!(
+            emp <= bound + 3.0 * (bound.max(1e-6) / trials as f64).sqrt() + 0.005,
+            "delta {delta}: empirical {emp} > certificate {bound}"
+        );
+    }
+}
+
+#[test]
+fn lemma_a2_geometric_sum_certificate() {
+    // Sum of n geometric(p) variables; Lemma A.2 bounds Pr[X > μ + δn].
+    let mut rng = StdRng::seed_from_u64(3);
+    let (n, p, trials) = (200u64, 0.5f64, 4000usize);
+    let d = Geometric::new(p);
+    let mu = n as f64 / p;
+    let sums: Vec<f64> = (0..trials)
+        .map(|_| (0..n).map(|_| d.sample(&mut rng)).sum::<u64>() as f64)
+        .collect();
+    for delta in [1.5f64, 2.0, 3.0] {
+        let emp = sums
+            .iter()
+            .filter(|&&s| s > mu + delta * n as f64)
+            .count() as f64
+            / trials as f64;
+        let bound = bounds::geometric_sum_upper(n, p, delta);
+        assert!(
+            emp <= bound + 0.005,
+            "delta {delta}: empirical {emp} > certificate {bound}"
+        );
+    }
+}
+
+#[test]
+fn bounded_dependence_bound_covers_correlated_sums() {
+    // Build deliberately correlated 0-1 variables with dependency degree 2
+    // (sliding windows over iid bits) and check Lemma A.3's certificate.
+    let mut rng = StdRng::seed_from_u64(4);
+    let (n, trials) = (900usize, 2000usize);
+    let p = 0.2f64;
+    let mut tails = vec![0usize; 3];
+    let deltas = [0.5f64, 1.0, 1.5];
+    let mu = (n as f64 - 1.0) * p * p; // E[Σ b_i b_{i+1}]
+    for _ in 0..trials {
+        let bits: Vec<bool> = (0..n).map(|_| bernoulli(&mut rng, p)).collect();
+        let x = bits.windows(2).filter(|w| w[0] && w[1]).count() as f64;
+        for (i, &delta) in deltas.iter().enumerate() {
+            if x >= (1.0 + delta) * mu {
+                tails[i] += 1;
+            }
+        }
+    }
+    for (i, &delta) in deltas.iter().enumerate() {
+        let emp = tails[i] as f64 / trials as f64;
+        let bound = bounds::chernoff_bounded_dependence(mu, delta, 2.0);
+        assert!(
+            emp <= bound + 0.01,
+            "delta {delta}: empirical {emp} > bounded-dependence certificate {bound}"
+        );
+    }
+}

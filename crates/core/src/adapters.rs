@@ -1,0 +1,298 @@
+//! One-call adapters for the graph problems the paper headlines:
+//! maximum independent set, maximum matching, minimum vertex cover,
+//! minimum (k-distance) dominating set.
+//!
+//! Each adapter builds the ILP of Definition 1.3, runs the Theorem 1.2/1.3
+//! solver and maps the assignment back to graph objects.
+
+use crate::covering::approximate_covering;
+use crate::packing::approximate_packing;
+use crate::params::PcParams;
+use dapc_graph::{Graph, Vertex};
+use dapc_ilp::problems;
+use rand::rngs::StdRng;
+
+/// Scaling knobs shared by the adapters (DESIGN.md §2, item 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaleKnobs {
+    /// Replaces the `200` in `R = ⌈…·t·ln ñ/ε⌉`.
+    pub r_scale: f64,
+    /// Replaces the `16` in the preparation count `⌈…·ln ñ⌉`.
+    pub prep_scale: f64,
+    /// Replaces the `+8` in the covering iteration count.
+    pub covering_t_slack: f64,
+}
+
+impl Default for ScaleKnobs {
+    /// Laptop-scale defaults used throughout the examples and tests.
+    fn default() -> Self {
+        ScaleKnobs {
+            r_scale: 0.02,
+            prep_scale: 0.3,
+            covering_t_slack: 1.0,
+        }
+    }
+}
+
+impl ScaleKnobs {
+    /// The paper's constants (only sensible for very small inputs — the
+    /// radii exceed any simulable diameter by orders of magnitude, which
+    /// is *correct* but makes every cluster the whole graph).
+    pub fn paper() -> Self {
+        ScaleKnobs {
+            r_scale: 200.0,
+            prep_scale: 16.0,
+            covering_t_slack: 8.0,
+        }
+    }
+
+    fn packing_params(&self, eps: f64, n: usize) -> PcParams {
+        PcParams::packing_scaled(eps, (n.max(3)) as f64, self.r_scale, self.prep_scale)
+    }
+
+    fn covering_params(&self, eps: f64, n: usize) -> PcParams {
+        PcParams::covering_scaled(
+            eps,
+            (n.max(3)) as f64,
+            self.r_scale,
+            self.prep_scale,
+            self.covering_t_slack,
+        )
+    }
+}
+
+/// A vertex-set answer with its LOCAL round cost.
+#[derive(Clone, Debug)]
+pub struct VertexSetResult {
+    /// The selected vertices (sorted).
+    pub vertices: Vec<Vertex>,
+    /// Total weight of the selection.
+    pub weight: u64,
+    /// LOCAL rounds charged.
+    pub rounds: usize,
+}
+
+/// An edge-set answer with its LOCAL round cost.
+#[derive(Clone, Debug)]
+pub struct EdgeSetResult {
+    /// The selected edges (canonical orientation).
+    pub edges: Vec<(Vertex, Vertex)>,
+    /// LOCAL rounds charged.
+    pub rounds: usize,
+}
+
+fn collect_vertices(assignment: &[bool], weights: &[u64]) -> (Vec<Vertex>, u64) {
+    let vertices: Vec<Vertex> = assignment
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x)
+        .map(|(v, _)| v as Vertex)
+        .collect();
+    let weight = vertices.iter().map(|&v| weights[v as usize]).sum();
+    (vertices, weight)
+}
+
+/// `(1 − ε)`-approximate maximum-weight independent set (Theorem 1.2).
+///
+/// ```
+/// use dapc_core::adapters::{approx_max_independent_set, ScaleKnobs};
+/// use dapc_graph::gen;
+///
+/// let g = gen::cycle(20);
+/// let r = approx_max_independent_set(
+///     &g, &vec![1; 20], 0.3, &ScaleKnobs::default(), &mut gen::seeded_rng(0));
+/// assert!(r.weight >= 7); // (1 − 0.3) · 10
+/// ```
+pub fn approx_max_independent_set(
+    g: &Graph,
+    weights: &[u64],
+    eps: f64,
+    knobs: &ScaleKnobs,
+    rng: &mut StdRng,
+) -> VertexSetResult {
+    let ilp = problems::max_independent_set(g, weights.to_vec());
+    let params = knobs.packing_params(eps, g.n());
+    let out = approximate_packing(&ilp, &params, rng);
+    let (vertices, weight) = collect_vertices(&out.assignment, weights);
+    VertexSetResult {
+        vertices,
+        weight,
+        rounds: out.rounds(),
+    }
+}
+
+/// `(1 − ε)`-approximate maximum matching (Theorem 1.2 on the edge ILP).
+pub fn approx_max_matching(
+    g: &Graph,
+    eps: f64,
+    knobs: &ScaleKnobs,
+    rng: &mut StdRng,
+) -> EdgeSetResult {
+    let m = problems::max_matching(g);
+    let params = knobs.packing_params(eps, m.ilp.n().max(g.n()));
+    let out = approximate_packing(&m.ilp, &params, rng);
+    let edges: Vec<(Vertex, Vertex)> = out
+        .assignment
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x)
+        .map(|(i, _)| m.edge_of_var[i])
+        .collect();
+    EdgeSetResult {
+        edges,
+        rounds: out.rounds(),
+    }
+}
+
+/// `(1 + ε)`-approximate minimum-weight vertex cover (Theorem 1.3).
+pub fn approx_min_vertex_cover(
+    g: &Graph,
+    weights: &[u64],
+    eps: f64,
+    knobs: &ScaleKnobs,
+    rng: &mut StdRng,
+) -> VertexSetResult {
+    let ilp = problems::min_vertex_cover(g, weights.to_vec());
+    let params = knobs.covering_params(eps, g.n());
+    let out = approximate_covering(&ilp, &params, rng);
+    let (vertices, weight) = collect_vertices(&out.assignment, weights);
+    VertexSetResult {
+        vertices,
+        weight,
+        rounds: out.rounds(),
+    }
+}
+
+/// `(1 + ε)`-approximate minimum-weight dominating set (Theorem 1.3).
+pub fn approx_min_dominating_set(
+    g: &Graph,
+    weights: &[u64],
+    eps: f64,
+    knobs: &ScaleKnobs,
+    rng: &mut StdRng,
+) -> VertexSetResult {
+    approx_k_dominating_set(g, 1, weights, eps, knobs, rng)
+}
+
+/// `(1 + ε)`-approximate minimum-weight `k`-distance dominating set — the
+/// running example of Definition 1.3 (one hypergraph round = `k` graph
+/// rounds; the returned round count is already multiplied out).
+pub fn approx_k_dominating_set(
+    g: &Graph,
+    k: usize,
+    weights: &[u64],
+    eps: f64,
+    knobs: &ScaleKnobs,
+    rng: &mut StdRng,
+) -> VertexSetResult {
+    let ilp = problems::k_dominating_set(g, k, weights.to_vec());
+    let params = knobs.covering_params(eps, g.n());
+    let out = approximate_covering(&ilp, &params, rng);
+    let (vertices, weight) = collect_vertices(&out.assignment, weights);
+    VertexSetResult {
+        vertices,
+        weight,
+        rounds: out.rounds() * k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapc_graph::gen;
+    use dapc_ilp::solvers::blossom;
+
+    #[test]
+    fn mis_adapter_returns_independent_set() {
+        let g = gen::gnp(30, 0.1, &mut gen::seeded_rng(1));
+        let r = approx_max_independent_set(
+            &g,
+            &vec![1; 30],
+            0.3,
+            &ScaleKnobs::default(),
+            &mut gen::seeded_rng(2),
+        );
+        for &u in &r.vertices {
+            for &v in &r.vertices {
+                assert!(u == v || !g.has_edge(u, v), "({u},{v}) violates independence");
+            }
+        }
+        assert_eq!(r.weight as usize, r.vertices.len());
+    }
+
+    #[test]
+    fn matching_adapter_returns_matching() {
+        let g = gen::gnp(24, 0.12, &mut gen::seeded_rng(3));
+        let r = approx_max_matching(&g, 0.3, &ScaleKnobs::default(), &mut gen::seeded_rng(4));
+        let mut used = vec![false; 24];
+        for &(u, v) in &r.edges {
+            assert!(g.has_edge(u, v));
+            assert!(!used[u as usize] && !used[v as usize], "vertex reused");
+            used[u as usize] = true;
+            used[v as usize] = true;
+        }
+        let opt = blossom::max_matching(&g).size();
+        assert!(
+            r.edges.len() as f64 >= 0.7 * opt as f64,
+            "matching {} vs OPT {opt}",
+            r.edges.len()
+        );
+    }
+
+    #[test]
+    fn vc_adapter_returns_cover() {
+        let g = gen::cycle(18);
+        let r = approx_min_vertex_cover(
+            &g,
+            &vec![1; 18],
+            0.3,
+            &ScaleKnobs::default(),
+            &mut gen::seeded_rng(5),
+        );
+        let in_cover: Vec<bool> = {
+            let mut m = vec![false; 18];
+            for &v in &r.vertices {
+                m[v as usize] = true;
+            }
+            m
+        };
+        for (u, v) in g.edges() {
+            assert!(in_cover[u as usize] || in_cover[v as usize]);
+        }
+        assert!(r.weight <= 12); // (1 + 0.3) · 9 = 11.7
+    }
+
+    #[test]
+    fn ds_adapter_returns_dominating_set() {
+        let g = gen::grid(4, 4);
+        let r = approx_min_dominating_set(
+            &g,
+            &vec![1; 16],
+            0.4,
+            &ScaleKnobs::default(),
+            &mut gen::seeded_rng(6),
+        );
+        let in_set: Vec<bool> = {
+            let mut m = vec![false; 16];
+            for &v in &r.vertices {
+                m[v as usize] = true;
+            }
+            m
+        };
+        for v in g.vertices() {
+            let dominated =
+                in_set[v as usize] || g.neighbors(v).iter().any(|&u| in_set[u as usize]);
+            assert!(dominated, "vertex {v} undominated");
+        }
+    }
+
+    #[test]
+    fn k_ds_rounds_multiply_by_k() {
+        let g = gen::cycle(16);
+        let knobs = ScaleKnobs::default();
+        let r1 = approx_k_dominating_set(&g, 1, &vec![1; 16], 0.4, &knobs, &mut gen::seeded_rng(7));
+        let r2 = approx_k_dominating_set(&g, 2, &vec![1; 16], 0.4, &knobs, &mut gen::seeded_rng(7));
+        assert!(r2.rounds > r1.rounds / 2, "k=2 simulation cost reflected");
+        assert!(!r2.vertices.is_empty());
+    }
+}

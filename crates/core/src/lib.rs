@@ -1,0 +1,40 @@
+//! # dapc-core
+//!
+//! The primary contribution of Chang & Li (PODC 2023), reproduced in full:
+//!
+//! * [`packing`] — **Theorem 1.2**: `(1 − ε)`-approximate solutions for
+//!   arbitrary packing ILPs in `Õ(log n/ε)` LOCAL rounds, whp;
+//! * [`covering`] — **Theorem 1.3**: `(1 + ε)`-approximate solutions for
+//!   arbitrary covering ILPs in `Õ(log n/ε)` LOCAL rounds, whp;
+//! * [`gkm`] — the Ghaffari–Kuhn–Maus `O(log³ n/ε)` baseline the paper
+//!   improves upon (§1.2);
+//! * [`adapters`] — one-call wrappers for MIS, maximum matching, vertex
+//!   cover and (k-distance) dominating set;
+//! * [`params`] — the paper's constants plus the documented scaling knobs;
+//! * [`prep`] — the shared preparation step (§4.1.1/§5.1.1) and the
+//!   memoising exact subset solver.
+//!
+//! ```
+//! use dapc_core::adapters::{approx_min_vertex_cover, ScaleKnobs};
+//! use dapc_graph::gen;
+//!
+//! let g = gen::cycle(12);
+//! let r = approx_min_vertex_cover(
+//!     &g, &vec![1; 12], 0.3, &ScaleKnobs::default(), &mut gen::seeded_rng(0));
+//! assert!(r.weight <= 7); // τ(C12) = 6, (1+ε)·6 = 7.8
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod covering;
+pub mod ensemble;
+pub mod gkm;
+pub mod packing;
+pub mod params;
+pub mod prep;
+
+pub use covering::{approximate_covering, CoveringOutcome};
+pub use packing::{approximate_packing, PackingOutcome};
+pub use params::PcParams;

@@ -1,0 +1,209 @@
+//! Shared parametrisation of the packing (§4) and covering (§5) solvers.
+
+use dapc_ilp::SolverBudget;
+
+/// Parameters of the Theorem 1.2 / 1.3 algorithms.
+///
+/// The `*_paper` constructors reproduce the constants printed in the paper;
+/// the `*_scaled` constructors shrink the two leading constants (the `200`
+/// in `R` and the `16` in the preparation count) while keeping the
+/// *structure* — iteration counts, interval layout, sampling-probability
+/// ratios — untouched (DESIGN.md §2, item 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PcParams {
+    /// Approximation parameter `ε`.
+    pub eps: f64,
+    /// Size hint `ñ ≥ max(|V|, W(OPT, V))`.
+    pub n_tilde: f64,
+    /// Phase 1 iteration count `t`.
+    pub t: usize,
+    /// Base interval length `R = ⌈r_scale·t·ln ñ/ε⌉`.
+    pub r: usize,
+    /// Number of preparation decompositions (`⌈prep_scale·ln ñ⌉`).
+    pub prep_count: usize,
+    /// Rate of the preparation decompositions (packing: `1/2`; covering:
+    /// `ln(21/20)`).
+    pub prep_lambda: f64,
+    /// Radius of `S_C = N^{8tR}(C)` for the sampling estimates.
+    pub sc_radius: usize,
+    /// Rate of the final decomposition (packing Phase 3: `ε/10`; covering
+    /// Phase 2 sparse cover: `ln((5+ε)/5)`).
+    pub final_lambda: f64,
+    /// Budget for every exact local solve.
+    pub budget: SolverBudget,
+}
+
+impl PcParams {
+    fn common(eps: f64, n_tilde: f64, t: usize, r_scale: f64, prep_scale: f64) -> (usize, usize, usize) {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+        assert!(n_tilde > 1.0, "n_tilde must exceed 1");
+        let r = ((r_scale * t as f64 * n_tilde.ln()) / eps).ceil().max(2.0) as usize;
+        let prep_count = (prep_scale * n_tilde.ln()).ceil().max(1.0) as usize;
+        (r, prep_count, 8 * t * r)
+    }
+
+    /// Packing parameters with the paper's constants
+    /// (`t = ⌈log₂(20/ε)⌉`, `R = ⌈200·t·ln ñ/ε⌉`, 16 ln ñ preparations at
+    /// `λ = 1/2`, Phase 3 at `ε/10`).
+    pub fn packing_paper(eps: f64, n_tilde: f64) -> Self {
+        Self::packing_scaled(eps, n_tilde, 200.0, 16.0)
+    }
+
+    /// Packing parameters with scaled leading constants.
+    pub fn packing_scaled(eps: f64, n_tilde: f64, r_scale: f64, prep_scale: f64) -> Self {
+        let t = (20.0 / eps).log2().ceil() as usize;
+        let (r, prep_count, sc_radius) = Self::common(eps, n_tilde, t, r_scale, prep_scale);
+        PcParams {
+            eps,
+            n_tilde,
+            t,
+            r,
+            prep_count,
+            prep_lambda: 0.5,
+            sc_radius,
+            final_lambda: eps / 10.0,
+            budget: SolverBudget::default(),
+        }
+    }
+
+    /// Covering parameters with the paper's constants
+    /// (`t = ⌈log₂ ln n + log₂(1/ε) + 8⌉`, preparations at `λ = ln(21/20)`,
+    /// final sparse cover at `λ = ln((5+ε)/5)`).
+    pub fn covering_paper(eps: f64, n_tilde: f64) -> Self {
+        Self::covering_scaled(eps, n_tilde, 200.0, 16.0, 8.0)
+    }
+
+    /// Covering parameters with scaled leading constants; `t_slack`
+    /// replaces the `+8` in the iteration count (§1.4.3 — covering skips
+    /// Phase 2 by lengthening Phase 1 to `O(log(1/ε) + log log n)`).
+    pub fn covering_scaled(
+        eps: f64,
+        n_tilde: f64,
+        r_scale: f64,
+        prep_scale: f64,
+        t_slack: f64,
+    ) -> Self {
+        assert!(n_tilde > std::f64::consts::E, "need ln ln ñ > 0");
+        let t = (n_tilde.ln().log2() + (1.0 / eps).log2() + t_slack).ceil().max(1.0) as usize;
+        let (r, prep_count, sc_radius) = Self::common(eps, n_tilde, t, r_scale, prep_scale);
+        PcParams {
+            eps,
+            n_tilde,
+            t,
+            r,
+            prep_count,
+            prep_lambda: (21.0 / 20.0f64).ln(),
+            sc_radius,
+            final_lambda: ((5.0 + eps) / 5.0).ln(),
+            budget: SolverBudget::default(),
+        }
+    }
+
+    /// Packing interval `I_i = [(t−i+2)·3R′+1, (t−i+3)·3R′]` with
+    /// `R′ = R + 1` (§4.1); index `t + 1` is Phase 2's `[3R′+1, 6R′]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= i <= t + 1`.
+    pub fn packing_interval(&self, i: usize) -> (usize, usize) {
+        assert!(i >= 1 && i <= self.t + 1, "iteration index out of range");
+        let rp = 3 * (self.r + 1);
+        let k = self.t + 2 - i;
+        (k * rp + 1, (k + 1) * rp)
+    }
+
+    /// Covering interval `I_i = [(t−i+1)·2R+1, (t−i+2)·2R]` (§5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= i <= t`.
+    pub fn covering_interval(&self, i: usize) -> (usize, usize) {
+        assert!(i >= 1 && i <= self.t, "iteration index out of range");
+        let k = self.t + 1 - i;
+        (k * 2 * self.r + 1, (k + 1) * 2 * self.r)
+    }
+
+    /// Centre-sampling probability of a cluster with local weight `w_c`
+    /// and neighbourhood estimate `w_sc` in iteration `i`; Phase 2
+    /// (packing only) is `i = t + 1` and gains the `ln(20/ε)` factor.
+    pub fn sampling_probability(&self, i: usize, w_c: u64, w_sc: u64) -> f64 {
+        if w_sc == 0 || w_c == 0 {
+            return 0.0;
+        }
+        let base = 2f64.powi(i as i32) * w_c as f64 / w_sc as f64;
+        if i == self.t + 1 {
+            base * (20.0 / self.eps).ln()
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_paper_constants() {
+        let p = PcParams::packing_paper(0.2, 1000.0);
+        assert_eq!(p.t, 7);
+        assert_eq!(p.r, ((200.0 * 7.0 * 1000f64.ln()) / 0.2).ceil() as usize);
+        assert_eq!(p.prep_count, (16.0 * 1000f64.ln()).ceil() as usize);
+        assert_eq!(p.prep_lambda, 0.5);
+        assert_eq!(p.sc_radius, 8 * p.t * p.r);
+    }
+
+    #[test]
+    fn covering_paper_constants() {
+        let p = PcParams::covering_paper(0.2, 1000.0);
+        let expected_t = (1000f64.ln().log2() + 5f64.log2() + 8.0).ceil() as usize;
+        assert_eq!(p.t, expected_t);
+        assert!((p.prep_lambda - (21.0f64 / 20.0).ln()).abs() < 1e-12);
+        assert!((p.final_lambda - (5.2f64 / 5.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packing_intervals_are_disjoint_mod3_aligned() {
+        let p = PcParams::packing_scaled(0.25, 500.0, 1.0, 1.0);
+        let rp = 3 * (p.r + 1);
+        for i in 1..=p.t {
+            let (a, b) = p.packing_interval(i);
+            assert_eq!(b - a + 1, rp);
+            assert_eq!(a % 3, 1, "a_i ≡ 1 (mod 3) so the windows tile");
+            let (a_next, b_next) = p.packing_interval(i + 1);
+            assert_eq!(a, b_next + 1);
+            let _ = a_next;
+        }
+        assert_eq!(p.packing_interval(p.t + 1), (rp + 1, 2 * rp));
+    }
+
+    #[test]
+    fn covering_intervals_tile() {
+        let p = PcParams::covering_scaled(0.25, 500.0, 1.0, 1.0, 2.0);
+        for i in 1..p.t {
+            let (a, b) = p.covering_interval(i);
+            assert_eq!(b - a + 1, 2 * p.r);
+            let (_, b_next) = p.covering_interval(i + 1);
+            assert_eq!(a, b_next + 1);
+        }
+        assert_eq!(p.covering_interval(p.t), (2 * p.r + 1, 4 * p.r));
+    }
+
+    #[test]
+    fn sampling_probability_shapes() {
+        let p = PcParams::packing_scaled(0.2, 100.0, 1.0, 1.0);
+        assert_eq!(p.sampling_probability(3, 0, 10), 0.0);
+        assert_eq!(p.sampling_probability(3, 10, 0), 0.0);
+        let base = p.sampling_probability(1, 5, 1000);
+        assert!((p.sampling_probability(2, 5, 1000) / base - 2.0).abs() < 1e-9);
+        assert!(p.sampling_probability(p.t + 1, 5, 1000) > p.sampling_probability(p.t, 5, 1000));
+    }
+
+    #[test]
+    fn covering_t_exceeds_packing_t() {
+        // §1.4.3: covering lengthens Phase 1 by the log log n term.
+        let pack = PcParams::packing_paper(0.2, 100_000.0);
+        let cover = PcParams::covering_paper(0.2, 100_000.0);
+        assert!(cover.t > pack.t);
+    }
+}

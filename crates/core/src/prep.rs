@@ -1,0 +1,226 @@
+//! The preparation step shared by the packing and covering solvers
+//! (§4.1.1 / §5.1.1): `prep_count` independent decompositions of the
+//! instance hypergraph whose clusters drive the sampling, each annotated
+//! with its local optimum `W(OPT^local_C, C)` and the neighbourhood
+//! estimate `W(OPT^local_{S_C}, S_C)`, `S_C = N^{8tR}(C)`.
+
+use crate::params::PcParams;
+use dapc_graph::{Hypergraph, Vertex};
+use dapc_ilp::instance::{IlpInstance, Sense};
+use dapc_ilp::restrict::packing_restriction;
+use dapc_ilp::solvers::{self, SolverBudget};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// One sampling cluster from the preparation step.
+#[derive(Clone, Debug)]
+pub struct PrepCluster {
+    /// Members (sorted).
+    pub members: Vec<Vertex>,
+    /// `W(OPT^local_C, C)`.
+    pub w_local: u64,
+    /// `W(OPT^local_{S_C}, S_C)` with `S_C = N^{8tR}(C)`.
+    pub w_neighborhood: u64,
+}
+
+/// The full preparation output.
+#[derive(Clone, Debug)]
+pub struct Preparation {
+    /// All clusters across the independent runs.
+    pub clusters: Vec<PrepCluster>,
+    /// Whether every local solve proved optimality.
+    pub all_exact: bool,
+}
+
+/// A memoising exact solver over vertex subsets of one instance — many
+/// clusters share their `S_C` (often the whole component), so the paper's
+/// "free local computation" stays affordable in simulation.
+pub struct SubsetSolver<'a> {
+    ilp: &'a IlpInstance,
+    budget: SolverBudget,
+    cache: HashMap<Vec<Vertex>, (u64, Vec<bool>, bool)>,
+    /// Whether every solve so far was exact.
+    pub all_exact: bool,
+}
+
+impl<'a> SubsetSolver<'a> {
+    /// Creates a solver for `ilp` with the given budget.
+    pub fn new(ilp: &'a IlpInstance, budget: SolverBudget) -> Self {
+        SubsetSolver {
+            ilp,
+            budget,
+            cache: HashMap::new(),
+            all_exact: true,
+        }
+    }
+
+    /// Optimal local value and assignment on the subset (mask form). For
+    /// packing this is `P^local` (all constraints, zeros outside); for
+    /// covering `Q^local` (inside constraints only), honouring `fixed_ones`
+    /// at zero cost.
+    pub fn solve_mask(
+        &mut self,
+        mask: &[bool],
+        fixed_ones: Option<&[bool]>,
+    ) -> (u64, Vec<bool>, bool) {
+        let mut key: Vec<Vertex> = (0..self.ilp.n() as Vertex)
+            .filter(|&v| mask[v as usize])
+            .collect();
+        // Fixed variables change covering sub-instances; fold them into the
+        // key by offsetting (cheap, collision-free encoding).
+        if let Some(f) = fixed_ones {
+            key.push(u32::MAX); // separator
+            key.extend(
+                (0..self.ilp.n() as Vertex).filter(|&v| f[v as usize] && mask[v as usize]),
+            );
+        }
+        if let Some(hit) = self.cache.get(&key) {
+            return hit.clone();
+        }
+        let sub = match self.ilp.sense() {
+            Sense::Packing => packing_restriction(self.ilp, mask),
+            Sense::Covering => {
+                dapc_ilp::restrict::covering_restriction_with_fixed(self.ilp, mask, fixed_ones)
+            }
+        };
+        let sol = solvers::solve(&sub, &self.budget);
+        if !sol.exact {
+            self.all_exact = false;
+        }
+        let mut global = vec![false; self.ilp.n()];
+        sub.lift_into(&sol.assignment, &mut global);
+        let out = (sol.value, global, sol.exact);
+        self.cache.insert(key, out.clone());
+        out
+    }
+
+    /// Convenience: optimal local value on a vertex list.
+    pub fn value_of(&mut self, vertices: &[Vertex]) -> u64 {
+        let mut mask = vec![false; self.ilp.n()];
+        for &v in vertices {
+            mask[v as usize] = true;
+        }
+        self.solve_mask(&mask, None).0
+    }
+}
+
+/// Runs the preparation step: `prep_count` independent decompositions
+/// (Elkin–Neiman at `prep_lambda` for packing; sparse cover at
+/// `prep_lambda` for covering), annotating every cluster with its sampling
+/// weights.
+pub fn prepare(
+    ilp: &IlpInstance,
+    h: &Hypergraph,
+    primal: &dapc_graph::Graph,
+    params: &PcParams,
+    rng: &mut StdRng,
+    solver: &mut SubsetSolver<'_>,
+) -> Preparation {
+    let n = h.n();
+    let mut clusters: Vec<PrepCluster> = Vec::new();
+    for _run in 0..params.prep_count {
+        let run_clusters: Vec<Vec<Vertex>> = match ilp.sense() {
+            Sense::Packing => {
+                let en = dapc_decomp::elkin_neiman::elkin_neiman(
+                    primal,
+                    &dapc_decomp::elkin_neiman::EnParams::new(params.prep_lambda, params.n_tilde),
+                    rng,
+                    None,
+                );
+                en.clusters
+            }
+            Sense::Covering => {
+                let cover = dapc_decomp::sparse_cover::sparse_cover(
+                    h,
+                    params.prep_lambda,
+                    params.n_tilde,
+                    rng,
+                    None,
+                    None,
+                );
+                cover.clusters
+            }
+        };
+        for members in run_clusters {
+            if members.is_empty() {
+                continue;
+            }
+            let w_local = solver.value_of(&members);
+            // S_C = N^{8tR}(C) in the hypergraph metric.
+            let sc = h.ball(&members, params.sc_radius, None, None);
+            let mut mask = vec![false; n];
+            for v in sc.iter() {
+                mask[v as usize] = true;
+            }
+            let (w_neighborhood, _, _) = solver.solve_mask(&mask, None);
+            clusters.push(PrepCluster {
+                members,
+                w_local,
+                w_neighborhood,
+            });
+        }
+    }
+    Preparation {
+        clusters,
+        all_exact: solver.all_exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapc_graph::gen;
+    use dapc_ilp::problems;
+
+    #[test]
+    fn subset_solver_caches() {
+        let g = gen::cycle(10);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let mut solver = SubsetSolver::new(&ilp, SolverBudget::default());
+        let mask = vec![true; 10];
+        let (v1, _, e1) = solver.solve_mask(&mask, None);
+        let (v2, _, _) = solver.solve_mask(&mask, None);
+        assert_eq!(v1, 5);
+        assert_eq!(v1, v2);
+        assert!(e1);
+        assert_eq!(solver.cache.len(), 1);
+    }
+
+    #[test]
+    fn prep_clusters_have_sane_weights() {
+        let g = gen::grid(6, 6);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let h = ilp.hypergraph().clone();
+        let primal = h.primal_graph();
+        let params = PcParams::packing_scaled(0.3, 36.0, 0.05, 0.5);
+        let mut rng = gen::seeded_rng(71);
+        let mut solver = SubsetSolver::new(&ilp, params.budget);
+        let prep = prepare(&ilp, &h, &primal, &params, &mut rng, &mut solver);
+        assert!(prep.all_exact);
+        assert!(!prep.clusters.is_empty());
+        for c in &prep.clusters {
+            // Observation 2.1: W(P^local_C, C) <= W(P^local_{S_C}, S_C)
+            // whenever C ⊆ S_C (monotone in the subset for packing).
+            assert!(c.w_local <= c.w_neighborhood, "{c:?}");
+            assert!(!c.members.is_empty());
+        }
+    }
+
+    #[test]
+    fn prep_covering_uses_sparse_cover() {
+        let g = gen::cycle(12);
+        let ilp = problems::min_vertex_cover_unweighted(&g);
+        let h = ilp.hypergraph().clone();
+        let primal = h.primal_graph();
+        let params = PcParams::covering_scaled(0.3, 12.0, 0.05, 0.3, 1.0);
+        let mut rng = gen::seeded_rng(72);
+        let mut solver = SubsetSolver::new(&ilp, params.budget);
+        let prep = prepare(&ilp, &h, &primal, &params, &mut rng, &mut solver);
+        // Sparse covers keep every vertex, so cluster weights are positive
+        // for any cluster containing an edge.
+        assert!(!prep.clusters.is_empty());
+        for c in &prep.clusters {
+            assert!(c.w_local <= c.w_neighborhood);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests: the Theorem 1.2/1.3 solvers must emit feasible
+//! solutions meeting their guarantees on arbitrary random graphs.
+
+use dapc_core::covering::approximate_covering;
+use dapc_core::packing::approximate_packing;
+use dapc_core::params::PcParams;
+use dapc_graph::{gen, Graph, Vertex};
+use dapc_ilp::{problems, verify, SolverBudget};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (6usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as Vertex, 0..n as Vertex), 0..(2 * n))
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn packing_guarantee_on_arbitrary_graphs(g in arb_graph(22), seed in 0u64..10) {
+        let eps = 0.3;
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let params = PcParams::packing_scaled(eps, g.n() as f64, 0.02, 0.3);
+        let out = approximate_packing(&ilp, &params, &mut gen::seeded_rng(seed));
+        prop_assert!(ilp.is_feasible(&out.assignment));
+        let (opt, exact) = verify::optimum(&ilp, &SolverBudget::default());
+        prop_assert!(exact);
+        prop_assert!(out.value as f64 >= (1.0 - eps) * opt as f64,
+            "value {} < (1−ε)·{}", out.value, opt);
+    }
+
+    #[test]
+    fn covering_guarantee_on_arbitrary_graphs(g in arb_graph(18), seed in 0u64..10) {
+        let eps = 0.4;
+        let ilp = problems::min_dominating_set_unweighted(&g);
+        let params = PcParams::covering_scaled(eps, g.n() as f64, 0.02, 0.3, 1.0);
+        let out = approximate_covering(&ilp, &params, &mut gen::seeded_rng(seed));
+        prop_assert!(ilp.is_feasible(&out.assignment));
+        let (opt, exact) = verify::optimum(&ilp, &SolverBudget::default());
+        prop_assert!(exact);
+        prop_assert!(out.value as f64 <= (1.0 + eps) * opt as f64 + 1e-9,
+            "value {} > (1+ε)·{}", out.value, opt);
+    }
+
+    #[test]
+    fn weighted_instances_on_arbitrary_graphs(g in arb_graph(16), seed in 0u64..6) {
+        let n = g.n();
+        let weights: Vec<u64> = (0..n).map(|i| 1 + (i as u64 * 13) % 9).collect();
+        let eps = 0.3;
+        let ilp = problems::min_vertex_cover(&g, weights);
+        let params = PcParams::covering_scaled(eps, n as f64, 0.02, 0.3, 1.0);
+        let out = approximate_covering(&ilp, &params, &mut gen::seeded_rng(seed));
+        prop_assert!(ilp.is_feasible(&out.assignment));
+        let (opt, exact) = verify::optimum(&ilp, &SolverBudget::default());
+        prop_assert!(exact);
+        prop_assert!(out.value as f64 <= (1.0 + eps) * opt as f64 + 1e-9);
+    }
+}

@@ -1,0 +1,242 @@
+//! Exponential-shift label propagation — the engine shared by the
+//! Elkin–Neiman decomposition (Lemma C.1), the Miller–Peng–Xu clustering
+//! and the hyperedge sparse cover (Lemma C.2).
+//!
+//! Every vertex draws `T_v ~ Exponential(λ)` (capped per Lemma C.1) and
+//! conceptually broadcasts it `⌊T_v⌋` hops; vertex `v` ranks sources by
+//! `m_u(v) = T_u − dist(u, v)`. The different algorithms differ only in how
+//! many top labels per vertex they need:
+//!
+//! * Miller–Peng–Xu: the top **1** label (join its cluster);
+//! * Elkin–Neiman: the top **2** labels (delete if they are within 1);
+//! * sparse cover: **all** labels within 1 of the maximum (join all).
+//!
+//! All three reduce to a best-first (max-heap) multi-source propagation in
+//! which values decrease by exactly 1 per hop; the heap therefore pops in
+//! globally non-increasing value order, so the first pop of a
+//! `(vertex, source)` pair is that source's true `m` value at that vertex,
+//! and per-vertex pruning is safe (a label dominated at `v` stays dominated
+//! downstream of `v`).
+
+use dapc_conc::dist::Exponential;
+use dapc_graph::{Graph, Vertex};
+use rand::rngs::StdRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A label: source `u` reaching some vertex with value `m_u = T_u − dist`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Label {
+    /// The originating centre.
+    pub source: Vertex,
+    /// `T_source − dist(source, here)`.
+    pub value: f64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct HeapEntry {
+    value: f64,
+    source: Vertex,
+    vertex: Vertex,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on value; tie-break on (source, vertex) for determinism.
+        self.value
+            .partial_cmp(&other.value)
+            .expect("shift values are finite")
+            .then_with(|| other.source.cmp(&self.source))
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// How many labels each vertex retains.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Keep {
+    /// Keep the top `k` labels from distinct sources.
+    Top(usize),
+    /// Keep every label within `slack` of the per-vertex maximum.
+    WithinSlackOfBest(f64),
+}
+
+/// Draws the capped exponential shifts of Lemma C.1: `T_v ~ Exp(λ)` with
+/// values `≥ 4·ln ñ / λ` reset to zero. Dead vertices get 0.
+pub fn draw_shifts(
+    n: usize,
+    lambda: f64,
+    n_tilde: f64,
+    rng: &mut StdRng,
+    alive: Option<&[bool]>,
+) -> Vec<f64> {
+    let exp = Exponential::new(lambda);
+    let cap = 4.0 * n_tilde.ln() / lambda;
+    (0..n)
+        .map(|v| {
+            if alive.map_or(true, |a| a[v]) {
+                exp.sample_reset_at(rng, cap)
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Propagates shifted labels over `g` (restricted to `alive`) and returns,
+/// per vertex, the retained labels in decreasing value order.
+///
+/// Only alive vertices seed labels or relay them. Each retained label is
+/// relayed to neighbours with value − 1; labels that fall outside the keep
+/// policy at a vertex are pruned there (and, by the monotonicity argument
+/// in the module docs, everywhere downstream).
+pub fn propagate(
+    g: &Graph,
+    shifts: &[f64],
+    keep: Keep,
+    alive: Option<&[bool]>,
+) -> Vec<Vec<Label>> {
+    assert_eq!(shifts.len(), g.n());
+    let is_alive = |v: Vertex| alive.map_or(true, |a| a[v as usize]);
+    let n = g.n();
+    let mut labels: Vec<Vec<Label>> = vec![Vec::new(); n];
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    for v in 0..n as Vertex {
+        if is_alive(v) {
+            heap.push(HeapEntry {
+                value: shifts[v as usize],
+                source: v,
+                vertex: v,
+            });
+        }
+    }
+    while let Some(HeapEntry {
+        value,
+        source,
+        vertex,
+    }) = heap.pop()
+    {
+        let kept = &mut labels[vertex as usize];
+        // Drop when the policy is already saturated or the source known.
+        let admissible = match keep {
+            Keep::Top(k) => kept.len() < k,
+            Keep::WithinSlackOfBest(slack) => {
+                kept.first().is_none_or(|best| value >= best.value - slack)
+            }
+        };
+        if !admissible || kept.iter().any(|l| l.source == source) {
+            continue;
+        }
+        kept.push(Label { source, value });
+        // Relay. Values below any plausible future threshold could be
+        // pruned here; one extra hop of dead labels is cheap and keeps the
+        // code obviously correct.
+        for &w in g.neighbors(vertex) {
+            if is_alive(w) {
+                heap.push(HeapEntry {
+                    value: value - 1.0,
+                    source,
+                    vertex: w,
+                });
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapc_graph::gen;
+
+    /// Labels on a path with hand-picked shifts.
+    #[test]
+    fn values_are_shift_minus_distance() {
+        let g = gen::path(5);
+        // Only vertex 0 has a large shift; everyone hears it.
+        let shifts = vec![10.0, 0.0, 0.0, 0.0, 0.0];
+        let labels = propagate(&g, &shifts, Keep::Top(1), None);
+        for v in 0..5 {
+            assert_eq!(labels[v][0].source, 0);
+            assert!((labels[v][0].value - (10.0 - v as f64)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top2_keeps_distinct_sources_in_order() {
+        let g = gen::path(5);
+        let shifts = vec![10.0, 0.0, 0.0, 0.0, 9.0];
+        let labels = propagate(&g, &shifts, Keep::Top(2), None);
+        // Middle vertex 2: m_0 = 8, m_4 = 7.
+        assert_eq!(labels[2].len(), 2);
+        assert_eq!(labels[2][0].source, 0);
+        assert!((labels[2][0].value - 8.0).abs() < 1e-9);
+        assert_eq!(labels[2][1].source, 4);
+        assert!((labels[2][1].value - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top2_matches_brute_force() {
+        let mut rng = gen::seeded_rng(5);
+        for _ in 0..20 {
+            let g = gen::gnp(25, 0.12, &mut rng);
+            let shifts = draw_shifts(25, 0.5, 25.0, &mut rng, None);
+            let labels = propagate(&g, &shifts, Keep::Top(2), None);
+            // Brute force: all m values per vertex.
+            for v in g.vertices() {
+                let dist = dapc_graph::traversal::bfs_distances(&g, v);
+                let mut ms: Vec<(f64, Vertex)> = g
+                    .vertices()
+                    .filter(|&u| dist[u as usize] != dapc_graph::traversal::UNREACHABLE)
+                    .map(|u| (shifts[u as usize] - dist[u as usize] as f64, u))
+                    .collect();
+                ms.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                let got = &labels[v as usize];
+                assert!((got[0].value - ms[0].0).abs() < 1e-9, "best at {v}");
+                if ms.len() > 1 {
+                    assert!((got[1].value - ms[1].0).abs() < 1e-9, "second at {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slack_keep_returns_all_near_best() {
+        let g = gen::path(3);
+        let shifts = vec![5.0, 4.5, 5.2];
+        // At vertex 1: m_0 = 4, m_1 = 4.5, m_2 = 4.2 — all within 1 of 4.5.
+        let labels = propagate(&g, &shifts, Keep::WithinSlackOfBest(1.0), None);
+        assert_eq!(labels[1].len(), 3);
+        assert_eq!(labels[1][0].source, 1);
+        // At vertex 0: m_0 = 5, m_1 = 3.5 (pruned), m_2 = 3.2 (pruned).
+        assert_eq!(labels[0].len(), 1);
+    }
+
+    #[test]
+    fn dead_vertices_neither_seed_nor_relay() {
+        let g = gen::path(3);
+        let alive = vec![true, false, true];
+        let shifts = vec![10.0, 99.0, 1.0];
+        let labels = propagate(&g, &shifts, Keep::Top(2), Some(&alive));
+        // Vertex 2 cannot hear vertex 0 through the dead vertex 1.
+        assert_eq!(labels[2].len(), 1);
+        assert_eq!(labels[2][0].source, 2);
+        assert!(labels[1].is_empty());
+    }
+
+    #[test]
+    fn shifts_respect_cap() {
+        let mut rng = gen::seeded_rng(1);
+        let shifts = draw_shifts(10_000, 0.5, 100.0, &mut rng, None);
+        let cap = 4.0 * 100f64.ln() / 0.5;
+        assert!(shifts.iter().all(|&t| t < cap));
+        assert!(shifts.iter().any(|&t| t > 0.0));
+    }
+}

@@ -1,0 +1,338 @@
+//! The hyperedge sparse cover of Lemma C.2.
+//!
+//! A variant of the random-shift decomposition in which nothing is deleted:
+//! every vertex joins the cluster of **every** source whose value comes
+//! within 1 of its maximum. Guarantees:
+//!
+//! * every hyperedge is completely contained in at least one cluster;
+//! * the number of clusters containing a vertex is dominated by
+//!   `Geometric(e^{−λ}) + ñ^{−2}`;
+//! * weak diameter `≤ 8 ln ñ / λ`, in `4 ln ñ / λ` rounds.
+//!
+//! This is the engine of the covering algorithm (§5): local covering
+//! solutions on the clusters are OR-combined (Lemma C.3), and the
+//! multiplicity bound caps the overcounting.
+
+use dapc_graph::{EdgeId, Hypergraph, Vertex};
+use dapc_local::RoundLedger;
+use rand::rngs::StdRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A sparse cover: overlapping clusters covering every hyperedge.
+#[derive(Clone, Debug)]
+pub struct SparseCover {
+    /// Sorted vertex lists per cluster.
+    pub clusters: Vec<Vec<Vertex>>,
+    /// Cluster ids containing each vertex.
+    pub membership: Vec<Vec<u32>>,
+    /// LOCAL round cost.
+    pub ledger: RoundLedger,
+}
+
+impl SparseCover {
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the cover has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The multiplicity `X_v` (number of clusters containing `v`).
+    pub fn multiplicity(&self, v: Vertex) -> usize {
+        self.membership[v as usize].len()
+    }
+
+    /// Mean multiplicity over vertices with non-zero multiplicity.
+    pub fn mean_multiplicity(&self) -> f64 {
+        let covered: Vec<usize> = self
+            .membership
+            .iter()
+            .map(Vec::len)
+            .filter(|&x| x > 0)
+            .collect();
+        if covered.is_empty() {
+            0.0
+        } else {
+            covered.iter().sum::<usize>() as f64 / covered.len() as f64
+        }
+    }
+
+    /// Ids of alive hyperedges *not* fully contained in any cluster
+    /// (Lemma C.2 guarantees this is empty).
+    pub fn uncovered_edges(
+        &self,
+        h: &Hypergraph,
+        alive_vertices: Option<&[bool]>,
+        alive_edges: Option<&[bool]>,
+    ) -> Vec<EdgeId> {
+        let mut cluster_sets: Vec<std::collections::HashSet<Vertex>> = self
+            .clusters
+            .iter()
+            .map(|c| c.iter().copied().collect())
+            .collect();
+        // Sort by size descending: big clusters cover most edges, so check
+        // them first.
+        let mut order: Vec<usize> = (0..cluster_sets.len()).collect();
+        order.sort_unstable_by_key(|&i| std::cmp::Reverse(cluster_sets[i].len()));
+        cluster_sets = order.iter().map(|&i| cluster_sets[i].clone()).collect();
+        h.hyperedges()
+            .filter(|&(e, members)| {
+                if alive_edges.is_some_and(|a| !a[e as usize]) {
+                    return false; // dead edges need no coverage
+                }
+                let live: Vec<Vertex> = members
+                    .iter()
+                    .copied()
+                    .filter(|&v| alive_vertices.map_or(true, |a| a[v as usize]))
+                    .collect();
+                if live.is_empty() {
+                    return false;
+                }
+                !cluster_sets
+                    .iter()
+                    .any(|cs| live.iter().all(|v| cs.contains(v)))
+            })
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct HeapEntry {
+    value: f64,
+    source: Vertex,
+    vertex: Vertex,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.value
+            .partial_cmp(&other.value)
+            .expect("finite values")
+            .then_with(|| other.source.cmp(&self.source))
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes a sparse cover of the alive part of `h` (Lemma C.2) with rate
+/// `lambda` and size hint `n_tilde`.
+///
+/// # Examples
+///
+/// ```
+/// use dapc_decomp::sparse_cover::sparse_cover;
+/// use dapc_graph::{gen, Hypergraph};
+///
+/// let g = gen::grid(6, 6);
+/// let h = Hypergraph::from_graph(&g);
+/// let cover = sparse_cover(&h, 0.3, 36.0, &mut gen::seeded_rng(3), None, None);
+/// assert!(cover.uncovered_edges(&h, None, None).is_empty());
+/// ```
+pub fn sparse_cover(
+    h: &Hypergraph,
+    lambda: f64,
+    n_tilde: f64,
+    rng: &mut StdRng,
+    alive_vertices: Option<&[bool]>,
+    alive_edges: Option<&[bool]>,
+) -> SparseCover {
+    let n = h.n();
+    let v_ok = |v: Vertex| alive_vertices.map_or(true, |a| a[v as usize]);
+    let e_ok = |e: EdgeId| alive_edges.map_or(true, |a| a[e as usize]);
+    let shifts =
+        crate::shift::draw_shifts(n, lambda, n_tilde, rng, alive_vertices);
+    // Threshold-pruned multi-label propagation in the primal metric.
+    let mut labels: Vec<Vec<(Vertex, f64)>> = vec![Vec::new(); n];
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    for v in 0..n as Vertex {
+        if v_ok(v) {
+            heap.push(HeapEntry {
+                value: shifts[v as usize],
+                source: v,
+                vertex: v,
+            });
+        }
+    }
+    while let Some(HeapEntry {
+        value,
+        source,
+        vertex,
+    }) = heap.pop()
+    {
+        let kept = &mut labels[vertex as usize];
+        let admissible = kept.first().is_none_or(|&(_, best)| value >= best - 1.0);
+        if !admissible || kept.iter().any(|&(s, _)| s == source) {
+            continue;
+        }
+        kept.push((source, value));
+        for &e in h.incident_edges(vertex) {
+            if !e_ok(e) {
+                continue;
+            }
+            for &w in h.edge(e) {
+                if w != vertex && v_ok(w) {
+                    heap.push(HeapEntry {
+                        value: value - 1.0,
+                        source,
+                        vertex: w,
+                    });
+                }
+            }
+        }
+    }
+    // Group into clusters by source.
+    let mut cluster_id: std::collections::HashMap<Vertex, u32> = Default::default();
+    let mut clusters: Vec<Vec<Vertex>> = Vec::new();
+    let mut membership: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..n {
+        for &(s, _) in &labels[v] {
+            let id = *cluster_id.entry(s).or_insert_with(|| {
+                clusters.push(Vec::new());
+                (clusters.len() - 1) as u32
+            });
+            clusters[id as usize].push(v as Vertex);
+            membership[v].push(id);
+        }
+    }
+    for c in &mut clusters {
+        c.sort_unstable();
+    }
+    let mut ledger = RoundLedger::new();
+    ledger.begin_phase("sparse-cover broadcast");
+    ledger.charge_gather((4.0 * n_tilde.ln() / lambda).ceil() as usize);
+    ledger.end_phase();
+    SparseCover {
+        clusters,
+        membership,
+        ledger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapc_graph::{gen, Hypergraph};
+
+    #[test]
+    fn every_edge_is_covered() {
+        let mut rng = gen::seeded_rng(21);
+        for seed in 0..5 {
+            let g = gen::gnp(100, 0.04, &mut gen::seeded_rng(seed));
+            let h = Hypergraph::from_graph(&g);
+            let cover = sparse_cover(&h, 0.4, 100.0, &mut rng, None, None);
+            assert!(
+                cover.uncovered_edges(&h, None, None).is_empty(),
+                "seed {seed}: some edge uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn genuine_hyperedges_are_covered() {
+        // Random 4-uniform hypergraph.
+        let mut rng = gen::seeded_rng(22);
+        use rand::RngExt;
+        let n = 80;
+        let edges: Vec<Vec<Vertex>> = (0..120)
+            .map(|_| {
+                let mut e: Vec<Vertex> = Vec::new();
+                while e.len() < 4 {
+                    let v = rng.random_range(0..n) as Vertex;
+                    if !e.contains(&v) {
+                        e.push(v);
+                    }
+                }
+                e
+            })
+            .collect();
+        let h = Hypergraph::new(n, edges);
+        let cover = sparse_cover(&h, 0.3, n as f64, &mut rng, None, None);
+        assert!(cover.uncovered_edges(&h, None, None).is_empty());
+    }
+
+    #[test]
+    fn multiplicity_is_near_one_for_small_lambda() {
+        // E[X_v] ≤ e^{λ} ≈ 1 + λ; empirical mean should be close.
+        let g = gen::grid(25, 25);
+        let h = Hypergraph::from_graph(&g);
+        let mut rng = gen::seeded_rng(23);
+        let lambda = 0.1f64;
+        let mut mean = 0.0;
+        let trials = 5;
+        for _ in 0..trials {
+            let cover = sparse_cover(&h, lambda, 625.0, &mut rng, None, None);
+            mean += cover.mean_multiplicity();
+        }
+        mean /= trials as f64;
+        let bound = lambda.exp();
+        assert!(
+            mean <= bound * 1.25,
+            "mean multiplicity {mean} far above e^λ = {bound}"
+        );
+        assert!(mean >= 1.0);
+    }
+
+    #[test]
+    fn every_vertex_is_in_some_cluster() {
+        let g = gen::cycle(100);
+        let h = Hypergraph::from_graph(&g);
+        let cover = sparse_cover(&h, 0.5, 100.0, &mut gen::seeded_rng(24), None, None);
+        for v in 0..100 {
+            assert!(
+                cover.multiplicity(v) >= 1,
+                "vertex {v} uncovered (sparse covers never delete)"
+            );
+        }
+    }
+
+    #[test]
+    fn weak_diameter_bound_holds() {
+        let g = gen::gnp(150, 0.025, &mut gen::seeded_rng(25));
+        let h = Hypergraph::from_graph(&g);
+        let lambda = 0.5;
+        let cover = sparse_cover(&h, lambda, 150.0, &mut gen::seeded_rng(26), None, None);
+        let bound = 8.0 * 150f64.ln() / lambda;
+        for c in &cover.clusters {
+            let d = h.weak_diameter(c).expect("cluster connected in H");
+            assert!(f64::from(d) <= bound, "cluster diameter {d} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn masked_cover_ignores_dead_parts() {
+        let h = Hypergraph::new(
+            6,
+            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]],
+        );
+        let alive_v = vec![true, true, true, false, false, false];
+        let alive_e = vec![true, true, false];
+        let cover = sparse_cover(
+            &h,
+            0.5,
+            6.0,
+            &mut gen::seeded_rng(27),
+            Some(&alive_v),
+            Some(&alive_e),
+        );
+        // Dead vertices belong to no cluster.
+        for v in 3..6 {
+            assert_eq!(cover.multiplicity(v), 0);
+        }
+        // Edge 0 is alive and fully alive-supported: must be covered.
+        assert!(cover
+            .uncovered_edges(&h, Some(&alive_v), Some(&alive_e))
+            .is_empty());
+    }
+}

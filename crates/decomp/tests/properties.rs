@@ -1,0 +1,115 @@
+//! Property-based tests on the Definition 1.4 invariants of every
+//! decomposition algorithm.
+
+use dapc_decomp::blackbox::{blackbox_ldd, BlackboxParams};
+use dapc_decomp::elkin_neiman::{elkin_neiman, EnParams};
+use dapc_decomp::mpx::mpx;
+use dapc_decomp::network_decomposition::network_decomposition;
+use dapc_decomp::sparse_cover::sparse_cover;
+use dapc_decomp::three_phase::{three_phase_ldd, LddParams};
+use dapc_graph::{gen, Graph, Hypergraph, Vertex};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as Vertex, 0..n as Vertex), 0..(2 * n))
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Elkin–Neiman always emits a valid Definition 1.4 decomposition with
+    /// clusters within the diameter bound.
+    #[test]
+    fn elkin_neiman_invariants(g in arb_graph(60), seed in 0u64..50, lam in 1usize..8) {
+        let lambda = lam as f64 / 10.0;
+        let params = EnParams::new(lambda, g.n().max(2) as f64);
+        let d = elkin_neiman(&g, &params, &mut gen::seeded_rng(seed), None);
+        prop_assert!(d.validate(&g, None).is_ok());
+        if !d.clusters.is_empty() {
+            let diam = d.max_strong_diameter(&g);
+            prop_assert!(diam.is_some(), "clusters must be connected");
+            prop_assert!(f64::from(diam.unwrap()) <= params.diameter_bound());
+        }
+    }
+
+    /// The three-phase LDD maintains the same invariants on arbitrary
+    /// graphs, masks included.
+    #[test]
+    fn three_phase_invariants(g in arb_graph(50), seed in 0u64..20) {
+        let params = LddParams::scaled(0.3, g.n() as f64, 0.02);
+        let out = three_phase_ldd(&g, &params, &mut gen::seeded_rng(seed), None);
+        prop_assert!(out.decomposition.validate(&g, None).is_ok());
+        // Phase accounting is consistent.
+        let s = &out.stats;
+        prop_assert_eq!(
+            s.deleted_phase1 + s.deleted_phase2 + s.deleted_phase3,
+            out.decomposition.deleted_count()
+        );
+    }
+
+    /// Masked three-phase runs never label dead vertices.
+    #[test]
+    fn three_phase_mask_safety(g in arb_graph(40), seed in 0u64..10, modulus in 2usize..5) {
+        let alive: Vec<bool> = (0..g.n()).map(|v| v % modulus != 0).collect();
+        let params = LddParams::scaled(0.25, g.n() as f64, 0.02);
+        let out = three_phase_ldd(&g, &params, &mut gen::seeded_rng(seed), Some(&alive));
+        prop_assert!(out.decomposition.validate(&g, Some(&alive)).is_ok());
+        for v in 0..g.n() {
+            if !alive[v] {
+                prop_assert!(out.decomposition.cluster_of[v].is_none());
+                prop_assert!(!out.decomposition.deleted[v]);
+            }
+        }
+    }
+
+    /// MPX assigns every vertex a centre in its own component, and cut
+    /// edges are exactly the inter-cluster edges.
+    #[test]
+    fn mpx_invariants(g in arb_graph(50), seed in 0u64..20) {
+        let c = mpx(&g, 0.3, g.n().max(2) as f64, &mut gen::seeded_rng(seed));
+        let (comp, _) = g.connected_components();
+        for v in 0..g.n() {
+            let ctr = c.center_of[v];
+            prop_assert_eq!(comp[v], comp[ctr as usize], "centre in same component");
+        }
+        for &(u, v) in &c.cut_edges {
+            prop_assert_ne!(c.center_of[u as usize], c.center_of[v as usize]);
+        }
+    }
+
+    /// Sparse covers cover every hyperedge and every vertex.
+    #[test]
+    fn sparse_cover_invariants(g in arb_graph(40), seed in 0u64..20) {
+        let h = Hypergraph::from_graph(&g);
+        let cover = sparse_cover(&h, 0.4, g.n().max(2) as f64, &mut gen::seeded_rng(seed), None, None);
+        prop_assert!(cover.uncovered_edges(&h, None, None).is_empty());
+        for v in 0..g.n() as Vertex {
+            prop_assert!(cover.multiplicity(v) >= 1);
+        }
+        // Membership lists agree with cluster lists.
+        for (id, cluster) in cover.clusters.iter().enumerate() {
+            for &v in cluster {
+                prop_assert!(cover.membership[v as usize].contains(&(id as u32)));
+            }
+        }
+    }
+
+    /// Network decompositions are proper colourings of valid clusterings.
+    #[test]
+    fn network_decomposition_invariants(g in arb_graph(40), seed in 0u64..20) {
+        let nd = network_decomposition(&g, g.n().max(2) as f64, &mut gen::seeded_rng(seed));
+        prop_assert!(nd.validate(&g).is_ok());
+        prop_assert!(nd.colors >= 1);
+    }
+
+    /// The blackbox construction obeys Definition 1.4 too.
+    #[test]
+    fn blackbox_invariants(g in arb_graph(40), seed in 0u64..10) {
+        let params = BlackboxParams::new(0.3, g.n() as f64, 0.02);
+        let d = blackbox_ldd(&g, &params, &mut gen::seeded_rng(seed));
+        prop_assert!(d.validate(&g, None).is_ok());
+    }
+}

@@ -1,0 +1,130 @@
+//! Girth (length of the shortest cycle).
+//!
+//! Appendix B of the paper relies on the girth of the Ramanujan graphs
+//! `X^{p,q}`: any algorithm running fewer than `girth/2 − 1` rounds sees a
+//! tree around every vertex and therefore cannot distinguish the bipartite
+//! from the non-bipartite member of the family.
+
+use crate::graph::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// Length of the shortest cycle in `g`, or `None` if `g` is a forest.
+///
+/// BFS from every vertex with pruning at half the best cycle found so far;
+/// `O(n·m)` worst case.
+///
+/// ```
+/// use dapc_graph::{gen, girth::girth};
+/// assert_eq!(girth(&gen::cycle(7)), Some(7));
+/// assert_eq!(girth(&gen::path(7)), None);
+/// assert_eq!(girth(&gen::complete(4)), Some(3));
+/// ```
+pub fn girth(g: &Graph) -> Option<u32> {
+    let n = g.n();
+    let mut best: u32 = u32::MAX;
+    let mut dist = vec![u32::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut touched: Vec<Vertex> = Vec::new();
+    for s in 0..n as Vertex {
+        // Any cycle through s shorter than `best` is found by a BFS of depth
+        // < best/2, so prune there.
+        let cap = if best == u32::MAX { u32::MAX } else { best / 2 };
+        for &t in &touched {
+            dist[t as usize] = u32::MAX;
+            parent[t as usize] = u32::MAX;
+        }
+        touched.clear();
+        dist[s as usize] = 0;
+        touched.push(s);
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            if du >= cap {
+                continue;
+            }
+            for &w in g.neighbors(u) {
+                if w == parent[u as usize] {
+                    continue;
+                }
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = du + 1;
+                    parent[w as usize] = u;
+                    touched.push(w);
+                    queue.push_back(w);
+                } else {
+                    // Non-tree edge: cycle of length du + dist[w] + 1.
+                    let cycle = du + dist[w as usize] + 1;
+                    if cycle < best {
+                        best = cycle;
+                    }
+                }
+            }
+        }
+    }
+    (best != u32::MAX).then_some(best)
+}
+
+/// Whether the `r`-radius neighbourhood of every vertex is acyclic, i.e.
+/// girth `> 2r + 1`. This is the precise condition under which an `r`-round
+/// LOCAL algorithm on a `d`-regular graph sees a `d`-regular tree everywhere
+/// (Theorem B.2 of the paper).
+pub fn locally_tree_like(g: &Graph, r: u32) -> bool {
+    match girth(g) {
+        None => true,
+        Some(girth) => girth > 2 * r + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn girth_of_standard_families() {
+        assert_eq!(girth(&gen::cycle(3)), Some(3));
+        assert_eq!(girth(&gen::cycle(12)), Some(12));
+        assert_eq!(girth(&gen::complete(5)), Some(3));
+        assert_eq!(girth(&gen::complete_bipartite(3, 3)), Some(4));
+        assert_eq!(girth(&gen::grid(4, 4)), Some(4));
+    }
+
+    #[test]
+    fn forests_have_no_girth() {
+        assert_eq!(girth(&gen::path(10)), None);
+        assert_eq!(girth(&gen::star(10)), None);
+        assert_eq!(girth(&gen::complete_tree(3, 3)), None);
+        assert_eq!(girth(&Graph::empty(5)), None);
+    }
+
+    #[test]
+    fn girth_with_pendant_paths() {
+        // Cycle of length 5 with a long tail: girth stays 5.
+        let mut edges: Vec<(Vertex, Vertex)> =
+            (0..5).map(|i| (i as Vertex, ((i + 1) % 5) as Vertex)).collect();
+        edges.push((0, 5));
+        edges.push((5, 6));
+        edges.push((6, 7));
+        let g = Graph::from_edges(8, &edges);
+        assert_eq!(girth(&g), Some(5));
+    }
+
+    #[test]
+    fn two_cycles_take_minimum() {
+        // C3 and C5 disjoint.
+        let mut edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+        for i in 0..5 {
+            edges.push((3 + i, 3 + (i + 1) % 5));
+        }
+        let g = Graph::from_edges(8, &edges);
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn locally_tree_like_threshold() {
+        let g = gen::cycle(9); // girth 9: tree-like for r <= 3
+        assert!(locally_tree_like(&g, 3));
+        assert!(!locally_tree_like(&g, 4));
+    }
+}

@@ -1,0 +1,336 @@
+//! Breadth-first traversal, distances and ball extraction.
+//!
+//! The decomposition algorithms of the paper are phrased entirely in terms
+//! of radius-`r` neighbourhoods `N^r(v)` and per-distance level sets `S_j`
+//! (Algorithm 1 of the paper, "Grow-and-Carve"). This module provides those
+//! primitives, in both plain and *masked* (residual-graph) form — the
+//! three-phase algorithms repeatedly delete and remove vertices, and all
+//! subsequent distance computations must respect the residual graph.
+
+use crate::graph::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// Sentinel distance for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// A radius-`r` ball around a set of sources, grouped by exact distance.
+///
+/// `levels[j]` is the set `S_j` of vertices at distance exactly `j` from the
+/// source set (so `levels[0]` is the source set itself, intersected with the
+/// alive mask). The flattened ball `N^r(S)` is the concatenation of all
+/// levels.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Ball {
+    /// Vertices grouped by exact distance from the source set.
+    pub levels: Vec<Vec<Vertex>>,
+}
+
+impl Ball {
+    /// Total number of vertices in the ball.
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the ball contains no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(Vec::is_empty)
+    }
+
+    /// Radius actually reached (may be smaller than requested if the
+    /// component was exhausted).
+    pub fn radius(&self) -> usize {
+        self.levels.len().saturating_sub(1)
+    }
+
+    /// Iterates over every vertex in the ball.
+    pub fn iter(&self) -> impl Iterator<Item = Vertex> + '_ {
+        self.levels.iter().flatten().copied()
+    }
+
+    /// All vertices with distance `<= r` from the sources.
+    pub fn within(&self, r: usize) -> impl Iterator<Item = Vertex> + '_ {
+        self.levels.iter().take(r + 1).flatten().copied()
+    }
+
+    /// The level set `S_j` (empty slice if `j` exceeds the reached radius).
+    pub fn level(&self, j: usize) -> &[Vertex] {
+        self.levels.get(j).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// BFS distances from a single source. Unreachable vertices get
+/// [`UNREACHABLE`].
+///
+/// ```
+/// use dapc_graph::{Graph, traversal};
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+/// let d = traversal::bfs_distances(&g, 0);
+/// assert_eq!(d, vec![0, 1, 2, traversal::UNREACHABLE]);
+/// ```
+pub fn bfs_distances(g: &Graph, source: Vertex) -> Vec<u32> {
+    bfs_distances_multi(g, std::slice::from_ref(&source))
+}
+
+/// BFS distances from a set of sources (distance to the nearest source).
+pub fn bfs_distances_multi(g: &Graph, sources: &[Vertex]) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] != 0 || !queue.contains(&s) {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Masked multi-source BFS distances: traversal only passes through vertices
+/// with `alive[v] == true`; dead vertices keep [`UNREACHABLE`]. Sources that
+/// are dead are ignored.
+///
+/// # Panics
+///
+/// Panics if `alive.len() != g.n()`.
+pub fn bfs_distances_masked(g: &Graph, sources: &[Vertex], alive: &[bool]) -> Vec<u32> {
+    assert_eq!(alive.len(), g.n(), "alive mask length mismatch");
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if alive[s as usize] && dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &w in g.neighbors(u) {
+            if alive[w as usize] && dist[w as usize] == UNREACHABLE {
+                dist[w as usize] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Extracts the radius-`r` ball `N^r(sources)` with per-distance levels,
+/// restricted to the `alive` mask. Pass `None` for an unmasked traversal.
+///
+/// This is the "gather the topology of its b-radius neighbourhood" step of
+/// Grow-and-Carve (Algorithm 1 in the paper).
+pub fn ball(g: &Graph, sources: &[Vertex], r: usize, alive: Option<&[bool]>) -> Ball {
+    if let Some(a) = alive {
+        assert_eq!(a.len(), g.n(), "alive mask length mismatch");
+    }
+    let is_alive = |v: Vertex| alive.map_or(true, |a| a[v as usize]);
+    let mut seen = vec![false; g.n()];
+    let mut levels: Vec<Vec<Vertex>> = Vec::new();
+    let mut frontier: Vec<Vertex> = Vec::new();
+    for &s in sources {
+        if is_alive(s) && !seen[s as usize] {
+            seen[s as usize] = true;
+            frontier.push(s);
+        }
+    }
+    if frontier.is_empty() {
+        return Ball { levels };
+    }
+    levels.push(frontier.clone());
+    for _depth in 1..=r {
+        let mut next: Vec<Vertex> = Vec::new();
+        for &u in &frontier {
+            for &w in g.neighbors(u) {
+                if is_alive(w) && !seen[w as usize] {
+                    seen[w as usize] = true;
+                    next.push(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        levels.push(next.clone());
+        frontier = next;
+    }
+    Ball { levels }
+}
+
+/// Size of `N^r(v)` in the residual graph, without materialising the ball.
+pub fn ball_size(g: &Graph, source: Vertex, r: usize, alive: Option<&[bool]>) -> usize {
+    ball(g, &[source], r, alive).len()
+}
+
+/// Eccentricity of `v` within its connected component.
+pub fn eccentricity(g: &Graph, v: Vertex) -> u32 {
+    bfs_distances(g, v)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact diameter (max eccentricity over all vertices; `0` for empty or
+/// edgeless graphs, ignoring unreachable pairs).
+///
+/// Runs a BFS per vertex — `O(n·m)`; fine for the graph sizes used in tests
+/// and experiments.
+pub fn diameter(g: &Graph) -> u32 {
+    g.vertices().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+/// Weak diameter of a vertex subset: `max_{u,v ∈ S} dist_G(u, v)` where the
+/// distance is measured in the *whole* graph `g` (Definition 1.4 of the
+/// paper). Returns `None` if some pair of `S` is disconnected in `g`.
+pub fn weak_diameter(g: &Graph, s: &[Vertex]) -> Option<u32> {
+    let mut best = 0u32;
+    for &u in s {
+        let dist = bfs_distances(g, u);
+        for &v in s {
+            let d = dist[v as usize];
+            if d == UNREACHABLE {
+                return None;
+            }
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+/// Strong diameter of a vertex subset: the diameter of the induced subgraph
+/// `G[S]`. Returns `None` if `G[S]` is disconnected.
+pub fn strong_diameter(g: &Graph, s: &[Vertex]) -> Option<u32> {
+    let (sub, _) = g.induced_subgraph(s);
+    let mut best = 0u32;
+    for v in sub.vertices() {
+        let dist = bfs_distances(&sub, v);
+        for d in dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+/// Distance between two vertex sets: `min_{u ∈ a, v ∈ b} dist(u, v)`, or
+/// `None` if unreachable.
+pub fn set_distance(g: &Graph, a: &[Vertex], b: &[Vertex]) -> Option<u32> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let dist = bfs_distances_multi(g, a);
+    b.iter()
+        .map(|&v| dist[v as usize])
+        .min()
+        .filter(|&d| d != UNREACHABLE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn single_source_distances_on_path() {
+        let g = gen::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = gen::path(5);
+        let d = bfs_distances_multi(&g, &[0, 4]);
+        assert_eq!(d, vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn masked_bfs_respects_mask() {
+        let g = gen::path(5);
+        let alive = vec![true, true, false, true, true];
+        let d = bfs_distances_masked(&g, &[0], &alive);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn ball_levels_are_exact_distances() {
+        let g = gen::cycle(8);
+        let b = ball(&g, &[0], 3, None);
+        assert_eq!(b.level(0), &[0]);
+        assert_eq!(b.level(1).len(), 2);
+        assert_eq!(b.level(2).len(), 2);
+        assert_eq!(b.level(3).len(), 2);
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.radius(), 3);
+    }
+
+    #[test]
+    fn ball_stops_early_when_exhausted() {
+        let g = gen::path(3);
+        let b = ball(&g, &[1], 10, None);
+        assert_eq!(b.radius(), 1);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn ball_from_dead_source_is_empty() {
+        let g = gen::path(3);
+        let alive = vec![false, true, true];
+        let b = ball(&g, &[0], 2, Some(&alive));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn ball_within_truncates() {
+        let g = gen::path(7);
+        let b = ball(&g, &[3], 3, None);
+        let within1: Vec<_> = b.within(1).collect();
+        assert_eq!(within1.len(), 3);
+    }
+
+    #[test]
+    fn diameter_of_cycle() {
+        assert_eq!(diameter(&gen::cycle(8)), 4);
+        assert_eq!(diameter(&gen::cycle(9)), 4);
+        assert_eq!(diameter(&gen::path(6)), 5);
+    }
+
+    #[test]
+    fn weak_vs_strong_diameter() {
+        // C6 with S = two antipodal-ish vertices plus their midpoint on one
+        // side only: weak diameter uses the full cycle, strong uses G[S].
+        let g = gen::cycle(6);
+        // S = {0, 2}: dist in G is 2, but G[S] is disconnected.
+        assert_eq!(weak_diameter(&g, &[0, 2]), Some(2));
+        assert_eq!(strong_diameter(&g, &[0, 2]), None);
+        // S = {0, 1, 2}: path inside the cycle.
+        assert_eq!(strong_diameter(&g, &[0, 1, 2]), Some(2));
+    }
+
+    #[test]
+    fn set_distance_basic() {
+        let g = gen::path(6);
+        assert_eq!(set_distance(&g, &[0, 1], &[4, 5]), Some(3));
+        assert_eq!(set_distance(&g, &[], &[1]), None);
+    }
+
+    #[test]
+    fn ball_size_matches_ball() {
+        let g = gen::grid(5, 5);
+        for r in 0..5 {
+            assert_eq!(ball_size(&g, 12, r, None), ball(&g, &[12], r, None).len());
+        }
+    }
+}

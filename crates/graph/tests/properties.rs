@@ -1,0 +1,149 @@
+//! Property-based tests for the graph substrate.
+
+use dapc_graph::{gen, girth, power, subdivide, traversal, Graph, Hypergraph, Vertex};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n` vertices.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as Vertex, 0..n as Vertex), 0..(3 * n))
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_degree_sum_is_twice_m(g in arb_graph(60)) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.m());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph(40)) {
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+            prop_assert!(g.neighbors(v).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_on_edges(g in arb_graph(40)) {
+        // For every edge (u,v) and source s: |d(s,u) − d(s,v)| <= 1.
+        let d = traversal::bfs_distances(&g, 0);
+        for (u, v) in g.edges() {
+            let du = d[u as usize];
+            let dv = d[v as usize];
+            if du != traversal::UNREACHABLE && dv != traversal::UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                prop_assert_eq!(du, dv); // both unreachable
+            }
+        }
+    }
+
+    #[test]
+    fn ball_levels_match_bfs_distances(g in arb_graph(40), r in 0usize..6) {
+        let b = traversal::ball(&g, &[0], r, None);
+        let d = traversal::bfs_distances(&g, 0);
+        for (lvl, vs) in b.levels.iter().enumerate() {
+            for &v in vs {
+                prop_assert_eq!(d[v as usize] as usize, lvl);
+            }
+        }
+        let in_ball = b.len();
+        let expected = d.iter().filter(|&&x| x != traversal::UNREACHABLE && x as usize <= r).count();
+        prop_assert_eq!(in_ball, expected);
+    }
+
+    #[test]
+    fn components_partition_vertices(g in arb_graph(50)) {
+        let (comp, k) = g.connected_components();
+        prop_assert!(comp.iter().all(|&c| (c as usize) < k));
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comp[u as usize], comp[v as usize]);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges(g in arb_graph(30)) {
+        let keep: Vec<Vertex> = g.vertices().filter(|v| v % 2 == 0).collect();
+        let (sub, back) = g.induced_subgraph(&keep);
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(back[a as usize], back[b as usize]));
+        }
+        // Count edges of g with both endpoints kept.
+        let kept: std::collections::HashSet<_> = keep.iter().copied().collect();
+        let expected = g.edges().filter(|(u, v)| kept.contains(u) && kept.contains(v)).count();
+        prop_assert_eq!(sub.m(), expected);
+    }
+
+    #[test]
+    fn power_graph_edges_iff_distance_at_most_k(g in arb_graph(25), k in 0usize..4) {
+        let gk = power::power_graph(&g, k);
+        for u in g.vertices() {
+            let d = traversal::bfs_distances(&g, u);
+            for v in g.vertices() {
+                if v <= u { continue; }
+                let close = d[v as usize] != traversal::UNREACHABLE && (d[v as usize] as usize) <= k && d[v as usize] >= 1;
+                prop_assert_eq!(gk.has_edge(u, v), close, "u={} v={} k={}", u, v, k);
+            }
+        }
+    }
+
+    #[test]
+    fn subdivision_distance_scales(g in arb_graph(20), x in 1usize..3) {
+        let s = subdivide::subdivide(&g, x);
+        let scale = (2 * x + 1) as u32;
+        for u in g.vertices() {
+            let d0 = traversal::bfs_distances(&g, u);
+            let d1 = traversal::bfs_distances(&s.graph, u);
+            for v in g.vertices() {
+                if d0[v as usize] != traversal::UNREACHABLE {
+                    prop_assert_eq!(d1[v as usize], d0[v as usize] * scale);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subdivision_girth_scales(n in 3usize..9) {
+        let g = gen::cycle(n);
+        let s = subdivide::subdivide(&g, 2);
+        prop_assert_eq!(girth::girth(&s.graph), Some(5 * n as u32));
+    }
+
+    #[test]
+    fn hypergraph_primal_distance_matches_graph(g in arb_graph(30)) {
+        let h = Hypergraph::from_graph(&g);
+        let hd = h.distances(&[0], None, None);
+        let gd = traversal::bfs_distances(&g, 0);
+        prop_assert_eq!(hd, gd);
+    }
+
+    #[test]
+    fn gnp_is_simple(n in 2usize..60, seed in 0u64..50) {
+        let g = gen::gnp(n, 0.2, &mut gen::seeded_rng(seed));
+        for v in g.vertices() {
+            prop_assert!(!g.has_edge(v, v));
+            let nb = g.neighbors(v);
+            for w in nb.windows(2) {
+                prop_assert!(w[0] < w[1], "adjacency not strictly sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_degree(seed in 0u64..20) {
+        let g = gen::random_regular(30, 3, &mut gen::seeded_rng(seed));
+        prop_assert!(g.is_regular(3));
+    }
+
+    #[test]
+    fn random_tree_is_connected_acyclic(n in 1usize..80, seed in 0u64..20) {
+        let t = gen::random_tree(n, &mut gen::seeded_rng(seed));
+        prop_assert_eq!(t.m(), n - 1);
+        let (_, k) = t.connected_components();
+        prop_assert_eq!(k, 1);
+        prop_assert_eq!(girth::girth(&t), None);
+    }
+}

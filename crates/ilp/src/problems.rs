@@ -1,0 +1,304 @@
+//! ILP formulations of the combinatorial problems the paper names:
+//! maximum independent set, maximum matching, minimum vertex cover,
+//! minimum (k-distance) dominating set, and weighted set cover — plus
+//! random general instances for stress tests.
+
+use crate::instance::{Constraint, IlpInstance};
+use dapc_graph::{power, Graph, Vertex};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Maximum (weight) independent set as packing: one variable per vertex,
+/// `x_u + x_v ≤ 1` per edge.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != g.n()`.
+pub fn max_independent_set(g: &Graph, weights: Vec<u64>) -> IlpInstance {
+    assert_eq!(weights.len(), g.n());
+    let constraints = g
+        .edges()
+        .map(|(u, v)| Constraint::new(vec![(u, 1.0), (v, 1.0)], 1.0))
+        .collect();
+    IlpInstance::packing(g.n(), weights, constraints)
+}
+
+/// Unweighted maximum independent set.
+pub fn max_independent_set_unweighted(g: &Graph) -> IlpInstance {
+    max_independent_set(g, vec![1; g.n()])
+}
+
+/// A matching ILP together with the mapping from ILP variables back to
+/// graph edges.
+#[derive(Clone, Debug)]
+pub struct MatchingIlp {
+    /// The packing instance (variables are edges of the source graph).
+    pub ilp: IlpInstance,
+    /// `edge_of_var[i]` is the graph edge represented by variable `i`.
+    pub edge_of_var: Vec<(Vertex, Vertex)>,
+}
+
+/// Maximum matching as packing: one variable per *edge*, `Σ_{e ∋ v} x_e ≤ 1`
+/// per vertex. The communication hypergraph has the edge variables as
+/// vertices and one hyperedge per graph vertex — exactly the line-graph
+/// topology the LOCAL simulation needs.
+pub fn max_matching(g: &Graph) -> MatchingIlp {
+    let edge_of_var: Vec<(Vertex, Vertex)> = g.edges().collect();
+    let mut edge_id = std::collections::HashMap::new();
+    for (i, &e) in edge_of_var.iter().enumerate() {
+        edge_id.insert(e, i as Vertex);
+    }
+    let mut constraints = Vec::with_capacity(g.n());
+    for v in g.vertices() {
+        let coeffs: Vec<(Vertex, f64)> = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| {
+                let key = if v < u { (v, u) } else { (u, v) };
+                (edge_id[&key], 1.0)
+            })
+            .collect();
+        if !coeffs.is_empty() {
+            constraints.push(Constraint::new(coeffs, 1.0));
+        }
+    }
+    MatchingIlp {
+        ilp: IlpInstance::packing(edge_of_var.len(), vec![1; edge_of_var.len()], constraints),
+        edge_of_var,
+    }
+}
+
+/// Minimum (weight) vertex cover as covering: `x_u + x_v ≥ 1` per edge.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != g.n()`.
+pub fn min_vertex_cover(g: &Graph, weights: Vec<u64>) -> IlpInstance {
+    assert_eq!(weights.len(), g.n());
+    let constraints = g
+        .edges()
+        .map(|(u, v)| Constraint::new(vec![(u, 1.0), (v, 1.0)], 1.0))
+        .collect();
+    IlpInstance::covering(g.n(), weights, constraints)
+}
+
+/// Unweighted minimum vertex cover.
+pub fn min_vertex_cover_unweighted(g: &Graph) -> IlpInstance {
+    min_vertex_cover(g, vec![1; g.n()])
+}
+
+/// Minimum (weight) dominating set as covering:
+/// `Σ_{u ∈ N[v]} x_u ≥ 1` per vertex `v`.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != g.n()`.
+pub fn min_dominating_set(g: &Graph, weights: Vec<u64>) -> IlpInstance {
+    k_dominating_set(g, 1, weights)
+}
+
+/// Unweighted minimum dominating set.
+pub fn min_dominating_set_unweighted(g: &Graph) -> IlpInstance {
+    min_dominating_set(g, vec![1; g.n()])
+}
+
+/// Minimum-weight `k`-distance dominating set (the running example of
+/// Definition 1.3): `Σ_{u ∈ N^k(v)} x_u ≥ 1` per vertex. One round in the
+/// resulting hypergraph simulates `k` rounds in `g`.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != g.n()` or `k == 0`.
+pub fn k_dominating_set(g: &Graph, k: usize, weights: Vec<u64>) -> IlpInstance {
+    assert_eq!(weights.len(), g.n());
+    assert!(k >= 1, "k must be at least 1");
+    let constraints = power::k_neighborhoods(g, k)
+        .into_iter()
+        .map(|ball| Constraint::new(ball.into_iter().map(|u| (u, 1.0)).collect(), 1.0))
+        .collect();
+    IlpInstance::covering(g.n(), weights, constraints)
+}
+
+/// Weighted set cover as covering: variables are sets, one constraint per
+/// universe element.
+///
+/// # Panics
+///
+/// Panics if weights mismatch, or some element of the universe appears in
+/// no set (infeasible).
+pub fn set_cover(universe: usize, sets: &[Vec<usize>], weights: Vec<u64>) -> IlpInstance {
+    assert_eq!(weights.len(), sets.len());
+    let mut member_of: Vec<Vec<Vertex>> = vec![Vec::new(); universe];
+    for (s, elems) in sets.iter().enumerate() {
+        for &e in elems {
+            assert!(e < universe, "element {e} outside universe");
+            member_of[e].push(s as Vertex);
+        }
+    }
+    let constraints = member_of
+        .into_iter()
+        .enumerate()
+        .map(|(e, ss)| {
+            assert!(!ss.is_empty(), "element {e} appears in no set");
+            Constraint::new(ss.into_iter().map(|s| (s, 1.0)).collect(), 1.0)
+        })
+        .collect();
+    IlpInstance::covering(sets.len(), weights, constraints)
+}
+
+/// A random general packing instance: `m` constraints of the given support
+/// `rank`, uniform coefficients in `(0, 1]`, bounds calibrated so that a
+/// constant fraction of the variables fit.
+pub fn random_packing(n: usize, m: usize, rank: usize, rng: &mut StdRng) -> IlpInstance {
+    assert!(rank >= 1 && rank <= n);
+    let weights: Vec<u64> = (0..n).map(|_| rng.random_range(1..=10)).collect();
+    let constraints = (0..m)
+        .map(|_| {
+            let mut support: Vec<Vertex> = Vec::with_capacity(rank);
+            while support.len() < rank {
+                let v = rng.random_range(0..n) as Vertex;
+                if !support.contains(&v) {
+                    support.push(v);
+                }
+            }
+            let coeffs: Vec<(Vertex, f64)> = support
+                .into_iter()
+                .map(|v| (v, rng.random_range(0.1..1.0)))
+                .collect();
+            let total: f64 = coeffs.iter().map(|&(_, a)| a).sum();
+            Constraint::new(coeffs, total * rng.random_range(0.3..0.8))
+        })
+        .collect();
+    IlpInstance::packing(n, weights, constraints)
+}
+
+/// A random general covering instance (always feasible by construction:
+/// bounds are at most the coefficient sums).
+pub fn random_covering(n: usize, m: usize, rank: usize, rng: &mut StdRng) -> IlpInstance {
+    assert!(rank >= 1 && rank <= n);
+    let weights: Vec<u64> = (0..n).map(|_| rng.random_range(1..=10)).collect();
+    let constraints = (0..m)
+        .map(|_| {
+            let mut support: Vec<Vertex> = Vec::with_capacity(rank);
+            while support.len() < rank {
+                let v = rng.random_range(0..n) as Vertex;
+                if !support.contains(&v) {
+                    support.push(v);
+                }
+            }
+            let coeffs: Vec<(Vertex, f64)> = support
+                .into_iter()
+                .map(|v| (v, rng.random_range(0.1..1.0)))
+                .collect();
+            let total: f64 = coeffs.iter().map(|&(_, a)| a).sum();
+            Constraint::new(coeffs, total * rng.random_range(0.2..0.7))
+        })
+        .collect();
+    IlpInstance::covering(n, weights, constraints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapc_graph::gen;
+
+    #[test]
+    fn mis_ilp_shape() {
+        let g = gen::cycle(5);
+        let ilp = max_independent_set_unweighted(&g);
+        assert_eq!(ilp.n(), 5);
+        assert_eq!(ilp.m(), 5);
+        // {0, 2} is independent in C5.
+        assert!(ilp.is_feasible(&[true, false, true, false, false]));
+        assert!(!ilp.is_feasible(&[true, true, false, false, false]));
+    }
+
+    #[test]
+    fn matching_ilp_shape() {
+        let g = gen::path(4); // edges (0,1), (1,2), (2,3)
+        let m = max_matching(&g);
+        assert_eq!(m.ilp.n(), 3);
+        assert_eq!(m.edge_of_var.len(), 3);
+        // Matching {(0,1), (2,3)} ok; {(0,1), (1,2)} not.
+        let var_of = |e: (Vertex, Vertex)| m.edge_of_var.iter().position(|&x| x == e).unwrap();
+        let mut x = vec![false; 3];
+        x[var_of((0, 1))] = true;
+        x[var_of((2, 3))] = true;
+        assert!(m.ilp.is_feasible(&x));
+        let mut y = vec![false; 3];
+        y[var_of((0, 1))] = true;
+        y[var_of((1, 2))] = true;
+        assert!(!m.ilp.is_feasible(&y));
+    }
+
+    #[test]
+    fn vc_ilp_shape() {
+        let g = gen::star(5);
+        let ilp = min_vertex_cover_unweighted(&g);
+        // The hub alone covers the star.
+        let mut x = vec![false; 5];
+        x[0] = true;
+        assert!(ilp.is_feasible(&x));
+        assert!(!ilp.is_feasible(&vec![false; 5]));
+    }
+
+    #[test]
+    fn ds_ilp_shape() {
+        let g = gen::path(5);
+        let ilp = min_dominating_set_unweighted(&g);
+        // {1, 3} dominates P5.
+        assert!(ilp.is_feasible(&[false, true, false, true, false]));
+        // {0, 4} leaves vertex 2 undominated.
+        assert!(!ilp.is_feasible(&[true, false, false, false, true]));
+    }
+
+    #[test]
+    fn k_ds_uses_k_balls() {
+        let g = gen::path(7);
+        let ilp = k_dominating_set(&g, 2, vec![1; 7]);
+        // Vertex 2 and 5: N^2 balls cover everything.
+        let mut x = vec![false; 7];
+        x[2] = true;
+        x[5] = true;
+        assert!(ilp.is_feasible(&x));
+        // Single vertex 3 covers 1..=5 but not 0, 6.
+        let mut y = vec![false; 7];
+        y[3] = true;
+        assert!(!ilp.is_feasible(&y));
+    }
+
+    #[test]
+    fn set_cover_shape() {
+        let sets = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]];
+        let ilp = set_cover(4, &sets, vec![1; 4]);
+        assert!(ilp.is_feasible(&[true, false, true, false]));
+        assert!(!ilp.is_feasible(&[true, false, false, false]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_cover_rejects_uncoverable() {
+        let _ = set_cover(3, &[vec![0, 1]], vec![1]);
+    }
+
+    #[test]
+    fn random_instances_are_well_formed() {
+        let mut rng = gen::seeded_rng(9);
+        let p = random_packing(30, 20, 4, &mut rng);
+        assert!(p.is_feasible(&p.trivial_solution()));
+        let c = random_covering(30, 20, 4, &mut rng);
+        assert!(c.is_feasible(&c.trivial_solution()));
+        assert_eq!(c.hypergraph().rank(), 4);
+    }
+
+    #[test]
+    fn matching_hypergraph_is_line_graph_topology() {
+        let g = gen::cycle(6);
+        let m = max_matching(&g);
+        let h = m.ilp.hypergraph();
+        // In C6, each edge-variable shares a constraint with exactly 2
+        // other edges.
+        let primal = h.primal_graph();
+        assert!(primal.is_regular(2));
+    }
+}

@@ -1,0 +1,500 @@
+//! Exact maximum-weight independent set via bitset branch & bound.
+//!
+//! Independent set is the canonical packing problem of the paper (§1.4.2
+//! presents the whole packing machinery through MIS), and every carve /
+//! cluster step needs optimal local independent sets. This solver handles
+//! the conflict-graph form: pairwise constraints only.
+
+use dapc_graph::{Graph, Vertex};
+
+/// A dynamic bitset sized for `n` bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Bits {
+    words: Vec<u64>,
+}
+
+impl Bits {
+    pub(crate) fn empty(n: usize) -> Self {
+        Bits {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    pub(crate) fn full(n: usize) -> Self {
+        let mut b = Bits::empty(n);
+        for i in 0..n {
+            b.set(i);
+        }
+        b
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    pub(crate) fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    pub(crate) fn and_not(&self, other: &Bits) -> Bits {
+        Bits {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    pub(crate) fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// Result of an independent-set search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MisResult {
+    /// Membership mask of the best independent set found.
+    pub in_set: Vec<bool>,
+    /// Its total weight.
+    pub weight: u64,
+    /// Whether the search completed (`false` = node budget exhausted; the
+    /// result is still a valid independent set, just possibly sub-optimal).
+    pub exact: bool,
+}
+
+/// Maximum-weight independent set of `g` with the given weights.
+///
+/// Branch & bound over candidate bitsets: branch on the heaviest candidate
+/// vertex, prune with the remaining-weight bound. The `node_budget` caps
+/// the search tree; `u64::MAX` means "run to optimality".
+///
+/// # Panics
+///
+/// Panics if `weights.len() != g.n()`.
+///
+/// ```
+/// use dapc_graph::gen;
+/// use dapc_ilp::solvers::mis::max_weight_independent_set;
+///
+/// let g = gen::cycle(5);
+/// let r = max_weight_independent_set(&g, &[1, 1, 1, 1, 1], u64::MAX);
+/// assert_eq!(r.weight, 2);
+/// assert!(r.exact);
+/// ```
+pub fn max_weight_independent_set(g: &Graph, weights: &[u64], node_budget: u64) -> MisResult {
+    assert_eq!(weights.len(), g.n());
+    if g.max_degree() <= 2 {
+        // Disjoint paths and cycles: exact linear-time DP. This is the
+        // common case for carved cluster sub-instances of cycle/path
+        // benchmarks and keeps large-n experiments exact.
+        return mwis_degree_two(g, weights);
+    }
+    let n = g.n();
+    let closed: Vec<Bits> = (0..n)
+        .map(|v| {
+            let mut b = Bits::empty(n);
+            b.set(v);
+            for &u in g.neighbors(v as Vertex) {
+                b.set(u as usize);
+            }
+            b
+        })
+        .collect();
+    let mut ctx = SearchCtx {
+        weights,
+        closed: &closed,
+        best_weight: 0,
+        best_set: Bits::empty(n),
+        nodes_left: node_budget,
+        exact: true,
+    };
+    // Greedy incumbent (weight-descending) to tighten pruning early.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(weights[v]));
+    let mut greedy = Bits::empty(n);
+    let mut greedy_w = 0u64;
+    let mut blocked = Bits::empty(n);
+    for v in order {
+        if !blocked.get(v) && weights[v] > 0 {
+            greedy.set(v);
+            greedy_w += weights[v];
+            for i in closed[v].iter_ones() {
+                blocked.set(i);
+            }
+        }
+    }
+    ctx.best_weight = greedy_w;
+    ctx.best_set = greedy;
+    let mut chosen = Bits::empty(n);
+    let cand = Bits::full(n);
+    ctx.search(&cand, &mut chosen, 0);
+    MisResult {
+        in_set: (0..n).map(|v| ctx.best_set.get(v)).collect(),
+        weight: ctx.best_weight,
+        exact: ctx.exact,
+    }
+}
+
+struct SearchCtx<'a> {
+    weights: &'a [u64],
+    closed: &'a [Bits],
+    best_weight: u64,
+    best_set: Bits,
+    nodes_left: u64,
+    exact: bool,
+}
+
+impl SearchCtx<'_> {
+    fn search(&mut self, cand: &Bits, chosen: &mut Bits, current: u64) {
+        if self.nodes_left == 0 {
+            self.exact = false;
+            return;
+        }
+        self.nodes_left -= 1;
+        // Bound: everything still in `cand` could join.
+        let potential: u64 = cand.iter_ones().map(|v| self.weights[v]).sum();
+        if current + potential <= self.best_weight {
+            return;
+        }
+        if current > self.best_weight {
+            self.best_weight = current;
+            self.best_set = chosen.clone();
+        }
+        // Branch vertex: heaviest candidate.
+        let Some(v) = cand.iter_ones().max_by_key(|&v| self.weights[v]) else {
+            return;
+        };
+        // Include v.
+        if self.weights[v] > 0 {
+            let next = cand.and_not(&self.closed[v]);
+            chosen.set(v);
+            self.search(&next, chosen, current + self.weights[v]);
+            chosen.clear(v);
+        }
+        // Exclude v.
+        let mut without = cand.clone();
+        without.clear(v);
+        self.search(&without, chosen, current);
+    }
+}
+
+/// Exact MWIS on graphs of maximum degree ≤ 2 (disjoint unions of paths
+/// and cycles) by dynamic programming, linear time.
+fn mwis_degree_two(g: &Graph, weights: &[u64]) -> MisResult {
+    let n = g.n();
+    let mut in_set = vec![false; n];
+    let mut total = 0u64;
+    let mut visited = vec![false; n];
+    for s in 0..n as Vertex {
+        if visited[s as usize] {
+            continue;
+        }
+        // Trace the component as an ordered walk. Paths start at a
+        // degree-≤1 endpoint; cycles start anywhere.
+        let start = component_endpoint(g, s, &visited).unwrap_or(s);
+        let mut order: Vec<Vertex> = vec![start];
+        visited[start as usize] = true;
+        let mut prev = start;
+        let mut cur = start;
+        loop {
+            let next = g
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .find(|&w| w != prev && !visited[w as usize]);
+            match next {
+                Some(w) => {
+                    visited[w as usize] = true;
+                    order.push(w);
+                    prev = cur;
+                    cur = w;
+                }
+                None => break,
+            }
+        }
+        let is_cycle = order.len() >= 3 && g.has_edge(*order.last().unwrap(), start);
+        let (w, chosen) = if is_cycle {
+            // Case A: exclude the first vertex; DP on the rest as a path.
+            let (wa, mut ca) = path_dp(&order[1..], weights);
+            ca.insert(0, false);
+            // Case B: include the first vertex; its two cycle neighbours
+            // (order[1] and order.last()) are forced out.
+            let inner = &order[2..order.len() - 1];
+            let (wb_inner, cb_inner) = path_dp(inner, weights);
+            let wb = wb_inner + weights[start as usize];
+            if wb > wa {
+                let mut cb = vec![false; order.len()];
+                cb[0] = true;
+                for (i, &c) in cb_inner.iter().enumerate() {
+                    cb[i + 2] = c;
+                }
+                (wb, cb)
+            } else {
+                (wa, ca)
+            }
+        } else {
+            path_dp(&order, weights)
+        };
+        total += w;
+        for (i, &c) in chosen.iter().enumerate() {
+            if c {
+                in_set[order[i] as usize] = true;
+            }
+        }
+    }
+    MisResult {
+        in_set,
+        weight: total,
+        exact: true,
+    }
+}
+
+/// A degree-≤1 vertex of `s`'s unvisited component, if any (i.e. the
+/// component is a path, not a cycle).
+fn component_endpoint(g: &Graph, s: Vertex, visited: &[bool]) -> Option<Vertex> {
+    let mut stack = vec![s];
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(s);
+    while let Some(u) = stack.pop() {
+        let live_deg = g
+            .neighbors(u)
+            .iter()
+            .filter(|&&w| !visited[w as usize])
+            .count();
+        if live_deg <= 1 {
+            return Some(u);
+        }
+        for &w in g.neighbors(u) {
+            if !visited[w as usize] && seen.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    None
+}
+
+/// Classic MWIS DP along an ordered path; returns (weight, chosen flags).
+fn path_dp(order: &[Vertex], weights: &[u64]) -> (u64, Vec<bool>) {
+    if order.is_empty() {
+        return (0, Vec::new());
+    }
+    let k = order.len();
+    // take[i]: best including i; skip[i]: best excluding i.
+    let mut take = vec![0u64; k];
+    let mut skip = vec![0u64; k];
+    take[0] = weights[order[0] as usize];
+    for i in 1..k {
+        take[i] = skip[i - 1] + weights[order[i] as usize];
+        skip[i] = take[i - 1].max(skip[i - 1]);
+    }
+    let mut chosen = vec![false; k];
+    let mut i = k;
+    let mut taking = take[k - 1] > skip[k - 1];
+    let best = take[k - 1].max(skip[k - 1]);
+    while i > 0 {
+        i -= 1;
+        if taking {
+            chosen[i] = true;
+            // came from skip[i-1]
+            taking = false;
+        } else if i > 0 {
+            taking = take[i - 1] > skip[i - 1];
+        }
+    }
+    (best, chosen)
+}
+
+/// Exhaustive MWIS for cross-checking (exponential; keep `n ≤ 20`).
+pub fn brute_force_mis(g: &Graph, weights: &[u64]) -> u64 {
+    let n = g.n();
+    assert!(n <= 20, "brute force limited to 20 vertices");
+    let mut best = 0u64;
+    for mask in 0u32..(1 << n) {
+        let ok = g
+            .edges()
+            .all(|(u, v)| mask >> u & 1 == 0 || mask >> v & 1 == 0);
+        if ok {
+            let w: u64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+            best = best.max(w);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapc_graph::gen;
+
+    #[test]
+    fn bits_basics() {
+        let mut b = Bits::empty(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(64));
+        assert!(!b.get(65));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        b.clear(64);
+        assert_eq!(b.iter_ones().count(), 2);
+        assert!(!Bits::full(3).is_empty());
+    }
+
+    #[test]
+    fn known_families() {
+        let unit = |n: usize| vec![1u64; n];
+        assert_eq!(
+            max_weight_independent_set(&gen::cycle(5), &unit(5), u64::MAX).weight,
+            2
+        );
+        assert_eq!(
+            max_weight_independent_set(&gen::cycle(8), &unit(8), u64::MAX).weight,
+            4
+        );
+        assert_eq!(
+            max_weight_independent_set(&gen::complete(7), &unit(7), u64::MAX).weight,
+            1
+        );
+        assert_eq!(
+            max_weight_independent_set(&gen::star(9), &unit(9), u64::MAX).weight,
+            8
+        );
+        assert_eq!(
+            max_weight_independent_set(&gen::path(7), &unit(7), u64::MAX).weight,
+            4
+        );
+        assert_eq!(
+            max_weight_independent_set(&gen::complete_bipartite(4, 6), &unit(10), u64::MAX).weight,
+            6
+        );
+    }
+
+    #[test]
+    fn weighted_beats_cardinality() {
+        // Path 0-1-2 with heavy middle: best is {1} (weight 10), not {0,2}.
+        let g = gen::path(3);
+        let r = max_weight_independent_set(&g, &[1, 10, 1], u64::MAX);
+        assert_eq!(r.weight, 10);
+        assert_eq!(r.in_set, vec![false, true, false]);
+    }
+
+    #[test]
+    fn zero_weight_vertices_are_skippable() {
+        let g = gen::path(3);
+        let r = max_weight_independent_set(&g, &[0, 5, 0], u64::MAX);
+        assert_eq!(r.weight, 5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = gen::seeded_rng(23);
+        for trial in 0..50 {
+            let n = 5 + trial % 10;
+            let g = gen::gnp(n, 0.4, &mut rng);
+            let weights: Vec<u64> = (0..n).map(|i| 1 + (i as u64 * 7) % 5).collect();
+            let r = max_weight_independent_set(&g, &weights, u64::MAX);
+            assert!(r.exact);
+            assert_eq!(r.weight, brute_force_mis(&g, &weights), "trial {trial}");
+            // Returned set is genuinely independent and has claimed weight.
+            let claimed: u64 = (0..n).filter(|&v| r.in_set[v]).map(|v| weights[v]).sum();
+            assert_eq!(claimed, r.weight);
+            for (u, v) in g.edges() {
+                assert!(!(r.in_set[u as usize] && r.in_set[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_and_valid() {
+        let mut rng = gen::seeded_rng(31);
+        let g = gen::gnp(60, 0.2, &mut rng);
+        let w = vec![1u64; 60];
+        let r = max_weight_independent_set(&g, &w, 50);
+        assert!(!r.exact);
+        for (u, v) in g.edges() {
+            assert!(!(r.in_set[u as usize] && r.in_set[v as usize]));
+        }
+        assert!(r.weight >= 1);
+    }
+
+    #[test]
+    fn degree_two_dp_matches_known_values() {
+        // Long cycles and paths solved exactly in linear time.
+        let r = max_weight_independent_set(&gen::cycle(10_001), &vec![1; 10_001], u64::MAX);
+        assert!(r.exact);
+        assert_eq!(r.weight, 5_000);
+        let r = max_weight_independent_set(&gen::path(10_000), &vec![1; 10_000], u64::MAX);
+        assert_eq!(r.weight, 5_000);
+        // Weighted path: alternating 1, 10.
+        let w: Vec<u64> = (0..8).map(|i| if i % 2 == 0 { 1 } else { 10 }).collect();
+        let r = max_weight_independent_set(&gen::path(8), &w, u64::MAX);
+        assert_eq!(r.weight, 40);
+    }
+
+    #[test]
+    fn degree_two_dp_matches_brute_force() {
+        // Random disjoint unions of paths and cycles.
+        let mut rng = gen::seeded_rng(77);
+        use rand::RngExt;
+        for trial in 0..40 {
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            let mut next = 0u32;
+            while next < 12 {
+                let len = rng.random_range(1..5u32);
+                let cycle = len >= 3 && rng.random::<f64>() < 0.5;
+                for i in 0..len - 1 {
+                    edges.push((next + i, next + i + 1));
+                }
+                if cycle {
+                    edges.push((next + len - 1, next));
+                }
+                next += len;
+            }
+            let n = next as usize;
+            let g = Graph::from_edges(n, &edges);
+            assert!(g.max_degree() <= 2);
+            let weights: Vec<u64> = (0..n).map(|_| rng.random_range(0..6u64)).collect();
+            let r = max_weight_independent_set(&g, &weights, u64::MAX);
+            assert_eq!(r.weight, brute_force_mis(&g, &weights), "trial {trial}");
+            // And the set itself is valid with the claimed weight.
+            for (u, v) in g.edges() {
+                assert!(!(r.in_set[u as usize] && r.in_set[v as usize]));
+            }
+            let claimed: u64 = (0..n).filter(|&v| r.in_set[v]).map(|v| weights[v]).sum();
+            assert_eq!(claimed, r.weight);
+        }
+    }
+
+    #[test]
+    fn scales_to_moderate_sparse_graphs() {
+        let g = gen::grid(6, 10); // 60 vertices; grids are easy: alternating set
+        let r = max_weight_independent_set(&g, &vec![1u64; 60], u64::MAX);
+        assert!(r.exact);
+        assert_eq!(r.weight, 30);
+    }
+}

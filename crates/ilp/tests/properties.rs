@@ -1,0 +1,118 @@
+//! Property-based tests for the ILP substrate.
+
+use dapc_graph::{gen, Graph, Vertex};
+use dapc_ilp::restrict::{covering_restriction, mask_of, packing_restriction};
+use dapc_ilp::solvers::{self, SolverBudget};
+use dapc_ilp::{problems, Sense};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as Vertex, 0..n as Vertex), 0..(2 * n))
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Observation 2.1, first inequality: W(P*, S) <= W(P^local_S, S).
+    #[test]
+    fn observation_2_1_lower(g in arb_graph(12), seed in 0u64..20) {
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let n = ilp.n();
+        let full = vec![true; n];
+        let opt = solvers::solve(&packing_restriction(&ilp, &full), &SolverBudget::unlimited());
+        prop_assert!(opt.exact);
+        // Random subset S.
+        let mut rng = gen::seeded_rng(seed);
+        use rand::RngExt;
+        let subset: Vec<bool> = (0..n).map(|_| rng.random::<f64>() < 0.5).collect();
+        let local = solvers::solve(&packing_restriction(&ilp, &subset), &SolverBudget::unlimited());
+        prop_assert!(local.exact);
+        // W(P*, S): restrict the global optimum's assignment to S.
+        let mut global = vec![false; n];
+        packing_restriction(&ilp, &full).lift_into(&opt.assignment, &mut global);
+        let w_opt_on_s = ilp.value_on(&global, &subset);
+        prop_assert!(w_opt_on_s <= local.value,
+            "W(P*, S) = {} must be <= W(P^local_S, S) = {}", w_opt_on_s, local.value);
+    }
+
+    /// Observation 2.2: W(Q^local_S, S) <= W(Q*, S) <= W(Q*, V).
+    #[test]
+    fn observation_2_2(g in arb_graph(10), seed in 0u64..20) {
+        let ilp = problems::min_vertex_cover_unweighted(&g);
+        let n = ilp.n();
+        let full = vec![true; n];
+        let opt = solvers::solve(&covering_restriction(&ilp, &full), &SolverBudget::unlimited());
+        prop_assert!(opt.exact);
+        let mut rng = gen::seeded_rng(seed);
+        use rand::RngExt;
+        let subset: Vec<bool> = (0..n).map(|_| rng.random::<f64>() < 0.6).collect();
+        let local = solvers::solve(&covering_restriction(&ilp, &subset), &SolverBudget::unlimited());
+        prop_assert!(local.exact);
+        let mut global = vec![false; n];
+        covering_restriction(&ilp, &full).lift_into(&opt.assignment, &mut global);
+        let w_opt_on_s = ilp.value_on(&global, &subset);
+        prop_assert!(local.value <= w_opt_on_s,
+            "W(Q^local_S, S) = {} must be <= W(Q*, S) = {}", local.value, w_opt_on_s);
+        prop_assert!(w_opt_on_s <= opt.value);
+    }
+
+    /// Zero-filled local packing solutions are globally feasible.
+    #[test]
+    fn packing_zero_fill_feasible(g in arb_graph(14), keep_mod in 2usize..4) {
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let n = ilp.n();
+        let keep: Vec<Vertex> = (0..n as Vertex).filter(|v| (*v as usize) % keep_mod == 0).collect();
+        let sub = packing_restriction(&ilp, &mask_of(n, &keep));
+        let sol = solvers::solve(&sub, &SolverBudget::unlimited());
+        let mut global = vec![false; n];
+        sub.lift_into(&sol.assignment, &mut global);
+        prop_assert!(ilp.is_feasible(&global));
+    }
+
+    /// The solver never returns an infeasible assignment, on any sense.
+    #[test]
+    fn solver_always_feasible(n in 4usize..12, m in 1usize..10, seed in 0u64..30) {
+        let mut rng = gen::seeded_rng(seed);
+        for sense in [Sense::Packing, Sense::Covering] {
+            let ilp = match sense {
+                Sense::Packing => problems::random_packing(n, m, 3.min(n), &mut rng),
+                Sense::Covering => problems::random_covering(n, m, 3.min(n), &mut rng),
+            };
+            let sub = match sense {
+                Sense::Packing => packing_restriction(&ilp, &vec![true; n]),
+                Sense::Covering => covering_restriction(&ilp, &vec![true; n]),
+            };
+            let sol = solvers::solve(&sub, &SolverBudget::unlimited());
+            prop_assert!(sub.is_feasible(&sol.assignment));
+            prop_assert_eq!(sol.value, sub.value(&sol.assignment));
+        }
+    }
+
+    /// Matching ILP optimum equals the blossom matching size.
+    #[test]
+    fn matching_ilp_equals_blossom(g in arb_graph(10)) {
+        let m = problems::max_matching(&g);
+        if m.ilp.n() == 0 { return Ok(()); }
+        let sub = packing_restriction(&m.ilp, &vec![true; m.ilp.n()]);
+        let sol = solvers::solve(&sub, &SolverBudget::unlimited());
+        let blossom = dapc_ilp::solvers::blossom::max_matching(&g);
+        prop_assert!(sol.exact);
+        prop_assert_eq!(sol.value as usize, blossom.size());
+    }
+
+    /// Vertex cover + independent set = n on every graph (König-free
+    /// complement identity, holds pointwise for optima).
+    #[test]
+    fn vc_plus_mis_is_n(g in arb_graph(12)) {
+        let n = g.n();
+        let mis = problems::max_independent_set_unweighted(&g);
+        let vc = problems::min_vertex_cover_unweighted(&g);
+        let a = solvers::solve(&packing_restriction(&mis, &vec![true; n]), &SolverBudget::unlimited());
+        let b = solvers::solve(&covering_restriction(&vc, &vec![true; n]), &SolverBudget::unlimited());
+        prop_assert!(a.exact && b.exact);
+        prop_assert_eq!(a.value + b.value, n as u64);
+    }
+}

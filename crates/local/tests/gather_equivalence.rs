@@ -1,0 +1,28 @@
+//! Property test: the gathering primitive delivers exactly the r-ball on
+//! arbitrary random graphs — the contract that justifies charged rounds.
+
+use dapc_graph::{gen, traversal, Graph, Vertex};
+use dapc_local::gather::gather_views;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as Vertex, 0..n as Vertex), 0..(2 * n))
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gather_equals_centralized_ball(g in arb_graph(36), r in 0usize..5) {
+        let views = gather_views(&g, r);
+        for v in g.vertices() {
+            let mut expected: Vec<Vertex> =
+                traversal::ball(&g, &[v], r, None).iter().collect();
+            expected.sort_unstable();
+            prop_assert_eq!(&views[v as usize], &expected, "vertex {} radius {}", v, r);
+        }
+    }
+}

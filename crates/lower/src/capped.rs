@@ -1,0 +1,203 @@
+//! Round-capped LOCAL algorithms — the objects the Appendix B lower bounds
+//! quantify over.
+//!
+//! A `t`-round randomised LOCAL algorithm's output at `v` is a function of
+//! the `t`-ball of `v` and the random bits inside it. The canonical example
+//! used by the experiments is Luby-style random-priority greedy MIS: in
+//! each round every undecided vertex draws a fresh priority and joins the
+//! independent set iff it beats all undecided neighbours. Stopping after
+//! `t` rounds yields a *valid* independent set whose size improves with
+//! `t` — exactly the approximation/rounds trade-off Theorem 1.4 bounds.
+
+use dapc_graph::{Graph, Vertex};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Runs `t` rounds of random-priority greedy MIS and returns the
+/// membership mask (undecided vertices are left out, so the result is
+/// always an independent set).
+///
+/// ```
+/// use dapc_graph::gen;
+/// use dapc_lower::capped::greedy_mis_rounds;
+///
+/// let g = gen::cycle(12);
+/// let is = greedy_mis_rounds(&g, 3, &mut gen::seeded_rng(1));
+/// for (u, v) in g.edges() {
+///     assert!(!(is[u as usize] && is[v as usize]));
+/// }
+/// ```
+pub fn greedy_mis_rounds(g: &Graph, t: usize, rng: &mut StdRng) -> Vec<bool> {
+    let n = g.n();
+    let mut in_set = vec![false; n];
+    let mut decided = vec![false; n];
+    for _ in 0..t {
+        if decided.iter().all(|&d| d) {
+            break;
+        }
+        let priority: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        let mut joins: Vec<Vertex> = Vec::new();
+        for v in 0..n {
+            if decided[v] {
+                continue;
+            }
+            let wins = g.neighbors(v as Vertex).iter().all(|&u| {
+                decided[u as usize] || priority[v] > priority[u as usize]
+            });
+            if wins {
+                joins.push(v as Vertex);
+            }
+        }
+        for v in joins {
+            in_set[v as usize] = true;
+            decided[v as usize] = true;
+            for &u in g.neighbors(v) {
+                decided[u as usize] = true;
+            }
+        }
+    }
+    in_set
+}
+
+/// Runs `t` rounds of random-priority greedy maximal matching (edges draw
+/// priorities; local minima join). Returns the matched-edge list.
+pub fn greedy_matching_rounds(g: &Graph, t: usize, rng: &mut StdRng) -> Vec<(Vertex, Vertex)> {
+    let edges: Vec<(Vertex, Vertex)> = g.edges().collect();
+    let mut edge_alive: Vec<bool> = vec![true; edges.len()];
+    let mut vertex_free = vec![true; g.n()];
+    let mut matched = Vec::new();
+    // Edge adjacency via endpoints.
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); g.n()];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        incident[u as usize].push(i);
+        incident[v as usize].push(i);
+    }
+    for _ in 0..t {
+        if edge_alive.iter().all(|&a| !a) {
+            break;
+        }
+        let priority: Vec<f64> = (0..edges.len()).map(|_| rng.random::<f64>()).collect();
+        let mut winners = Vec::new();
+        'edge: for (i, &(u, v)) in edges.iter().enumerate() {
+            if !edge_alive[i] {
+                continue;
+            }
+            for &w in [u, v].iter() {
+                for &j in &incident[w as usize] {
+                    if j != i && edge_alive[j] && priority[j] > priority[i] {
+                        continue 'edge;
+                    }
+                }
+            }
+            winners.push(i);
+        }
+        for i in winners {
+            let (u, v) = edges[i];
+            if vertex_free[u as usize] && vertex_free[v as usize] {
+                matched.push((u, v));
+                vertex_free[u as usize] = false;
+                vertex_free[v as usize] = false;
+            }
+        }
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if !vertex_free[u as usize] || !vertex_free[v as usize] {
+                edge_alive[i] = false;
+            }
+        }
+    }
+    matched
+}
+
+/// The complement view: a `t`-round vertex cover produced as "everything
+/// except the `t`-round independent set" — used for the Theorem B.4
+/// transfer experiments.
+pub fn greedy_vc_rounds(g: &Graph, t: usize, rng: &mut StdRng) -> Vec<bool> {
+    greedy_mis_rounds(g, t, rng)
+        .into_iter()
+        .map(|in_is| !in_is)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapc_graph::gen;
+
+    #[test]
+    fn mis_is_always_independent() {
+        let mut rng = gen::seeded_rng(1);
+        for t in [0usize, 1, 2, 5, 50] {
+            let g = gen::gnp(60, 0.08, &mut rng);
+            let is = greedy_mis_rounds(&g, t, &mut rng);
+            for (u, v) in g.edges() {
+                assert!(!(is[u as usize] && is[v as usize]), "t = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn mis_grows_with_rounds() {
+        let g = gen::gnp(300, 0.02, &mut gen::seeded_rng(2));
+        let mut rng = gen::seeded_rng(3);
+        let avg = |t: usize, rng: &mut _| -> f64 {
+            let mut total = 0usize;
+            for _ in 0..20 {
+                total += greedy_mis_rounds(&g, t, rng).iter().filter(|&&b| b).count();
+            }
+            total as f64 / 20.0
+        };
+        let one = avg(1, &mut rng);
+        let many = avg(12, &mut rng);
+        assert!(
+            many > one,
+            "12 rounds ({many}) should beat 1 round ({one})"
+        );
+    }
+
+    #[test]
+    fn enough_rounds_give_maximal_set() {
+        let g = gen::cycle(30);
+        let mut rng = gen::seeded_rng(4);
+        let is = greedy_mis_rounds(&g, 100, &mut rng);
+        // Maximal: every vertex is in the set or has a neighbour in it.
+        for v in g.vertices() {
+            assert!(
+                is[v as usize] || g.neighbors(v).iter().any(|&u| is[u as usize]),
+                "not maximal at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn matching_is_valid_and_grows() {
+        let g = gen::gnp(100, 0.05, &mut gen::seeded_rng(5));
+        let mut rng = gen::seeded_rng(6);
+        let m1 = greedy_matching_rounds(&g, 1, &mut rng);
+        let m8 = greedy_matching_rounds(&g, 8, &mut rng);
+        let mut used = vec![false; 100];
+        for &(u, v) in &m8 {
+            assert!(g.has_edge(u, v));
+            assert!(!used[u as usize] && !used[v as usize]);
+            used[u as usize] = true;
+            used[v as usize] = true;
+        }
+        assert!(m8.len() >= m1.len());
+    }
+
+    #[test]
+    fn vc_complement_covers_when_is_maximal() {
+        let g = gen::grid(6, 6);
+        let mut rng = gen::seeded_rng(7);
+        let vc = greedy_vc_rounds(&g, 100, &mut rng);
+        for (u, v) in g.edges() {
+            assert!(vc[u as usize] || vc[v as usize]);
+        }
+    }
+
+    #[test]
+    fn zero_rounds_output_empty() {
+        let g = gen::cycle(10);
+        let is = greedy_mis_rounds(&g, 0, &mut gen::seeded_rng(8));
+        assert!(is.iter().all(|&b| !b));
+    }
+}

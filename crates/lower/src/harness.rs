@@ -1,0 +1,188 @@
+//! The indistinguishability harness (Theorem B.2 / B.6).
+//!
+//! On a `d`-regular graph of girth `> 2t + 1`, the `t`-ball of every vertex
+//! is the complete `d`-regular tree of depth `t`, so any `t`-round
+//! randomised algorithm has the *same* per-vertex inclusion probability
+//! `p*` on every such graph. Running one algorithm on the bipartite and the
+//! non-bipartite member of the LPS family therefore forces
+//! `E[|I|] = p*·n` on both — but the bipartite graph has `α = n/2` while
+//! the non-bipartite one has `α ≤ 2√p/(p+1)·n`, so no `t`-round algorithm
+//! can be a good approximation on both. This module measures exactly that.
+
+use dapc_graph::{girth, Graph};
+use rand::rngs::StdRng;
+
+/// Estimated per-vertex inclusion statistics of a randomised vertex-subset
+/// algorithm.
+#[derive(Clone, Debug)]
+pub struct InclusionProfile {
+    /// Mean of `|I|/n` over the trials.
+    pub mean_fraction: f64,
+    /// Per-vertex empirical inclusion frequencies.
+    pub per_vertex: Vec<f64>,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl InclusionProfile {
+    /// Largest deviation of any vertex's inclusion frequency from the mean
+    /// — on a locally-homogeneous graph this is pure sampling noise.
+    pub fn max_vertex_deviation(&self) -> f64 {
+        self.per_vertex
+            .iter()
+            .map(|&p| (p - self.mean_fraction).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Estimates the inclusion profile of `algorithm` over `trials` runs.
+pub fn inclusion_profile(
+    g: &Graph,
+    trials: usize,
+    rng: &mut StdRng,
+    mut algorithm: impl FnMut(&Graph, &mut StdRng) -> Vec<bool>,
+) -> InclusionProfile {
+    let n = g.n();
+    let mut counts = vec![0usize; n];
+    for _ in 0..trials {
+        let out = algorithm(g, rng);
+        assert_eq!(out.len(), n, "algorithm output length mismatch");
+        for (v, &b) in out.iter().enumerate() {
+            if b {
+                counts[v] += 1;
+            }
+        }
+    }
+    let per_vertex: Vec<f64> = counts.iter().map(|&c| c as f64 / trials as f64).collect();
+    let mean_fraction = per_vertex.iter().sum::<f64>() / n as f64;
+    InclusionProfile {
+        mean_fraction,
+        per_vertex,
+        trials,
+    }
+}
+
+/// Outcome of the two-graph indistinguishability experiment.
+#[derive(Clone, Debug)]
+pub struct IndistinguishabilityReport {
+    /// Mean `|I|/n` on the first graph.
+    pub mean_a: f64,
+    /// Mean `|I|/n` on the second graph.
+    pub mean_b: f64,
+    /// `|mean_a − mean_b|` — should be sampling noise below the locality
+    /// threshold.
+    pub gap: f64,
+    /// Round cap used.
+    pub rounds: usize,
+    /// Whether both graphs are locally tree-like at radius `rounds`
+    /// (girth `> 2·rounds + 1`), i.e. the theorem's hypothesis holds.
+    pub locally_identical: bool,
+}
+
+/// Runs the same round-capped algorithm on two graphs and reports the gap
+/// in expected output fractions (Theorem B.2's quantity).
+pub fn indistinguishability(
+    a: &Graph,
+    b: &Graph,
+    rounds: usize,
+    trials: usize,
+    rng: &mut StdRng,
+    mut algorithm: impl FnMut(&Graph, usize, &mut StdRng) -> Vec<bool>,
+) -> IndistinguishabilityReport {
+    let pa = inclusion_profile(a, trials, rng, |g, r| algorithm(g, rounds, r));
+    let pb = inclusion_profile(b, trials, rng, |g, r| algorithm(g, rounds, r));
+    let locally_identical = girth::locally_tree_like(a, rounds as u32)
+        && girth::locally_tree_like(b, rounds as u32);
+    IndistinguishabilityReport {
+        mean_a: pa.mean_fraction,
+        mean_b: pb.mean_fraction,
+        gap: (pa.mean_fraction - pb.mean_fraction).abs(),
+        rounds,
+        locally_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capped::greedy_mis_rounds;
+    use dapc_graph::gen;
+
+    #[test]
+    fn profile_counts_correctly() {
+        let g = gen::path(4);
+        // Deterministic "algorithm": always pick even vertices.
+        let p = inclusion_profile(&g, 10, &mut gen::seeded_rng(1), |g, _| {
+            (0..g.n()).map(|v| v % 2 == 0).collect()
+        });
+        assert_eq!(p.per_vertex, vec![1.0, 0.0, 1.0, 0.0]);
+        assert!((p.mean_fraction - 0.5).abs() < 1e-12);
+        assert!((p.max_vertex_deviation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_tree_like_graphs_have_flat_profiles() {
+        // On a long cycle every t-ball is a path: per-vertex inclusion
+        // probabilities are identical, deviations are sampling noise.
+        let g = gen::cycle(60);
+        let p = inclusion_profile(&g, 400, &mut gen::seeded_rng(2), |g, r| {
+            greedy_mis_rounds(g, 2, r)
+        });
+        assert!(
+            p.max_vertex_deviation() < 0.12,
+            "deviation {} too large for a vertex-transitive graph",
+            p.max_vertex_deviation()
+        );
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_expected_gap() {
+        let g = gen::cycle(40);
+        let rep = indistinguishability(
+            &g,
+            &g,
+            2,
+            300,
+            &mut gen::seeded_rng(3),
+            |g, t, r| greedy_mis_rounds(g, t, r),
+        );
+        assert!(rep.gap < 0.05, "gap {} should be sampling noise", rep.gap);
+        assert!(rep.locally_identical);
+    }
+
+    #[test]
+    fn locality_flag_tracks_girth() {
+        let a = gen::cycle(9); // girth 9: tree-like up to r = 3
+        let b = gen::cycle(12);
+        let rep = indistinguishability(&a, &b, 3, 5, &mut gen::seeded_rng(4), |g, t, r| {
+            greedy_mis_rounds(g, t, r)
+        });
+        assert!(rep.locally_identical);
+        let rep2 = indistinguishability(&a, &b, 4, 5, &mut gen::seeded_rng(5), |g, t, r| {
+            greedy_mis_rounds(g, t, r)
+        });
+        assert!(!rep2.locally_identical);
+    }
+
+    #[test]
+    fn odd_vs_even_cycles_agree_below_locality_threshold() {
+        // C17 vs C18: α = 8/17 ≈ 0.47 vs 9/18 = 0.5, but a 2-round
+        // algorithm sees identical 2-balls (paths) everywhere.
+        let a = gen::cycle(17);
+        let b = gen::cycle(18);
+        let rep = indistinguishability(
+            &a,
+            &b,
+            2,
+            2000,
+            &mut gen::seeded_rng(6),
+            |g, t, r| greedy_mis_rounds(g, t, r),
+        );
+        assert!(rep.locally_identical);
+        assert!(
+            rep.gap < 0.03,
+            "2-round algorithm distinguishes C17 from C18: gap {}",
+            rep.gap
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! The two packing algorithms of §4 side by side: the cluster-driven
+//! carving solver (the main Theorem 1.2 algorithm) and the §4.2
+//! "alternative approach" ensemble (independent decompositions + best
+//! candidate + re-weighted final run).
+//!
+//! ```sh
+//! cargo run --release --example ensemble_vs_carving
+//! ```
+
+use dapc::core::ensemble::packing_ensemble;
+use dapc::core::packing::approximate_packing;
+use dapc::core::params::PcParams;
+use dapc::graph::gen;
+use dapc::ilp::{problems, verify, SolverBudget};
+
+fn main() {
+    println!(
+        "{:<14} {:>4} {:>6} {:>9} {:>9} {:>11} {:>11}",
+        "family", "OPT", "eps", "carving", "ensemble", "carve rnds", "ens rnds"
+    );
+    let eps = 0.3;
+    let families: Vec<(&str, dapc::graph::Graph)> = vec![
+        ("cycle C36", gen::cycle(36)),
+        ("grid 6×6", gen::grid(6, 6)),
+        ("gnp(40,.08)", gen::gnp(40, 0.08, &mut gen::seeded_rng(1))),
+        ("reg4 n=36", gen::random_regular(36, 4, &mut gen::seeded_rng(2))),
+    ];
+    for (name, g) in &families {
+        let ilp = problems::max_independent_set_unweighted(g);
+        let (opt, _) = verify::optimum(&ilp, &SolverBudget::default());
+        let params = PcParams::packing_scaled(eps, g.n() as f64, 0.02, 0.3);
+        let carve = approximate_packing(&ilp, &params, &mut gen::seeded_rng(11));
+        let ens = packing_ensemble(&ilp, &params, Some(10), &mut gen::seeded_rng(11));
+        assert!(ilp.is_feasible(&carve.assignment));
+        assert!(ilp.is_feasible(&ens.assignment));
+        println!(
+            "{:<14} {:>4} {:>6.2} {:>9} {:>9} {:>11} {:>11}",
+            name,
+            opt,
+            eps,
+            carve.value,
+            ens.value,
+            carve.rounds(),
+            ens.rounds()
+        );
+    }
+    println!(
+        "\nBoth meet (1 − ε); the ensemble's candidate spread shows the\n\
+         averaging argument at work (per-run values on the last instance):"
+    );
+    let g = gen::gnp(40, 0.08, &mut gen::seeded_rng(1));
+    let ilp = problems::max_independent_set_unweighted(&g);
+    let params = PcParams::packing_scaled(eps, 40.0, 0.02, 0.3);
+    let ens = packing_ensemble(&ilp, &params, Some(10), &mut gen::seeded_rng(99));
+    println!(
+        "candidates: {:?} → best {} (re-weighted pass: {})",
+        ens.candidate_values, ens.value, ens.reweighted_value
+    );
+}

@@ -1,0 +1,51 @@
+//! # dapc — Distributed Approximation of Packing & Covering ILPs
+//!
+//! A full reproduction of **Chang & Li, “The Complexity of Distributed
+//! Approximation of Packing and Covering Integer Linear Programs”
+//! (PODC 2023)** as a Rust workspace: the three-phase low-diameter
+//! decomposition of Theorem 1.1, the `(1 − ε)`-packing and
+//! `(1 + ε)`-covering solvers of Theorems 1.2–1.3, the classical
+//! decompositions and the GKM17 baseline they improve on, the Appendix B
+//! lower-bound machinery (including LPS Ramanujan graphs), and the
+//! Appendix C counterexample families — all implemented from scratch.
+//!
+//! This crate is the facade: it re-exports the workspace members and hosts
+//! the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dapc::core::adapters::{approx_max_independent_set, ScaleKnobs};
+//! use dapc::graph::gen;
+//!
+//! let g = gen::gnp(40, 0.08, &mut gen::seeded_rng(7));
+//! let result = approx_max_independent_set(
+//!     &g, &vec![1; 40], 0.3, &ScaleKnobs::default(), &mut gen::seeded_rng(1));
+//! // A (1 − ε)-approximate independent set plus its LOCAL round cost.
+//! assert!(!result.vertices.is_empty());
+//! assert!(result.rounds > 0);
+//! ```
+//!
+//! ## Layout
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`graph`] | CSR graphs, generators, LPS Ramanujan graphs, hypergraphs |
+//! | [`conc`] | samplers + Appendix A concentration bounds |
+//! | [`local`] | LOCAL model simulator (message passing + charged rounds) |
+//! | [`ilp`] | packing/covering instances, restrictions, exact solvers |
+//! | [`decomp`] | Theorem 1.1 LDD, Elkin–Neiman, MPX, sparse covers, … |
+//! | [`core`] | Theorems 1.2–1.3 solvers, GKM17 baseline, adapters |
+//! | [`lower`] | Appendix B lower-bound machinery |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dapc_conc as conc;
+pub use dapc_core as core;
+pub use dapc_decomp as decomp;
+pub use dapc_graph as graph;
+pub use dapc_ilp as ilp;
+pub use dapc_local as local;
+pub use dapc_lower as lower;

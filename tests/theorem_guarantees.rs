@@ -1,0 +1,125 @@
+//! Statistical reproduction of the headline theorem guarantees across many
+//! seeds — the "whp" claims at integration-test scale.
+
+use dapc::core::covering::approximate_covering;
+use dapc::core::packing::approximate_packing;
+use dapc::core::params::PcParams;
+use dapc::decomp::three_phase::{three_phase_ldd, LddParams};
+use dapc::graph::gen;
+use dapc::ilp::{problems, verify, SolverBudget};
+
+/// Theorem 1.1 at scale: the ε budget holds for every seed (50 trials),
+/// and the diameter bound of Lemma 3.2 is never violated.
+#[test]
+fn theorem_1_1_holds_across_seeds() {
+    let g = gen::gnp(300, 0.013, &mut gen::seeded_rng(100));
+    let eps = 0.3;
+    let params = LddParams::scaled(eps, g.n() as f64, 0.05);
+    let bound = params.diameter_bound() as u32;
+    for seed in 0..50 {
+        let out = three_phase_ldd(&g, &params, &mut gen::seeded_rng(seed), None);
+        let d = &out.decomposition;
+        d.validate(&g, None).unwrap();
+        assert!(
+            d.deleted_fraction() <= eps,
+            "seed {seed}: deleted {:.3} > ε",
+            d.deleted_fraction()
+        );
+        assert!(d.max_weak_diameter(&g) <= bound, "seed {seed}: diameter");
+    }
+}
+
+/// Theorem 1.2 at scale: (1 − ε) holds for every seed (25 trials each on
+/// two instances).
+#[test]
+fn theorem_1_2_holds_across_seeds() {
+    let eps = 0.3;
+    let budget = SolverBudget::default();
+    for (tag, g) in [
+        ("cycle", gen::cycle(30)),
+        ("gnp", gen::gnp(30, 0.09, &mut gen::seeded_rng(101))),
+    ] {
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let (opt, exact) = verify::optimum(&ilp, &budget);
+        assert!(exact);
+        let params = PcParams::packing_scaled(eps, g.n() as f64, 0.02, 0.3);
+        for seed in 0..25 {
+            let out = approximate_packing(&ilp, &params, &mut gen::seeded_rng(seed));
+            assert!(ilp.is_feasible(&out.assignment), "{tag} seed {seed}");
+            assert!(
+                out.value as f64 >= (1.0 - eps) * opt as f64,
+                "{tag} seed {seed}: {} < (1 − ε)·{opt}",
+                out.value
+            );
+        }
+    }
+}
+
+/// Theorem 1.3 at scale: (1 + ε) holds for every seed.
+#[test]
+fn theorem_1_3_holds_across_seeds() {
+    let eps = 0.4;
+    let budget = SolverBudget::default();
+    for (tag, g) in [
+        ("cycle", gen::cycle(27)),
+        ("grid", gen::grid(4, 6)),
+    ] {
+        let ilp = problems::min_dominating_set_unweighted(&g);
+        let (opt, exact) = verify::optimum(&ilp, &budget);
+        assert!(exact);
+        let params = PcParams::covering_scaled(eps, g.n() as f64, 0.02, 0.3, 1.0);
+        for seed in 0..25 {
+            let out = approximate_covering(&ilp, &params, &mut gen::seeded_rng(seed));
+            assert!(ilp.is_feasible(&out.assignment), "{tag} seed {seed}");
+            assert!(
+                out.value as f64 <= (1.0 + eps) * opt as f64 + 1e-9,
+                "{tag} seed {seed}: {} > (1 + ε)·{opt}",
+                out.value
+            );
+        }
+    }
+}
+
+/// The round-complexity ordering of the paper: at fixed ε, our packing
+/// solver's charged rounds grow like Õ(log n) while GKM17's grow like
+/// O(log³ n) — so the ratio GKM/ours must increase with n.
+#[test]
+fn round_scaling_ours_vs_gkm() {
+    use dapc::core::gkm::{gkm_solve, GkmParams};
+    let eps = 0.3;
+    let mut ratios = Vec::new();
+    for n in [16usize, 64, 256] {
+        let g = gen::cycle(n);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let ours = approximate_packing(
+            &ilp,
+            &PcParams::packing_scaled(eps, n as f64, 0.02, 0.3),
+            &mut gen::seeded_rng(5),
+        );
+        let gkm = gkm_solve(&ilp, &GkmParams::new(eps, n as f64, 0.2), &mut gen::seeded_rng(5));
+        ratios.push(gkm.rounds() as f64 / ours.rounds() as f64);
+    }
+    assert!(
+        ratios.windows(2).all(|w| w[1] > w[0] * 0.95),
+        "GKM/ours round ratio should grow with n: {ratios:?}"
+    );
+    assert!(
+        ratios.last().unwrap() > ratios.first().unwrap(),
+        "no growth: {ratios:?}"
+    );
+}
+
+/// Packing Phase 2 ablation hook: with identical seeds, the packing solver
+/// still meets its guarantee when Phase 2's extra ln(20/ε) boost never
+/// fires (tiny prep), because Phase 3 cleans up — the guarantee is
+/// end-to-end, not per-phase.
+#[test]
+fn packing_guarantee_is_end_to_end() {
+    let g = gen::cycle(24);
+    let ilp = problems::max_independent_set_unweighted(&g);
+    let mut params = PcParams::packing_scaled(0.3, 24.0, 0.02, 0.1);
+    params.prep_count = 1; // starve the preparation
+    let out = approximate_packing(&ilp, &params, &mut gen::seeded_rng(3));
+    assert!(ilp.is_feasible(&out.assignment));
+    assert!(out.value >= 8, "value {}", out.value); // (1−0.3)·12 = 8.4 → ≥ 8 given integrality slack on C24
+}
