@@ -1,11 +1,9 @@
-//! Wall-clock benches for the end-to-end Theorem 1.2/1.3 solvers and the
-//! GKM17 baseline (experiments E3–E6).
+//! Wall-clock benches for the end-to-end solver backends (experiments
+//! E3–E6), all driven through the unified engine registry so backends are
+//! benchmarked under identical harness code.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use dapc_core::covering::approximate_covering;
-use dapc_core::gkm::{gkm_solve, GkmParams};
-use dapc_core::packing::approximate_packing;
-use dapc_core::params::PcParams;
+use dapc_core::engine::{self, SolveConfig};
 use dapc_graph::gen;
 use dapc_ilp::problems;
 
@@ -15,11 +13,12 @@ fn bench_packing(c: &mut Criterion) {
     for n in [24usize, 48] {
         let g = gen::cycle(n);
         let ilp = problems::max_independent_set_unweighted(&g);
-        let params = PcParams::packing_scaled(0.3, n as f64, 0.02, 0.3);
+        let cfg = SolveConfig::new().eps(0.3).seed(5);
+        let solver = engine::backend("three-phase").unwrap();
         group.bench_function(format!("mis_cycle{n}"), |b| {
             b.iter_batched(
-                || gen::seeded_rng(5),
-                |mut rng| approximate_packing(&ilp, &params, &mut rng),
+                || cfg.rng(),
+                |mut rng| solver.solve(&ilp, &cfg, &mut rng),
                 BatchSize::SmallInput,
             )
         });
@@ -33,11 +32,12 @@ fn bench_covering(c: &mut Criterion) {
     for n in [24usize, 48] {
         let g = gen::cycle(n);
         let ilp = problems::min_vertex_cover_unweighted(&g);
-        let params = PcParams::covering_scaled(0.3, n as f64, 0.02, 0.3, 1.0);
+        let cfg = SolveConfig::new().eps(0.3).seed(6);
+        let solver = engine::backend("three-phase").unwrap();
         group.bench_function(format!("vc_cycle{n}"), |b| {
             b.iter_batched(
-                || gen::seeded_rng(6),
-                |mut rng| approximate_covering(&ilp, &params, &mut rng),
+                || cfg.rng(),
+                |mut rng| solver.solve(&ilp, &cfg, &mut rng),
                 BatchSize::SmallInput,
             )
         });
@@ -45,21 +45,31 @@ fn bench_covering(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_gkm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gkm_baseline");
+fn bench_backend_registry(c: &mut Criterion) {
+    // Every registered backend on one fixed instance: the fair-comparison
+    // harness the engine was built for.
+    let mut group = c.benchmark_group("backends");
     group.sample_size(10);
     let g = gen::cycle(48);
     let ilp = problems::max_independent_set_unweighted(&g);
-    let params = GkmParams::new(0.3, 48.0, 0.2);
-    group.bench_function("mis_cycle48", |b| {
-        b.iter_batched(
-            || gen::seeded_rng(7),
-            |mut rng| gkm_solve(&ilp, &params, &mut rng),
-            BatchSize::SmallInput,
-        )
-    });
+    let cfg = SolveConfig::new().eps(0.3).seed(7).ensemble_runs(6);
+    for name in engine::BACKENDS {
+        let solver = engine::backend(name).unwrap();
+        group.bench_function(format!("mis_cycle48/{name}"), |b| {
+            b.iter_batched(
+                || cfg.rng(),
+                |mut rng| solver.solve(&ilp, &cfg, &mut rng),
+                BatchSize::SmallInput,
+            )
+        });
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_packing, bench_covering, bench_gkm);
+criterion_group!(
+    benches,
+    bench_packing,
+    bench_covering,
+    bench_backend_registry
+);
 criterion_main!(benches);

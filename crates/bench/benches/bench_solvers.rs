@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dapc_graph::gen;
+use dapc_ilp::problems;
 use dapc_ilp::restrict::{covering_restriction, packing_restriction};
 use dapc_ilp::solvers::{self, blossom, mis, SolverBudget};
-use dapc_ilp::problems;
 
 fn bench_mwis(c: &mut Criterion) {
     let g = gen::gnp(60, 0.15, &mut gen::seeded_rng(1));
@@ -17,15 +17,13 @@ fn bench_mwis(c: &mut Criterion) {
 
 fn bench_blossom(c: &mut Criterion) {
     let g = gen::random_regular(600, 3, &mut gen::seeded_rng(2));
-    c.bench_function("blossom/reg3_600", |b| {
-        b.iter(|| blossom::max_matching(&g))
-    });
+    c.bench_function("blossom/reg3_600", |b| b.iter(|| blossom::max_matching(&g)));
 }
 
 fn bench_covering_bnb(c: &mut Criterion) {
     let g = gen::grid(4, 6);
     let ilp = problems::min_dominating_set_unweighted(&g);
-    let sub = covering_restriction(&ilp, &vec![true; 24]);
+    let sub = covering_restriction(&ilp, &[true; 24]);
     c.bench_function("covering_bnb/ds_grid4x6", |b| {
         b.iter(|| solvers::bnb::solve_covering(&sub, u64::MAX))
     });
@@ -34,7 +32,7 @@ fn bench_covering_bnb(c: &mut Criterion) {
 fn bench_dispatch(c: &mut Criterion) {
     let g = gen::cycle(80);
     let ilp = problems::max_independent_set_unweighted(&g);
-    let sub = packing_restriction(&ilp, &vec![true; 80]);
+    let sub = packing_restriction(&ilp, &[true; 80]);
     let budget = SolverBudget::default();
     c.bench_function("dispatch/mis_cycle80", |b| {
         b.iter(|| solvers::solve(&sub, &budget))

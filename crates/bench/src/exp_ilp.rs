@@ -8,6 +8,7 @@ use dapc_core::packing::approximate_packing;
 use dapc_core::params::PcParams;
 use dapc_graph::{gen, Graph};
 use dapc_ilp::{problems, verify, IlpInstance, SolverBudget};
+use dapc_local::RoundCost;
 
 fn packing_row(
     t: &mut Table,
@@ -45,7 +46,16 @@ fn packing_row(
 pub fn e3(seeds: u64) -> String {
     let mut t = Table::new(
         "E3 — Theorem 1.2: (1 − ε)-approximate maximum independent set",
-        &["family", "n", "eps", "OPT", "min ratio", "mean ratio", "≥1−ε", "rounds"],
+        &[
+            "family",
+            "n",
+            "eps",
+            "OPT",
+            "min ratio",
+            "mean ratio",
+            "≥1−ε",
+            "rounds",
+        ],
     );
     let families: Vec<(&str, Graph)> = vec![
         ("cycle", gen::cycle(40)),
@@ -81,7 +91,16 @@ pub fn e3(seeds: u64) -> String {
 fn e3_large_scale(seeds: u64) -> String {
     let mut t = Table::new(
         "E3 (cont.) — large-scale carving: MIS on long cycles (OPT = n/2)",
-        &["n", "eps", "min ratio", "mean ratio", "≥1−ε", "deleted", "components", "rounds"],
+        &[
+            "n",
+            "eps",
+            "min ratio",
+            "mean ratio",
+            "≥1−ε",
+            "deleted",
+            "components",
+            "rounds",
+        ],
     );
     for n in [1500usize, 3000] {
         for eps in [0.2f64, 0.3] {
@@ -123,7 +142,16 @@ fn e3_large_scale(seeds: u64) -> String {
 pub fn e4(seeds: u64) -> String {
     let mut t = Table::new(
         "E4 — Theorem 1.2: (1 − ε)-approximate maximum matching (OPT by blossom)",
-        &["family", "n", "eps", "OPT", "min ratio", "mean ratio", "≥1−ε", "rounds"],
+        &[
+            "family",
+            "n",
+            "eps",
+            "OPT",
+            "min ratio",
+            "mean ratio",
+            "≥1−ε",
+            "rounds",
+        ],
     );
     let families: Vec<(&str, Graph)> = vec![
         ("cycle", gen::cycle(36)),
@@ -167,7 +195,16 @@ pub fn e4(seeds: u64) -> String {
 pub fn e5(seeds: u64) -> String {
     let mut t = Table::new(
         "E5 — Theorem 1.3: (1 + ε)-approximate covering problems",
-        &["problem", "n", "eps", "OPT", "max ratio", "mean ratio", "≤1+ε", "rounds"],
+        &[
+            "problem",
+            "n",
+            "eps",
+            "OPT",
+            "max ratio",
+            "mean ratio",
+            "≤1+ε",
+            "rounds",
+        ],
     );
     let budget = SolverBudget::default();
     let mut run = |name: &str, ilp: &IlpInstance, eps: f64| {
@@ -189,7 +226,11 @@ pub fn e5(seeds: u64) -> String {
             ilp.n().to_string(),
             format!("{eps}"),
             // Mark budget-limited (unproven) reference optima.
-            if opt_exact { opt.to_string() } else { format!("{opt}*") },
+            if opt_exact {
+                opt.to_string()
+            } else {
+                format!("{opt}*")
+            },
             f3(max_ratio),
             f3(sum / seeds as f64),
             (max_ratio <= 1.0 + eps + 1e-9).to_string(),
@@ -197,14 +238,26 @@ pub fn e5(seeds: u64) -> String {
         ]);
     };
     for eps in [0.2f64, 0.4] {
-        run("VC/cycle", &problems::min_vertex_cover_unweighted(&gen::cycle(36)), eps);
+        run(
+            "VC/cycle",
+            &problems::min_vertex_cover_unweighted(&gen::cycle(36)),
+            eps,
+        );
         run(
             "VC/gnp",
             &problems::min_vertex_cover_unweighted(&gen::gnp(32, 0.1, &mut gen::seeded_rng(8))),
             eps,
         );
-        run("DS/cycle", &problems::min_dominating_set_unweighted(&gen::cycle(33)), eps);
-        run("DS/grid", &problems::min_dominating_set_unweighted(&gen::grid(5, 6)), eps);
+        run(
+            "DS/cycle",
+            &problems::min_dominating_set_unweighted(&gen::cycle(33)),
+            eps,
+        );
+        run(
+            "DS/grid",
+            &problems::min_dominating_set_unweighted(&gen::grid(5, 6)),
+            eps,
+        );
         run(
             "2-DS/cycle",
             &problems::k_dominating_set(&gen::cycle(30), 2, vec![1; 30]),
@@ -230,7 +283,16 @@ pub fn e5(seeds: u64) -> String {
 fn e5_large_scale(seeds: u64) -> String {
     let mut t = Table::new(
         "E5 (cont.) — large-scale carving: VC on long cycles (OPT = n/2)",
-        &["n", "eps", "max ratio", "mean ratio", "≤1+ε", "fixed w", "edges cut", "rounds"],
+        &[
+            "n",
+            "eps",
+            "max ratio",
+            "mean ratio",
+            "≤1+ε",
+            "fixed w",
+            "edges cut",
+            "rounds",
+        ],
     );
     for n in [1500usize, 3000] {
         for eps in [0.3f64, 0.4] {
@@ -340,7 +402,14 @@ pub fn e6() -> String {
 pub fn e10(seeds: u64) -> String {
     let mut t = Table::new(
         "E10 — ablations (prep count, covering t, LDD Phase 2)",
-        &["ablation", "setting", "min/max ratio", "mean ratio", "rounds", "note"],
+        &[
+            "ablation",
+            "setting",
+            "min/max ratio",
+            "mean ratio",
+            "rounds",
+            "note",
+        ],
     );
     // (a) Packing preparation count.
     let g = gen::gnp(36, 0.08, &mut gen::seeded_rng(11));

@@ -9,11 +9,15 @@ use dapc_decomp::mpx::mpx;
 use dapc_decomp::sparse_cover::sparse_cover;
 use dapc_decomp::three_phase::{three_phase_ldd, LddParams};
 use dapc_graph::{gen, Graph, Hypergraph};
+use dapc_local::RoundCost;
 
 fn families(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
     let side = (n as f64).sqrt() as usize;
     vec![
-        ("gnp", gen::gnp(n, 6.0 / n as f64, &mut gen::seeded_rng(seed))),
+        (
+            "gnp",
+            gen::gnp(n, 6.0 / n as f64, &mut gen::seeded_rng(seed)),
+        ),
         ("grid", gen::grid(side, side)),
         (
             "reg4",
@@ -89,7 +93,15 @@ pub fn e1(trials: usize) -> String {
 pub fn e2(trials: usize) -> String {
     let mut t = Table::new(
         "E2 — Appendix C: Ω(ε) failure probability of classical LDDs",
-        &["family", "n", "eps", "algo", "catastrophe", "Pr[fail]", "95% CI"],
+        &[
+            "family",
+            "n",
+            "eps",
+            "algo",
+            "catastrophe",
+            "Pr[fail]",
+            "95% CI",
+        ],
     );
     let mut rng = gen::seeded_rng(202);
     for n in [40usize, 80, 160] {
@@ -172,7 +184,13 @@ pub fn e8(trials: usize) -> String {
     let mut t = Table::new(
         "E8 — Lemma C.2: sparse cover multiplicities vs Geometric(e^{−λ})",
         &[
-            "hypergraph", "n", "lambda", "mean X_v", "e^λ bound", "max X_v", "uncovered",
+            "hypergraph",
+            "n",
+            "lambda",
+            "mean X_v",
+            "e^λ bound",
+            "max X_v",
+            "uncovered",
         ],
     );
     let mut rng = gen::seeded_rng(808);
@@ -198,7 +216,10 @@ pub fn e8(trials: usize) -> String {
                 let cover = sparse_cover(h, lambda, h.n() as f64, &mut rng, None, None);
                 mean += cover.mean_multiplicity();
                 max_mult = max_mult.max(
-                    (0..h.n() as u32).map(|v| cover.multiplicity(v)).max().unwrap_or(0),
+                    (0..h.n() as u32)
+                        .map(|v| cover.multiplicity(v))
+                        .max()
+                        .unwrap_or(0),
                 );
                 uncovered += cover.uncovered_edges(h, None, None).len();
             }
@@ -221,7 +242,14 @@ pub fn e8(trials: usize) -> String {
 pub fn e9(trials: usize) -> String {
     let mut t = Table::new(
         "E9 — §1.6 blackbox vs Theorem 1.1: rounds and quality across ε",
-        &["eps", "algo", "rounds", "del mean", "del max", "round growth"],
+        &[
+            "eps",
+            "algo",
+            "rounds",
+            "del mean",
+            "del max",
+            "round growth",
+        ],
     );
     let g = gen::gnp(600, 0.01, &mut gen::seeded_rng(33));
     let mut prev_bb = 0usize;

@@ -1,10 +1,10 @@
 //! Experiment E7 — the Theorem 1.4 / Appendix B lower-bound measurements.
 
 use crate::table::{f3, f4, Table};
+use dapc_graph::gen;
 use dapc_graph::girth::girth;
 use dapc_graph::lps::{lps_graph, LpsCase};
 use dapc_graph::subdivide::subdivide;
-use dapc_graph::gen;
 use dapc_lower::capped::greedy_mis_rounds;
 use dapc_lower::harness::indistinguishability;
 
@@ -14,7 +14,13 @@ pub fn e7_indistinguishability(trials: usize) -> String {
     let mut t = Table::new(
         "E7a — Theorem B.2: round-capped MIS on bipartite vs non-bipartite LPS graphs",
         &[
-            "rounds", "E[|I|]/n bip", "E[|I|]/n non", "gap", "tree-like", "bip α/n", "non α/n ≤",
+            "rounds",
+            "E[|I|]/n bip",
+            "E[|I|]/n non",
+            "gap",
+            "tree-like",
+            "bip α/n",
+            "non α/n ≤",
         ],
     );
     let bip = lps_graph(5, 13);
@@ -33,7 +39,7 @@ pub fn e7_indistinguishability(trials: usize) -> String {
             rounds,
             trials,
             &mut rng,
-            |g, t, r| greedy_mis_rounds(g, t, r),
+            greedy_mis_rounds,
         );
         t.row(vec![
             rounds.to_string(),
@@ -88,7 +94,16 @@ pub fn e7_subdivision_tradeoff(trials: usize) -> String {
 pub fn e7_lps_structure() -> String {
     let mut t = Table::new(
         "E7c — Theorem B.1: LPS Ramanujan graph structure",
-        &["p", "q", "n", "degree", "case", "girth", "girth bound", "α upper bound"],
+        &[
+            "p",
+            "q",
+            "n",
+            "degree",
+            "case",
+            "girth",
+            "girth bound",
+            "α upper bound",
+        ],
     );
     for (p, q) in [(5u64, 13u64), (5, 29), (17, 5), (13, 5)] {
         let x = lps_graph(p, q);

@@ -78,8 +78,12 @@ pub fn run_experiment(id: &str, profile: Profile) -> String {
         "e6" => exp_ilp::e6(),
         "e7" => {
             let mut s = exp_lower::e7_lps_structure();
-            s.push_str(&exp_lower::e7_indistinguishability(profile.profile_trials()));
-            s.push_str(&exp_lower::e7_subdivision_tradeoff(profile.profile_trials()));
+            s.push_str(&exp_lower::e7_indistinguishability(
+                profile.profile_trials(),
+            ));
+            s.push_str(&exp_lower::e7_subdivision_tradeoff(
+                profile.profile_trials(),
+            ));
             s
         }
         "e8" => exp_ldd::e8(profile.quality_trials()),

@@ -6,7 +6,7 @@
 //! variables. Both are provided here with exact inverse-CDF sampling so the
 //! algorithms stay reproducible under seeded RNGs.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// An exponential distribution with rate `λ > 0`.
 ///

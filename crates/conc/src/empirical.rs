@@ -58,7 +58,10 @@ impl TailEstimator {
 
     /// Maximum sample (−∞ for the empty estimator).
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     fn ensure_sorted(&mut self) {
@@ -89,8 +92,7 @@ impl TailEstimator {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().filter(|&&x| x >= threshold).count() as f64
-            / self.samples.len() as f64
+        self.samples.iter().filter(|&&x| x >= threshold).count() as f64 / self.samples.len() as f64
     }
 
     /// Wilson 95% confidence interval for `Pr[X >= threshold]`.
@@ -115,7 +117,10 @@ pub fn wilson_interval(k: usize, n: usize) -> (f64, f64) {
     let denom = 1.0 + z2 / n_;
     let centre = p + z2 / (2.0 * n_);
     let margin = z * (p * (1.0 - p) / n_ + z2 / (4.0 * n_ * n_)).sqrt();
-    (((centre - margin) / denom).max(0.0), ((centre + margin) / denom).min(1.0))
+    (
+        ((centre - margin) / denom).max(0.0),
+        ((centre + margin) / denom).min(1.0),
+    )
 }
 
 /// Counts failures of a repeated boolean experiment and reports the

@@ -15,8 +15,7 @@ fn lemma_a1_upper_tail_certificate() {
         .map(|_| (0..n).filter(|_| bernoulli(&mut rng, p)).count() as f64)
         .collect();
     for delta in [0.25, 0.5, 1.0] {
-        let emp = sums.iter().filter(|&&s| s > (1.0 + delta) * mu).count() as f64
-            / trials as f64;
+        let emp = sums.iter().filter(|&&s| s > (1.0 + delta) * mu).count() as f64 / trials as f64;
         let bound = bounds::chernoff_upper(mu, delta);
         assert!(
             emp <= bound + 3.0 * (bound.max(1e-6) / trials as f64).sqrt() + 0.005,
@@ -34,8 +33,7 @@ fn lemma_a1_lower_tail_certificate() {
         .map(|_| (0..n).filter(|_| bernoulli(&mut rng, p)).count() as f64)
         .collect();
     for delta in [0.25, 0.5, 0.9] {
-        let emp = sums.iter().filter(|&&s| s < (1.0 - delta) * mu).count() as f64
-            / trials as f64;
+        let emp = sums.iter().filter(|&&s| s < (1.0 - delta) * mu).count() as f64 / trials as f64;
         let bound = bounds::chernoff_lower(mu, delta);
         assert!(
             emp <= bound + 3.0 * (bound.max(1e-6) / trials as f64).sqrt() + 0.005,
@@ -55,11 +53,8 @@ fn lemma_a2_geometric_sum_certificate() {
         .map(|_| (0..n).map(|_| d.sample(&mut rng)).sum::<u64>() as f64)
         .collect();
     for delta in [1.5f64, 2.0, 3.0] {
-        let emp = sums
-            .iter()
-            .filter(|&&s| s > mu + delta * n as f64)
-            .count() as f64
-            / trials as f64;
+        let emp =
+            sums.iter().filter(|&&s| s > mu + delta * n as f64).count() as f64 / trials as f64;
         let bound = bounds::geometric_sum_upper(n, p, delta);
         assert!(
             emp <= bound + 0.005,
@@ -75,7 +70,7 @@ fn bounded_dependence_bound_covers_correlated_sums() {
     let mut rng = StdRng::seed_from_u64(4);
     let (n, trials) = (900usize, 2000usize);
     let p = 0.2f64;
-    let mut tails = vec![0usize; 3];
+    let mut tails = [0usize; 3];
     let deltas = [0.5f64, 1.0, 1.5];
     let mu = (n as f64 - 1.0) * p * p; // E[Σ b_i b_{i+1}]
     for _ in 0..trials {

@@ -54,10 +54,9 @@ pub struct CoveringOutcome {
     pub stats: CoveringStats,
 }
 
-impl CoveringOutcome {
-    /// Total LOCAL rounds charged.
-    pub fn rounds(&self) -> usize {
-        self.ledger.total_rounds()
+impl dapc_local::RoundCost for CoveringOutcome {
+    fn ledger(&self) -> &RoundLedger {
+        &self.ledger
     }
 }
 
@@ -157,7 +156,7 @@ pub fn approximate_covering(
             let mut j_star = a_i;
             let mut best = u64::MAX;
             let mut j = a_i;
-            while j + 1 <= b_i {
+            while j < b_i {
                 let w = layer_weight(j);
                 if w < best {
                     best = w;
@@ -191,9 +190,7 @@ pub fn approximate_covering(
                         continue;
                     }
                     let members = h.edge(e);
-                    let touches_next = members
-                        .iter()
-                        .any(|&u| layer_of[u as usize] == 1);
+                    let touches_next = members.iter().any(|&u| layer_of[u as usize] == 1);
                     if touches_next {
                         debug_assert!(
                             members
@@ -367,7 +364,9 @@ mod tests {
         let universe = 30;
         let sets: Vec<Vec<usize>> = (0..25)
             .map(|i| {
-                let mut s: Vec<usize> = (0..universe).filter(|_| rng.random::<f64>() < 0.15).collect();
+                let mut s: Vec<usize> = (0..universe)
+                    .filter(|_| rng.random::<f64>() < 0.15)
+                    .collect();
                 s.push(i % universe); // ensure coverage
                 s
             })

@@ -1,0 +1,168 @@
+//! The one result type every backend returns.
+
+use crate::covering::{CoveringOutcome, CoveringStats};
+use crate::ensemble::EnsembleOutcome;
+use crate::gkm::GkmOutcome;
+use crate::packing::{PackingOutcome, PackingStats};
+use dapc_ilp::instance::{IlpInstance, Sense};
+use dapc_ilp::verify::FeasibilityReport;
+use dapc_local::{RoundCost, RoundLedger};
+
+/// Per-backend phase accounting, unified across the engine.
+///
+/// Exactly one variant is populated per run; the common questions
+/// ("was every local solve exact?", "how many centres were sampled?") have
+/// accessors on [`SolveReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BackendStats {
+    /// Theorem 1.2 phase counters.
+    Packing(PackingStats),
+    /// Theorem 1.3 phase counters.
+    Covering(CoveringStats),
+    /// GKM17: colours used by the network decomposition and solve
+    /// exactness.
+    Gkm {
+        /// Colours of the `H^{2k}` network decomposition.
+        colors: u32,
+        /// Whether every local solve proved optimality.
+        all_solves_exact: bool,
+    },
+    /// §4.2 ensemble: candidate values and the re-weighted pass value.
+    Ensemble {
+        /// Objective value of every candidate run.
+        candidate_values: Vec<u64>,
+        /// Value achieved by the re-weighted final decomposition.
+        reweighted_value: u64,
+        /// Whether every local solve proved optimality.
+        all_solves_exact: bool,
+    },
+    /// Centralised reference backends (greedy / branch & bound).
+    Centralised {
+        /// Whether the solve proved optimality.
+        exact: bool,
+    },
+}
+
+/// Unified result of any [`crate::engine::Solver`] backend, replacing the
+/// four incompatible outcome structs (`PackingOutcome`, `CoveringOutcome`,
+/// `GkmOutcome`, `EnsembleOutcome`) at the engine boundary.
+///
+/// Derives `PartialEq`, so determinism can be asserted as
+/// `report_a == report_b`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveReport {
+    /// Registry key of the backend that produced this report.
+    pub backend: &'static str,
+    /// Whether the instance packed or covered.
+    pub sense: Sense,
+    /// Feasible global 0/1 assignment.
+    pub assignment: Vec<bool>,
+    /// Its objective value `wᵀx`.
+    pub value: u64,
+    /// LOCAL round bill, phase by phase.
+    pub ledger: RoundLedger,
+    /// Backend-specific phase accounting.
+    pub stats: BackendStats,
+    /// Built-in feasibility verdict ([`dapc_ilp::verify::check`]).
+    pub verdict: FeasibilityReport,
+}
+
+impl RoundCost for SolveReport {
+    fn ledger(&self) -> &RoundLedger {
+        &self.ledger
+    }
+}
+
+impl SolveReport {
+    /// Whether the assignment satisfies every constraint.
+    pub fn feasible(&self) -> bool {
+        self.verdict.feasible
+    }
+
+    /// Whether every local solve proved optimality (`true` for backends
+    /// whose runs were all exact).
+    pub fn all_solves_exact(&self) -> bool {
+        match &self.stats {
+            BackendStats::Packing(s) => s.all_solves_exact,
+            BackendStats::Covering(s) => s.all_solves_exact,
+            BackendStats::Gkm {
+                all_solves_exact, ..
+            } => *all_solves_exact,
+            BackendStats::Ensemble {
+                all_solves_exact, ..
+            } => *all_solves_exact,
+            BackendStats::Centralised { exact } => *exact,
+        }
+    }
+
+    pub(crate) fn from_packing(
+        ilp: &IlpInstance,
+        backend: &'static str,
+        out: PackingOutcome,
+    ) -> Self {
+        let verdict = dapc_ilp::verify::check(ilp, &out.assignment);
+        SolveReport {
+            backend,
+            sense: Sense::Packing,
+            assignment: out.assignment,
+            value: out.value,
+            ledger: out.ledger,
+            stats: BackendStats::Packing(out.stats),
+            verdict,
+        }
+    }
+
+    pub(crate) fn from_covering(
+        ilp: &IlpInstance,
+        backend: &'static str,
+        out: CoveringOutcome,
+    ) -> Self {
+        let verdict = dapc_ilp::verify::check(ilp, &out.assignment);
+        SolveReport {
+            backend,
+            sense: Sense::Covering,
+            assignment: out.assignment,
+            value: out.value,
+            ledger: out.ledger,
+            stats: BackendStats::Covering(out.stats),
+            verdict,
+        }
+    }
+
+    pub(crate) fn from_gkm(ilp: &IlpInstance, backend: &'static str, out: GkmOutcome) -> Self {
+        let verdict = dapc_ilp::verify::check(ilp, &out.assignment);
+        SolveReport {
+            backend,
+            sense: ilp.sense(),
+            assignment: out.assignment,
+            value: out.value,
+            ledger: out.ledger,
+            stats: BackendStats::Gkm {
+                colors: out.colors,
+                all_solves_exact: out.all_solves_exact,
+            },
+            verdict,
+        }
+    }
+
+    pub(crate) fn from_ensemble(
+        ilp: &IlpInstance,
+        backend: &'static str,
+        out: EnsembleOutcome,
+    ) -> Self {
+        let verdict = dapc_ilp::verify::check(ilp, &out.assignment);
+        SolveReport {
+            backend,
+            sense: Sense::Packing,
+            assignment: out.assignment,
+            value: out.value,
+            ledger: out.ledger,
+            stats: BackendStats::Ensemble {
+                candidate_values: out.candidate_values,
+                reweighted_value: out.reweighted_value,
+                all_solves_exact: out.all_solves_exact,
+            },
+            verdict,
+        }
+    }
+}

@@ -39,12 +39,13 @@ pub struct EnsembleOutcome {
     /// LOCAL round cost (the `T` runs are parallel; the re-weighted run is
     /// sequential after them).
     pub ledger: RoundLedger,
+    /// Whether every local solve proved optimality.
+    pub all_solves_exact: bool,
 }
 
-impl EnsembleOutcome {
-    /// Total LOCAL rounds charged.
-    pub fn rounds(&self) -> usize {
-        self.ledger.total_rounds()
+impl dapc_local::RoundCost for EnsembleOutcome {
+    fn ledger(&self) -> &RoundLedger {
+        &self.ledger
     }
 }
 
@@ -162,6 +163,7 @@ pub fn packing_ensemble(
         candidate_values,
         reweighted_value,
         ledger,
+        all_solves_exact: solver.all_exact,
     }
 }
 

@@ -63,10 +63,9 @@ pub struct GkmOutcome {
     pub all_solves_exact: bool,
 }
 
-impl GkmOutcome {
-    /// Total LOCAL rounds charged.
-    pub fn rounds(&self) -> usize {
-        self.ledger.total_rounds()
+impl dapc_local::RoundCost for GkmOutcome {
+    fn ledger(&self) -> &RoundLedger {
+        &self.ledger
     }
 }
 
@@ -176,7 +175,7 @@ fn carve_cluster(
     alive_v: &mut [bool],
     alive_e: &mut [bool],
     fixed_one: &mut [bool],
-    assignment: &mut Vec<bool>,
+    assignment: &mut [bool],
     solver: &mut SubsetSolver<'_>,
 ) {
     let n = h.n();
@@ -222,11 +221,17 @@ fn carve_cluster(
         }
         Sense::Covering => {
             let (_, local, _) = solver.solve_mask(&ball_mask, Some(fixed_one));
-            let lo = if params.k >= 3 { 3 } else { 1 };
+            // The window {j*, j*+1} must fit inside the ball (j*+1 ≤ k),
+            // otherwise the default j* would sit on the ball boundary and
+            // `within(j*)` would kill vertices whose outward constraints
+            // were never satisfied. Hyperedge members span at most two
+            // adjacent layers, so any window with j* ≥ 1 carves soundly;
+            // prefer j* ≥ 3 (a non-trivial inner core) when k allows it.
+            let lo = if params.k >= 4 { 3 } else { 1 };
             let mut j_star = lo;
             let mut best = u64::MAX;
             let mut j = lo;
-            while j + 1 <= params.k {
+            while j < params.k {
                 let w: u64 = (j..=j + 1)
                     .flat_map(|l| ball.level(l).iter())
                     .filter(|&&v| local[v as usize])
@@ -259,9 +264,7 @@ fn carve_cluster(
             }
             for &v in ball.level(j_star) {
                 for &e in h.incident_edges(v) {
-                    if alive_e[e as usize]
-                        && h.edge(e).iter().any(|&u| layer_of[u as usize] == 1)
-                    {
+                    if alive_e[e as usize] && h.edge(e).iter().any(|&u| layer_of[u as usize] == 1) {
                         alive_e[e as usize] = false;
                     }
                 }
@@ -299,9 +302,11 @@ fn hypergraph_power(h: &Hypergraph, k: usize) -> dapc_graph::Graph {
 
 #[cfg(test)]
 mod tests {
+
     use super::*;
     use dapc_graph::gen;
     use dapc_ilp::{problems, verify};
+    use dapc_local::RoundCost;
 
     #[test]
     fn gkm_mis_within_guarantee() {

@@ -56,10 +56,9 @@ pub struct PackingOutcome {
     pub stats: PackingStats,
 }
 
-impl PackingOutcome {
-    /// Total LOCAL rounds charged.
-    pub fn rounds(&self) -> usize {
-        self.ledger.total_rounds()
+impl dapc_local::RoundCost for PackingOutcome {
+    fn ledger(&self) -> &RoundLedger {
+        &self.ledger
     }
 }
 
@@ -162,7 +161,7 @@ pub fn approximate_packing(
             let mut j_star = a_i;
             let mut best = u64::MAX;
             let mut j = a_i;
-            while j <= b_i - 1 {
+            while j < b_i {
                 let w = window_weight(j);
                 if w < best {
                     best = w;
@@ -219,7 +218,9 @@ pub fn approximate_packing(
     ledger.end_phase();
     let mut assignment = vec![false; n];
     for c in 0..k {
-        let mask: Vec<bool> = (0..n).map(|v| survivors[v] && comp[v] == c as u32).collect();
+        let mask: Vec<bool> = (0..n)
+            .map(|v| survivors[v] && comp[v] == c as u32)
+            .collect();
         let (_, local, _) = solver.solve_mask(&mask, None);
         for v in 0..n {
             if mask[v] && local[v] {
@@ -229,7 +230,10 @@ pub fn approximate_packing(
     }
     stats.all_solves_exact = solver.all_exact;
     let value = ilp.value(&assignment);
-    debug_assert!(ilp.is_feasible(&assignment), "packing output must be feasible");
+    debug_assert!(
+        ilp.is_feasible(&assignment),
+        "packing output must be feasible"
+    );
     PackingOutcome {
         assignment,
         value,
@@ -261,6 +265,7 @@ mod tests {
     use super::*;
     use dapc_graph::gen;
     use dapc_ilp::{problems, verify};
+    use dapc_local::RoundCost;
 
     fn scaled(eps: f64, n: usize) -> PcParams {
         PcParams::packing_scaled(eps, n as f64, 0.02, 0.3)

@@ -2,6 +2,59 @@
 
 use dapc_ilp::SolverBudget;
 
+/// The documented scaling knobs for the paper's leading constants
+/// (DESIGN.md §2, item 3): every adapter, example and engine backend
+/// derives its [`PcParams`] through these.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaleKnobs {
+    /// Replaces the `200` in `R = ⌈…·t·ln ñ/ε⌉`.
+    pub r_scale: f64,
+    /// Replaces the `16` in the preparation count `⌈…·ln ñ⌉`.
+    pub prep_scale: f64,
+    /// Replaces the `+8` in the covering iteration count.
+    pub covering_t_slack: f64,
+}
+
+impl Default for ScaleKnobs {
+    /// Laptop-scale defaults used throughout the examples and tests.
+    fn default() -> Self {
+        ScaleKnobs {
+            r_scale: 0.02,
+            prep_scale: 0.3,
+            covering_t_slack: 1.0,
+        }
+    }
+}
+
+impl ScaleKnobs {
+    /// The paper's constants (only sensible for very small inputs — the
+    /// radii exceed any simulable diameter by orders of magnitude, which
+    /// is *correct* but makes every cluster the whole graph).
+    pub fn paper() -> Self {
+        ScaleKnobs {
+            r_scale: 200.0,
+            prep_scale: 16.0,
+            covering_t_slack: 8.0,
+        }
+    }
+
+    /// Packing parameters for an `n`-variable instance under these knobs.
+    pub fn packing_params(&self, eps: f64, n: usize) -> PcParams {
+        PcParams::packing_scaled(eps, (n.max(3)) as f64, self.r_scale, self.prep_scale)
+    }
+
+    /// Covering parameters for an `n`-variable instance under these knobs.
+    pub fn covering_params(&self, eps: f64, n: usize) -> PcParams {
+        PcParams::covering_scaled(
+            eps,
+            (n.max(3)) as f64,
+            self.r_scale,
+            self.prep_scale,
+            self.covering_t_slack,
+        )
+    }
+}
+
 /// Parameters of the Theorem 1.2 / 1.3 algorithms.
 ///
 /// The `*_paper` constructors reproduce the constants printed in the paper;
@@ -34,7 +87,13 @@ pub struct PcParams {
 }
 
 impl PcParams {
-    fn common(eps: f64, n_tilde: f64, t: usize, r_scale: f64, prep_scale: f64) -> (usize, usize, usize) {
+    fn common(
+        eps: f64,
+        n_tilde: f64,
+        t: usize,
+        r_scale: f64,
+        prep_scale: f64,
+    ) -> (usize, usize, usize) {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
         assert!(n_tilde > 1.0, "n_tilde must exceed 1");
         let r = ((r_scale * t as f64 * n_tilde.ln()) / eps).ceil().max(2.0) as usize;
@@ -84,7 +143,9 @@ impl PcParams {
         t_slack: f64,
     ) -> Self {
         assert!(n_tilde > std::f64::consts::E, "need ln ln ñ > 0");
-        let t = (n_tilde.ln().log2() + (1.0 / eps).log2() + t_slack).ceil().max(1.0) as usize;
+        let t = (n_tilde.ln().log2() + (1.0 / eps).log2() + t_slack)
+            .ceil()
+            .max(1.0) as usize;
         let (r, prep_count, sc_radius) = Self::common(eps, n_tilde, t, r_scale, prep_scale);
         PcParams {
             eps,

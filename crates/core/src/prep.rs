@@ -70,9 +70,7 @@ impl<'a> SubsetSolver<'a> {
         // key by offsetting (cheap, collision-free encoding).
         if let Some(f) = fixed_ones {
             key.push(u32::MAX); // separator
-            key.extend(
-                (0..self.ilp.n() as Vertex).filter(|&v| f[v as usize] && mask[v as usize]),
-            );
+            key.extend((0..self.ilp.n() as Vertex).filter(|&v| f[v as usize] && mask[v as usize]));
         }
         if let Some(hit) = self.cache.get(&key) {
             return hit.clone();

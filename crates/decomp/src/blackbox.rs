@@ -15,7 +15,7 @@
 use crate::result::Decomposition;
 use crate::three_phase::{three_phase_ldd, LddParams};
 use dapc_graph::{power, traversal, Graph, Vertex};
-use dapc_local::RoundLedger;
+use dapc_local::{RoundCost, RoundLedger};
 use rand::rngs::StdRng;
 
 /// Parameters of the blackbox construction.
@@ -161,7 +161,11 @@ mod tests {
     #[test]
     fn valid_on_families() {
         let mut rng = gen::seeded_rng(61);
-        for g in [gen::grid(9, 9), gen::cycle(100), gen::random_tree(90, &mut rng)] {
+        for g in [
+            gen::grid(9, 9),
+            gen::cycle(100),
+            gen::random_tree(90, &mut rng),
+        ] {
             let params = BlackboxParams::new(0.3, g.n() as f64, 0.02);
             let d = blackbox_ldd(&g, &params, &mut rng);
             d.validate(&g, None).unwrap();

@@ -79,7 +79,7 @@ pub fn elkin_neiman(
     let labels = propagate(g, &shifts, Keep::Top(2), alive);
     let mut label_of: Vec<Option<Vertex>> = vec![None; n];
     for v in 0..n {
-        if !alive.map_or(true, |a| a[v]) {
+        if !alive.is_none_or(|a| a[v]) {
             continue;
         }
         let ls = &labels[v];
@@ -106,6 +106,7 @@ pub fn elkin_neiman(
 mod tests {
     use super::*;
     use dapc_graph::gen;
+    use dapc_local::RoundCost;
 
     #[test]
     fn decomposition_is_valid_on_families() {
@@ -168,8 +169,8 @@ mod tests {
         let params = EnParams::new(0.4, 64.0);
         let d = elkin_neiman(&g, &params, &mut rng, Some(&alive));
         d.validate(&g, Some(&alive)).unwrap();
-        for v in 0..64 {
-            if !alive[v] {
+        for (v, &live) in alive.iter().enumerate() {
+            if !live {
                 assert!(d.cluster_of[v].is_none());
                 assert!(!d.deleted[v]);
             }

@@ -118,13 +118,13 @@ impl NodeProgram for EnProgram {
 /// # Panics
 ///
 /// Panics if `shifts.len() != g.n()`.
-pub fn elkin_neiman_distributed(g: &Graph, shifts: &[f64], rounds: usize) -> (Decomposition, usize) {
+pub fn elkin_neiman_distributed(
+    g: &Graph,
+    shifts: &[f64],
+    rounds: usize,
+) -> (Decomposition, usize) {
     assert_eq!(shifts.len(), g.n());
-    let mut net = Network::new(
-        g,
-        |v, _| EnProgram::new(shifts[v as usize], rounds),
-        g.n(),
-    );
+    let mut net = Network::new(g, |v, _| EnProgram::new(shifts[v as usize], rounds), g.n());
     let stats = net.run(rounds + 1);
     let labels: Vec<Option<Vertex>> = net.nodes().iter().map(|p| p.verdict()).collect();
     let mut ledger = RoundLedger::new();
@@ -174,14 +174,12 @@ mod tests {
             // Distributed.
             let (dist, executed) = elkin_neiman_distributed(&g, &shifts, rounds);
             assert!(executed <= rounds);
-            for v in 0..g.n() {
-                let dist_label = dist
-                    .cluster_of[v]
-                    .map(|c| dist.clusters[c as usize][0]);
+            for (v, c_label) in central.iter().enumerate() {
+                let dist_label = dist.cluster_of[v].map(|c| dist.clusters[c as usize][0]);
                 // Compare verdicts: deleted-vs-clustered must agree, and
                 // clustered vertices must group identically.
                 assert_eq!(
-                    central[v].is_none(),
+                    c_label.is_none(),
                     dist_label.is_none(),
                     "seed {seed}, vertex {v}: deletion verdicts differ"
                 );
@@ -219,7 +217,7 @@ mod tests {
     #[test]
     fn all_zero_shifts_delete_neighbourhoods() {
         let g = gen::cycle(10);
-        let (d, _) = elkin_neiman_distributed(&g, &vec![0.0; 10], 5);
+        let (d, _) = elkin_neiman_distributed(&g, &[0.0; 10], 5);
         // With all-equal shifts every vertex hears a second source at
         // value ≥ own − 1, so everyone is deleted.
         assert_eq!(d.deleted_count(), 10);

@@ -117,7 +117,10 @@ mod tests {
             frac_small < frac_large,
             "cut fraction must grow with lambda ({frac_small} vs {frac_large})"
         );
-        assert!(frac_small < 0.25, "λ=0.05 should cut few edges: {frac_small}");
+        assert!(
+            frac_small < 0.25,
+            "λ=0.05 should cut few edges: {frac_small}"
+        );
     }
 
     #[test]

@@ -35,9 +35,7 @@ impl NetworkDecomposition {
         for (u, v) in g.edges() {
             let (cu, cv) = (self.cluster_of[u as usize], self.cluster_of[v as usize]);
             if cu != cv && self.color_of[u as usize] == self.color_of[v as usize] {
-                return Err(format!(
-                    "adjacent same-colour clusters at edge ({u}, {v})"
-                ));
+                return Err(format!("adjacent same-colour clusters at edge ({u}, {v})"));
             }
         }
         let mut seen = vec![false; self.color_of.len()];

@@ -1,7 +1,7 @@
 //! The common output type of all low-diameter decompositions.
 
 use dapc_graph::{traversal, Graph, Vertex};
-use dapc_local::RoundLedger;
+use dapc_local::{RoundCost, RoundLedger};
 
 /// A low-diameter decomposition (Definition 1.4): a partition of the alive
 /// vertices into mutually non-adjacent clusters plus a set of deleted
@@ -29,7 +29,7 @@ impl Decomposition {
         ledger: RoundLedger,
     ) -> Self {
         assert_eq!(label.len(), n);
-        let is_alive = |v: usize| alive.map_or(true, |a| a[v]);
+        let is_alive = |v: usize| alive.is_none_or(|a| a[v]);
         let mut centre_ids: std::collections::HashMap<Vertex, u32> =
             std::collections::HashMap::new();
         let mut clusters: Vec<Vec<Vertex>> = Vec::new();
@@ -82,20 +82,15 @@ impl Decomposition {
         }
     }
 
-    /// Total LOCAL rounds charged.
-    pub fn rounds(&self) -> usize {
-        self.ledger.total_rounds()
-    }
-
     /// Checks Definition 1.4's separation property: no edge of `g` joins
     /// two different clusters.
     pub fn clusters_are_separated(&self, g: &Graph) -> bool {
-        g.edges().all(|(u, v)| {
-            match (self.cluster_of[u as usize], self.cluster_of[v as usize]) {
+        g.edges().all(
+            |(u, v)| match (self.cluster_of[u as usize], self.cluster_of[v as usize]) {
                 (Some(a), Some(b)) => a == b,
                 _ => true,
-            }
-        })
+            },
+        )
     }
 
     /// Maximum weak diameter over clusters (`0` when there are none).
@@ -124,7 +119,7 @@ impl Decomposition {
     /// Full Definition 1.4 validation: separation plus partition sanity.
     pub fn validate(&self, g: &Graph, alive: Option<&[bool]>) -> Result<(), String> {
         let n = g.n();
-        let is_alive = |v: usize| alive.map_or(true, |a| a[v]);
+        let is_alive = |v: usize| alive.is_none_or(|a| a[v]);
         for v in 0..n {
             let in_cluster = self.cluster_of[v].is_some();
             let del = self.deleted[v];
@@ -149,6 +144,12 @@ impl Decomposition {
             }
         }
         Ok(())
+    }
+}
+
+impl RoundCost for Decomposition {
+    fn ledger(&self) -> &RoundLedger {
+        &self.ledger
     }
 }
 

@@ -81,7 +81,7 @@ pub fn draw_shifts(
     let cap = 4.0 * n_tilde.ln() / lambda;
     (0..n)
         .map(|v| {
-            if alive.map_or(true, |a| a[v]) {
+            if alive.is_none_or(|a| a[v]) {
                 exp.sample_reset_at(rng, cap)
             } else {
                 0.0
@@ -97,14 +97,9 @@ pub fn draw_shifts(
 /// relayed to neighbours with value − 1; labels that fall outside the keep
 /// policy at a vertex are pruned there (and, by the monotonicity argument
 /// in the module docs, everywhere downstream).
-pub fn propagate(
-    g: &Graph,
-    shifts: &[f64],
-    keep: Keep,
-    alive: Option<&[bool]>,
-) -> Vec<Vec<Label>> {
+pub fn propagate(g: &Graph, shifts: &[f64], keep: Keep, alive: Option<&[bool]>) -> Vec<Vec<Label>> {
     assert_eq!(shifts.len(), g.n());
-    let is_alive = |v: Vertex| alive.map_or(true, |a| a[v as usize]);
+    let is_alive = |v: Vertex| alive.is_none_or(|a| a[v as usize]);
     let n = g.n();
     let mut labels: Vec<Vec<Label>> = vec![Vec::new(); n];
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
@@ -163,9 +158,9 @@ mod tests {
         // Only vertex 0 has a large shift; everyone hears it.
         let shifts = vec![10.0, 0.0, 0.0, 0.0, 0.0];
         let labels = propagate(&g, &shifts, Keep::Top(1), None);
-        for v in 0..5 {
-            assert_eq!(labels[v][0].source, 0);
-            assert!((labels[v][0].value - (10.0 - v as f64)).abs() < 1e-9);
+        for (v, label) in labels.iter().enumerate() {
+            assert_eq!(label[0].source, 0);
+            assert!((label[0].value - (10.0 - v as f64)).abs() < 1e-9);
         }
     }
 

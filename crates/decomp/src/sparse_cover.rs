@@ -30,6 +30,12 @@ pub struct SparseCover {
     pub ledger: RoundLedger,
 }
 
+impl dapc_local::RoundCost for SparseCover {
+    fn ledger(&self) -> &RoundLedger {
+        &self.ledger
+    }
+}
+
 impl SparseCover {
     /// Number of clusters.
     pub fn len(&self) -> usize {
@@ -87,7 +93,7 @@ impl SparseCover {
                 let live: Vec<Vertex> = members
                     .iter()
                     .copied()
-                    .filter(|&v| alive_vertices.map_or(true, |a| a[v as usize]))
+                    .filter(|&v| alive_vertices.is_none_or(|a| a[v as usize]))
                     .collect();
                 if live.is_empty() {
                     return false;
@@ -149,10 +155,9 @@ pub fn sparse_cover(
     alive_edges: Option<&[bool]>,
 ) -> SparseCover {
     let n = h.n();
-    let v_ok = |v: Vertex| alive_vertices.map_or(true, |a| a[v as usize]);
-    let e_ok = |e: EdgeId| alive_edges.map_or(true, |a| a[e as usize]);
-    let shifts =
-        crate::shift::draw_shifts(n, lambda, n_tilde, rng, alive_vertices);
+    let v_ok = |v: Vertex| alive_vertices.is_none_or(|a| a[v as usize]);
+    let e_ok = |e: EdgeId| alive_edges.is_none_or(|a| a[e as usize]);
+    let shifts = crate::shift::draw_shifts(n, lambda, n_tilde, rng, alive_vertices);
     // Threshold-pruned multi-label propagation in the primal metric.
     let mut labels: Vec<Vec<(Vertex, f64)>> = vec![Vec::new(); n];
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
@@ -306,16 +311,16 @@ mod tests {
         let bound = 8.0 * 150f64.ln() / lambda;
         for c in &cover.clusters {
             let d = h.weak_diameter(c).expect("cluster connected in H");
-            assert!(f64::from(d) <= bound, "cluster diameter {d} > bound {bound}");
+            assert!(
+                f64::from(d) <= bound,
+                "cluster diameter {d} > bound {bound}"
+            );
         }
     }
 
     #[test]
     fn masked_cover_ignores_dead_parts() {
-        let h = Hypergraph::new(
-            6,
-            vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]],
-        );
+        let h = Hypergraph::new(6, vec![vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]]);
         let alive_v = vec![true, true, true, false, false, false];
         let alive_e = vec![true, true, false];
         let cover = sparse_cover(

@@ -151,6 +151,12 @@ pub struct ThreePhaseOutcome {
     pub stats: ThreePhaseStats,
 }
 
+impl dapc_local::RoundCost for ThreePhaseOutcome {
+    fn ledger(&self) -> &RoundLedger {
+        &self.decomposition.ledger
+    }
+}
+
 /// Runs the Theorem 1.1 decomposition on the alive subgraph of `g`.
 ///
 /// # Examples
@@ -215,7 +221,10 @@ fn run_three_phase(
     };
     // `state[v]`: 0 = active, 1 = removed (carved into a cluster),
     // 2 = deleted, 3 = dead (outside the alive mask).
-    let mut state: Vec<u8> = initial_alive.iter().map(|&a| if a { 0 } else { 3 }).collect();
+    let mut state: Vec<u8> = initial_alive
+        .iter()
+        .map(|&a| if a { 0 } else { 3 })
+        .collect();
 
     // n_v = |N^{4tR}(v)| (Algorithm 2, line 1). Radii this large almost
     // always cover whole components; certify with one eccentricity check
@@ -234,7 +243,7 @@ fn run_three_phase(
         }
         let (a_i, b_i) = params.interval(i);
         ledger.begin_phase(if is_phase2 {
-            format!("phase2 carve [R+1,2R]")
+            "phase2 carve [R+1,2R]".to_string()
         } else {
             format!("phase1/iter{i} carve")
         });
@@ -359,9 +368,7 @@ fn sparsest_level(ball: &traversal::Ball, a: usize, b: usize) -> usize {
 /// Index `j* ∈ [a, b]` of the lightest level set by vertex mass
 /// (ties: smallest `j`).
 fn lightest_level(ball: &traversal::Ball, a: usize, b: usize, weights: &[u64]) -> usize {
-    let level_mass = |j: usize| -> u64 {
-        ball.level(j).iter().map(|&v| weights[v as usize]).sum()
-    };
+    let level_mass = |j: usize| -> u64 { ball.level(j).iter().map(|&v| weights[v as usize]).sum() };
     let mut best = a;
     let mut best_mass = level_mass(a);
     for j in a + 1..=b {
@@ -380,12 +387,7 @@ fn lightest_level(ball: &traversal::Ball, a: usize, b: usize, weights: &[u64]) -
 /// Mass of `N^r(v)` for every alive vertex (vertex count when `weights`
 /// is `None`), with a per-component shortcut when the radius provably
 /// covers the component.
-fn estimate_ball_mass(
-    g: &Graph,
-    r: usize,
-    alive: &[bool],
-    weights: Option<&[u64]>,
-) -> Vec<u64> {
+fn estimate_ball_mass(g: &Graph, r: usize, alive: &[bool], weights: Option<&[u64]>) -> Vec<u64> {
     let mass = |v: usize| weights.map_or(1u64, |w| w[v]);
     let n = g.n();
     let (comp, k) = g.connected_components_masked(alive);
@@ -492,8 +494,8 @@ pub fn improve_diameter(
             }
             m
         };
-        max_old_diameter = max_old_diameter
-            .max(traversal::weak_diameter(g, cluster).unwrap_or(0) as usize);
+        max_old_diameter =
+            max_old_diameter.max(traversal::weak_diameter(g, cluster).unwrap_or(0) as usize);
         // Retry until the deleted fraction is within budget (Markov: each
         // attempt succeeds with probability ≥ 1/2; cap attempts for
         // robustness and keep the best).
@@ -534,6 +536,7 @@ pub fn improve_diameter(
 mod tests {
     use super::*;
     use dapc_graph::gen;
+    use dapc_local::RoundCost;
 
     fn small_params(eps: f64, n: usize) -> LddParams {
         // Tiny R so tests exercise all phases on small graphs.
@@ -574,10 +577,7 @@ mod tests {
             assert!(p.sampling_probability(i, n_v) < p.sampling_probability(i + 1, n_v));
         }
         // Phase 2 has the extra ln(20/ε) factor.
-        assert!(
-            p.sampling_probability(p.t + 1, n_v)
-                > 2.0 * p.sampling_probability(p.t, n_v)
-        );
+        assert!(p.sampling_probability(p.t + 1, n_v) > 2.0 * p.sampling_probability(p.t, n_v));
     }
 
     #[test]
@@ -598,10 +598,13 @@ mod tests {
     #[test]
     fn deletion_budget_holds_on_bounded_degree_graphs() {
         // With real (unscaled-in-structure) parameters the guarantee is
-        // whp; with the scaled constants we still expect the budget to
-        // hold on easy instances across many seeds.
+        // whp; with scaled constants we still expect the budget to hold
+        // on easy instances across many seeds — but not at the fully
+        // degenerate R = 2 (r_scale <= 0.02 here), where the deleted
+        // fraction genuinely straddles ε and only the in-expectation
+        // bound survives. R = 3 is the smallest non-degenerate interval.
         let g = gen::grid(15, 15);
-        let params = small_params(0.4, g.n());
+        let params = LddParams::scaled(0.4, g.n() as f64, 0.03);
         let mut worst = 0.0f64;
         for seed in 0..20 {
             let out = three_phase_ldd(&g, &params, &mut gen::seeded_rng(seed), None);
@@ -712,7 +715,10 @@ mod tests {
         let b = three_phase_ldd_weighted(&g, &params, &vec![1; 150], &mut gen::seeded_rng(7), None);
         assert_eq!(a.decomposition.deleted, b.decomposition.deleted);
         assert_eq!(a.decomposition.clusters, b.decomposition.clusters);
-        assert_eq!(b.stats.deleted_mass as usize, b.decomposition.deleted_count());
+        assert_eq!(
+            b.stats.deleted_mass as usize,
+            b.decomposition.deleted_count()
+        );
     }
 
     #[test]
@@ -720,7 +726,9 @@ mod tests {
         // Skewed weights: a few heavy vertices; the deleted *mass* must
         // stay within ε·W across seeds.
         let g = gen::grid(14, 14);
-        let weights: Vec<u64> = (0..196).map(|v| if v % 29 == 0 { 100 } else { 1 }).collect();
+        let weights: Vec<u64> = (0..196)
+            .map(|v| if v % 29 == 0 { 100 } else { 1 })
+            .collect();
         let total: u64 = weights.iter().sum();
         let eps = 0.3;
         let params = small_params(eps, 196);

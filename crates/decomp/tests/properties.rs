@@ -57,8 +57,8 @@ proptest! {
         let params = LddParams::scaled(0.25, g.n() as f64, 0.02);
         let out = three_phase_ldd(&g, &params, &mut gen::seeded_rng(seed), Some(&alive));
         prop_assert!(out.decomposition.validate(&g, Some(&alive)).is_ok());
-        for v in 0..g.n() {
-            if !alive[v] {
+        for (v, &live) in alive.iter().enumerate() {
+            if !live {
                 prop_assert!(out.decomposition.cluster_of[v].is_none());
                 prop_assert!(!out.decomposition.deleted[v]);
             }

@@ -193,7 +193,7 @@ pub fn random_tree(n: usize, rng: &mut StdRng) -> Graph {
 ///
 /// Panics if `n * d` is odd or `d >= n`.
 pub fn random_regular(n: usize, d: usize, rng: &mut StdRng) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be below n");
     if d == 0 {
         return Graph::empty(n);
@@ -472,6 +472,6 @@ mod tests {
         let g = high_girth(200, 6, 5000, &mut rng);
         assert!(g.m() > 50, "generator should place a fair number of edges");
         let girth = crate::girth::girth(&g);
-        assert!(girth.map_or(true, |x| x > 6), "girth {girth:?} too small");
+        assert!(girth.is_none_or(|x| x > 6), "girth {girth:?} too small");
     }
 }

@@ -101,8 +101,9 @@ mod tests {
     #[test]
     fn girth_with_pendant_paths() {
         // Cycle of length 5 with a long tail: girth stays 5.
-        let mut edges: Vec<(Vertex, Vertex)> =
-            (0..5).map(|i| (i as Vertex, ((i + 1) % 5) as Vertex)).collect();
+        let mut edges: Vec<(Vertex, Vertex)> = (0..5)
+            .map(|i| (i as Vertex, ((i + 1) % 5) as Vertex))
+            .collect();
         edges.push((0, 5));
         edges.push((5, 6));
         edges.push((6, 7));

@@ -51,7 +51,10 @@ impl Hypergraph {
             e.sort_unstable();
             e.dedup();
             for &v in e.iter() {
-                assert!((v as usize) < n, "hyperedge {i} mentions vertex {v} >= n={n}");
+                assert!(
+                    (v as usize) < n,
+                    "hyperedge {i} mentions vertex {v} >= n={n}"
+                );
                 incidence[v as usize].push(i as EdgeId);
             }
         }
@@ -159,8 +162,8 @@ impl Hypergraph {
         if let Some(a) = alive_edges {
             assert_eq!(a.len(), self.edges.len(), "edge mask length mismatch");
         }
-        let v_ok = |v: Vertex| alive_vertices.map_or(true, |a| a[v as usize]);
-        let e_ok = |e: EdgeId| alive_edges.map_or(true, |a| a[e as usize]);
+        let v_ok = |v: Vertex| alive_vertices.is_none_or(|a| a[v as usize]);
+        let e_ok = |e: EdgeId| alive_edges.is_none_or(|a| a[e as usize]);
         let mut seen_v = vec![false; self.n];
         let mut seen_e = vec![false; self.edges.len()];
         let mut levels: Vec<Vec<Vertex>> = Vec::new();
@@ -211,8 +214,8 @@ impl Hypergraph {
         alive_edges: Option<&[bool]>,
     ) -> Vec<u32> {
         let mut dist = vec![crate::traversal::UNREACHABLE; self.n];
-        let v_ok = |v: Vertex| alive_vertices.map_or(true, |a| a[v as usize]);
-        let e_ok = |e: EdgeId| alive_edges.map_or(true, |a| a[e as usize]);
+        let v_ok = |v: Vertex| alive_vertices.is_none_or(|a| a[v as usize]);
+        let e_ok = |e: EdgeId| alive_edges.is_none_or(|a| a[e as usize]);
         let mut seen_e = vec![false; self.edges.len()];
         let mut queue = VecDeque::new();
         for &s in sources {

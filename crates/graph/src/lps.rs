@@ -57,13 +57,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut s = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -161,7 +161,11 @@ pub fn norm_p_quaternions(p: i64) -> Vec<[i64; 4]> {
 type PMat = [u32; 4];
 
 fn canonicalize(m: [u64; 4], q: u64) -> PMat {
-    let lead = m.iter().copied().find(|&x| x % q != 0).expect("nonzero matrix");
+    let lead = m
+        .iter()
+        .copied()
+        .find(|&x| x % q != 0)
+        .expect("nonzero matrix");
     let inv = mod_pow(lead % q, q - 2, q);
     let mut out = [0u32; 4];
     for (o, &x) in out.iter_mut().zip(m.iter()) {
@@ -237,8 +241,14 @@ impl LpsGraph {
 /// assert!(x.graph.is_bipartite());
 /// ```
 pub fn lps_graph(p: u64, q: u64) -> LpsGraph {
-    assert!(is_prime(p) && p % 4 == 1, "p = {p} must be a prime ≡ 1 (mod 4)");
-    assert!(is_prime(q) && q % 4 == 1, "q = {q} must be a prime ≡ 1 (mod 4)");
+    assert!(
+        is_prime(p) && p % 4 == 1,
+        "p = {p} must be a prime ≡ 1 (mod 4)"
+    );
+    assert!(
+        is_prime(q) && q % 4 == 1,
+        "q = {q} must be a prime ≡ 1 (mod 4)"
+    );
     assert_ne!(p, q, "p and q must be distinct");
     let i = sqrt_minus_one(q);
     let quats = norm_p_quaternions(p as i64);

@@ -131,7 +131,7 @@ pub fn ball(g: &Graph, sources: &[Vertex], r: usize, alive: Option<&[bool]>) -> 
     if let Some(a) = alive {
         assert_eq!(a.len(), g.n(), "alive mask length mismatch");
     }
-    let is_alive = |v: Vertex| alive.map_or(true, |a| a[v as usize]);
+    let is_alive = |v: Vertex| alive.is_none_or(|a| a[v as usize]);
     let mut seen = vec![false; g.n()];
     let mut levels: Vec<Vec<Vertex>> = Vec::new();
     let mut frontier: Vec<Vertex> = Vec::new();

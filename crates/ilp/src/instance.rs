@@ -125,7 +125,10 @@ impl IlpInstance {
         assert_eq!(weights.len(), n, "one weight per variable");
         for c in &constraints {
             for &(v, _) in c.coeffs() {
-                assert!((v as usize) < n, "constraint mentions variable {v} >= n={n}");
+                assert!(
+                    (v as usize) < n,
+                    "constraint mentions variable {v} >= n={n}"
+                );
             }
         }
         if sense == Sense::Covering {
@@ -358,10 +361,7 @@ mod tests {
         let ilp = IlpInstance::packing(
             3,
             vec![1, 1, 1],
-            vec![Constraint::new(
-                vec![(0, 0.5), (1, 0.7), (2, 0.9)],
-                1.2,
-            )],
+            vec![Constraint::new(vec![(0, 0.5), (1, 0.7), (2, 0.9)], 1.2)],
         );
         assert!(ilp.is_feasible(&[true, true, false])); // 1.2 <= 1.2
         assert!(!ilp.is_feasible(&[true, false, true])); // 1.4 > 1.2

@@ -36,3 +36,4 @@ pub mod verify;
 pub use instance::{Constraint, IlpInstance, Sense};
 pub use restrict::SubInstance;
 pub use solvers::{Solution, SolverBudget};
+pub use verify::{FeasibilityReport, Verdict};

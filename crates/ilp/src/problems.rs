@@ -239,7 +239,7 @@ mod tests {
         let mut x = vec![false; 5];
         x[0] = true;
         assert!(ilp.is_feasible(&x));
-        assert!(!ilp.is_feasible(&vec![false; 5]));
+        assert!(!ilp.is_feasible(&[false; 5]));
     }
 
     #[test]

@@ -225,7 +225,10 @@ mod tests {
         assert!(sub.is_feasible(&local));
         let mut global = vec![false; 6];
         sub.lift_into(&local, &mut global);
-        assert!(ilp.is_feasible(&global), "Observation 2.1 zero-fill property");
+        assert!(
+            ilp.is_feasible(&global),
+            "Observation 2.1 zero-fill property"
+        );
     }
 
     #[test]
@@ -264,11 +267,8 @@ mod tests {
                 2.0,
             )],
         );
-        let sub = covering_restriction_with_fixed(
-            &ilp,
-            &[true, true, true],
-            Some(&[false, false, true]),
-        );
+        let sub =
+            covering_restriction_with_fixed(&ilp, &[true, true, true], Some(&[false, false, true]));
         assert_eq!(sub.m(), 1);
         assert_eq!(sub.constraints[0].bound(), 1.0);
         assert!(sub.is_feasible(&[true, false]));
@@ -279,7 +279,7 @@ mod tests {
     fn empty_subset_yields_empty_subinstance() {
         let g = gen::cycle(4);
         let ilp = problems::max_independent_set_unweighted(&g);
-        let sub = packing_restriction(&ilp, &vec![false; 4]);
+        let sub = packing_restriction(&ilp, &[false; 4]);
         assert_eq!(sub.n(), 0);
         assert_eq!(sub.m(), 0);
         assert!(sub.is_feasible(&[]));

@@ -41,9 +41,7 @@ impl Matching {
     pub fn is_valid(&self, g: &Graph) -> bool {
         self.mate.iter().enumerate().all(|(v, &m)| match m {
             None => true,
-            Some(u) => {
-                g.has_edge(v as Vertex, u) && self.mate[u as usize] == Some(v as Vertex)
-            }
+            Some(u) => g.has_edge(v as Vertex, u) && self.mate[u as usize] == Some(v as Vertex),
         })
     }
 }
@@ -92,10 +90,7 @@ pub fn max_matching(g: &Graph) -> Matching {
         }
     }
     Matching {
-        mate: mate
-            .into_iter()
-            .map(|m| (m != NONE).then_some(m))
-            .collect(),
+        mate: mate.into_iter().map(|m| (m != NONE).then_some(m)).collect(),
     }
 }
 
@@ -114,7 +109,8 @@ fn find_augmenting_path(g: &Graph, mate: &[u32], root: Vertex) -> Option<(Vertex
             if base[v as usize] == base[to as usize] || mate[v as usize] == to {
                 continue;
             }
-            if to == root || (mate[to as usize] != NONE && parent[mate[to as usize] as usize] != NONE)
+            if to == root
+                || (mate[to as usize] != NONE && parent[mate[to as usize] as usize] != NONE)
             {
                 // Odd cycle: contract the blossom rooted at the LCA.
                 let curbase = lca(mate, &parent, &base, v, to);

@@ -211,7 +211,8 @@ impl CoverState<'_> {
         // Feasibility pruning for the exclude branch: a constraint that
         // needs v (possible - a_vj < bound) forces inclusion.
         let forced = self.membership[v].iter().any(|&(j, a)| {
-            self.residual[j] > FEASIBILITY_EPS && self.possible[j] - a < self.sub.constraints[j].bound() - FEASIBILITY_EPS
+            self.residual[j] > FEASIBILITY_EPS
+                && self.possible[j] - a < self.sub.constraints[j].bound() - FEASIBILITY_EPS
         });
         // Branch 1: include v.
         for &(j, a) in &self.membership[v] {

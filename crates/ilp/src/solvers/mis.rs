@@ -339,7 +339,10 @@ pub fn brute_force_mis(g: &Graph, weights: &[u64]) -> u64 {
             .edges()
             .all(|(u, v)| mask >> u & 1 == 0 || mask >> v & 1 == 0);
         if ok {
-            let w: u64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+            let w: u64 = (0..n)
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| weights[i])
+                .sum();
             best = best.max(w);
         }
     }

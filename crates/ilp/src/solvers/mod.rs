@@ -201,7 +201,10 @@ fn try_matching(sub: &SubInstance) -> Option<Solution> {
         if (c.bound() - 1.0).abs() > FEASIBILITY_EPS {
             return None;
         }
-        if c.coeffs().iter().any(|&(_, a)| (a - 1.0).abs() > FEASIBILITY_EPS) {
+        if c.coeffs()
+            .iter()
+            .any(|&(_, a)| (a - 1.0).abs() > FEASIBILITY_EPS)
+        {
             return None;
         }
     }

@@ -33,6 +33,42 @@ impl Verdict {
     }
 }
 
+/// A cheap feasibility-only verdict: no reference optimum is computed, so
+/// this is safe to embed in every solver run (unlike [`verdict`], whose
+/// exact reference solve can dwarf the solver being verified).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FeasibilityReport {
+    /// Whether every constraint is satisfied.
+    pub feasible: bool,
+    /// Objective value of the solution.
+    pub value: u64,
+    /// Ids of violated constraints (empty iff feasible).
+    pub violated: Vec<usize>,
+}
+
+/// Checks a solution against the instance without solving for the optimum.
+///
+/// # Examples
+///
+/// ```
+/// use dapc_graph::gen;
+/// use dapc_ilp::{problems, verify};
+///
+/// let ilp = problems::min_vertex_cover_unweighted(&gen::path(3));
+/// let r = verify::check(&ilp, &[false, true, false]);
+/// assert!(r.feasible);
+/// assert_eq!(r.value, 1);
+/// assert!(verify::check(&ilp, &[false, false, false]).violated.len() == 2);
+/// ```
+pub fn check(ilp: &IlpInstance, x: &[bool]) -> FeasibilityReport {
+    let violated = ilp.violated_constraints(x);
+    FeasibilityReport {
+        feasible: violated.is_empty(),
+        value: ilp.value(x),
+        violated,
+    }
+}
+
 /// Computes the exact (budgeted) optimum of a whole instance by treating it
 /// as one big local sub-instance.
 pub fn optimum(ilp: &IlpInstance, budget: &SolverBudget) -> (u64, bool) {

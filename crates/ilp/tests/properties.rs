@@ -64,7 +64,7 @@ proptest! {
     fn packing_zero_fill_feasible(g in arb_graph(14), keep_mod in 2usize..4) {
         let ilp = problems::max_independent_set_unweighted(&g);
         let n = ilp.n();
-        let keep: Vec<Vertex> = (0..n as Vertex).filter(|v| (*v as usize) % keep_mod == 0).collect();
+        let keep: Vec<Vertex> = (0..n as Vertex).filter(|v| (*v as usize).is_multiple_of(keep_mod)).collect();
         let sub = packing_restriction(&ilp, &mask_of(n, &keep));
         let sol = solvers::solve(&sub, &SolverBudget::unlimited());
         let mut global = vec![false; n];

@@ -15,6 +15,45 @@
 //! experiments can report exact LOCAL round complexities and their
 //! per-phase breakdown.
 
+/// Anything that carries a LOCAL round bill.
+///
+/// Every solver outcome, decomposition and report in the workspace exposes
+/// its cost through this one trait (previously each type hand-rolled its
+/// own `rounds()` accessor). Implementors provide [`RoundCost::ledger`];
+/// [`RoundCost::rounds`] is derived.
+///
+/// # Examples
+///
+/// ```
+/// use dapc_local::charge::{RoundCost, RoundLedger};
+///
+/// struct Outcome { ledger: RoundLedger }
+/// impl RoundCost for Outcome {
+///     fn ledger(&self) -> &RoundLedger { &self.ledger }
+/// }
+///
+/// let mut ledger = RoundLedger::new();
+/// ledger.begin_phase("gather");
+/// ledger.charge_gather(5);
+/// ledger.end_phase();
+/// assert_eq!(Outcome { ledger }.rounds(), 5);
+/// ```
+pub trait RoundCost {
+    /// The phase-by-phase round bill.
+    fn ledger(&self) -> &RoundLedger;
+
+    /// Total LOCAL rounds charged.
+    fn rounds(&self) -> usize {
+        self.ledger().total_rounds()
+    }
+}
+
+impl RoundCost for RoundLedger {
+    fn ledger(&self) -> &RoundLedger {
+        self
+    }
+}
+
 /// One sequential phase of a LOCAL algorithm.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Phase {
@@ -110,10 +149,26 @@ impl RoundLedger {
     /// Merges another ledger *in parallel*: the combined cost is the
     /// maximum of the two totals, recorded as a single phase.
     pub fn absorb_parallel(&mut self, name: impl Into<String>, others: Vec<RoundLedger>) {
-        let max = others.into_iter().map(|o| o.total_rounds()).max().unwrap_or(0);
+        let max = others
+            .into_iter()
+            .map(|o| o.total_rounds())
+            .max()
+            .unwrap_or(0);
         self.begin_phase(name);
         self.charge_gather(max);
         self.end_phase();
+    }
+
+    /// Multiplies every phase cost by `factor` — the cost of simulating
+    /// each hypergraph round by `factor` rounds of the underlying graph
+    /// (e.g. `k`-distance dominating set, where one hyperedge round is `k`
+    /// graph rounds).
+    pub fn scaled(mut self, factor: usize) -> Self {
+        self.end_phase();
+        for p in &mut self.phases {
+            p.rounds *= factor;
+        }
+        self
     }
 
     /// Total LOCAL rounds: the sum over closed phases plus the open one.
@@ -209,6 +264,28 @@ mod tests {
     fn charge_outside_phase_panics() {
         let mut l = RoundLedger::new();
         l.charge_gather(1);
+    }
+
+    #[test]
+    fn scaled_multiplies_every_phase() {
+        let mut l = RoundLedger::new();
+        l.begin_phase("a");
+        l.charge_gather(3);
+        l.begin_phase("b");
+        l.charge_gather(4);
+        let scaled = l.scaled(5);
+        assert_eq!(scaled.total_rounds(), 35);
+        assert_eq!(scaled.phases()[0].rounds, 15);
+    }
+
+    #[test]
+    fn round_cost_is_derived_from_ledger() {
+        let mut l = RoundLedger::new();
+        l.begin_phase("p");
+        l.charge_gather(9);
+        l.end_phase();
+        assert_eq!(RoundCost::rounds(&l), 9);
+        assert_eq!(RoundCost::ledger(&l).phases().len(), 1);
     }
 
     #[test]

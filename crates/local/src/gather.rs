@@ -65,7 +65,11 @@ impl NodeProgram for GatherProgram {
         Outbox::Broadcast(vec![record])
     }
 
-    fn round(&mut self, _ctx: &NodeCtx<'_>, inbox: Vec<(usize, Self::Message)>) -> Outbox<Self::Message> {
+    fn round(
+        &mut self,
+        _ctx: &NodeCtx<'_>,
+        inbox: Vec<(usize, Self::Message)>,
+    ) -> Outbox<Self::Message> {
         self.rounds_done += 1;
         self.fresh.clear();
         for (_, records) in inbox {
@@ -126,8 +130,7 @@ mod tests {
         ] {
             let views = gather_views(&g, r);
             for v in g.vertices() {
-                let mut expected: Vec<Vertex> =
-                    traversal::ball(&g, &[v], r, None).iter().collect();
+                let mut expected: Vec<Vertex> = traversal::ball(&g, &[v], r, None).iter().collect();
                 expected.sort_unstable();
                 assert_eq!(views[v as usize], expected, "vertex {v}, r {r}");
             }

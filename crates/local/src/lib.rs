@@ -27,5 +27,5 @@ pub mod charge;
 pub mod gather;
 pub mod network;
 
-pub use charge::RoundLedger;
+pub use charge::{RoundCost, RoundLedger};
 pub use network::{Network, NodeCtx, NodeProgram, Outbox, RunStats};

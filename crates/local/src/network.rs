@@ -137,10 +137,7 @@ impl<'g, P: NodeProgram> Network<'g, P> {
     /// Builds a network running one program instance per vertex;
     /// `make(v, degree)` constructs the instance for vertex `v`.
     pub fn new(graph: &'g Graph, mut make: impl FnMut(Vertex, usize) -> P, n_hint: usize) -> Self {
-        let programs = graph
-            .vertices()
-            .map(|v| make(v, graph.degree(v)))
-            .collect();
+        let programs = graph.vertices().map(|v| make(v, graph.degree(v))).collect();
         Network {
             graph,
             programs,
@@ -166,7 +163,12 @@ impl<'g, P: NodeProgram> Network<'g, P> {
         self.round
     }
 
-    fn dispatch(&mut self, v: Vertex, outbox: Outbox<P::Message>, next: &mut [Vec<(usize, P::Message)>]) {
+    fn dispatch(
+        &mut self,
+        v: Vertex,
+        outbox: Outbox<P::Message>,
+        next: &mut [Vec<(usize, P::Message)>],
+    ) {
         let neighbors = self.graph.neighbors(v);
         match outbox {
             Outbox::Silent => {}

@@ -1,7 +1,7 @@
 //! Property test: the gathering primitive delivers exactly the r-ball on
 //! arbitrary random graphs — the contract that justifies charged rounds.
 
-use dapc_graph::{gen, traversal, Graph, Vertex};
+use dapc_graph::{traversal, Graph, Vertex};
 use dapc_local::gather::gather_views;
 use proptest::prelude::*;
 

@@ -41,9 +41,10 @@ pub fn greedy_mis_rounds(g: &Graph, t: usize, rng: &mut StdRng) -> Vec<bool> {
             if decided[v] {
                 continue;
             }
-            let wins = g.neighbors(v as Vertex).iter().all(|&u| {
-                decided[u as usize] || priority[v] > priority[u as usize]
-            });
+            let wins = g
+                .neighbors(v as Vertex)
+                .iter()
+                .all(|&u| decided[u as usize] || priority[v] > priority[u as usize]);
             if wins {
                 joins.push(v as Vertex);
             }
@@ -148,10 +149,7 @@ mod tests {
         };
         let one = avg(1, &mut rng);
         let many = avg(12, &mut rng);
-        assert!(
-            many > one,
-            "12 rounds ({many}) should beat 1 round ({one})"
-        );
+        assert!(many > one, "12 rounds ({many}) should beat 1 round ({one})");
     }
 
     #[test]
@@ -174,7 +172,7 @@ mod tests {
         let mut rng = gen::seeded_rng(6);
         let m1 = greedy_matching_rounds(&g, 1, &mut rng);
         let m8 = greedy_matching_rounds(&g, 8, &mut rng);
-        let mut used = vec![false; 100];
+        let mut used = [false; 100];
         for &(u, v) in &m8 {
             assert!(g.has_edge(u, v));
             assert!(!used[u as usize] && !used[v as usize]);

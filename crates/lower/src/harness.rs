@@ -91,8 +91,8 @@ pub fn indistinguishability(
 ) -> IndistinguishabilityReport {
     let pa = inclusion_profile(a, trials, rng, |g, r| algorithm(g, rounds, r));
     let pb = inclusion_profile(b, trials, rng, |g, r| algorithm(g, rounds, r));
-    let locally_identical = girth::locally_tree_like(a, rounds as u32)
-        && girth::locally_tree_like(b, rounds as u32);
+    let locally_identical =
+        girth::locally_tree_like(a, rounds as u32) && girth::locally_tree_like(b, rounds as u32);
     IndistinguishabilityReport {
         mean_a: pa.mean_fraction,
         mean_b: pb.mean_fraction,
@@ -138,14 +138,7 @@ mod tests {
     #[test]
     fn identical_graphs_have_zero_expected_gap() {
         let g = gen::cycle(40);
-        let rep = indistinguishability(
-            &g,
-            &g,
-            2,
-            300,
-            &mut gen::seeded_rng(3),
-            |g, t, r| greedy_mis_rounds(g, t, r),
-        );
+        let rep = indistinguishability(&g, &g, 2, 300, &mut gen::seeded_rng(3), greedy_mis_rounds);
         assert!(rep.gap < 0.05, "gap {} should be sampling noise", rep.gap);
         assert!(rep.locally_identical);
     }
@@ -170,14 +163,7 @@ mod tests {
         // algorithm sees identical 2-balls (paths) everywhere.
         let a = gen::cycle(17);
         let b = gen::cycle(18);
-        let rep = indistinguishability(
-            &a,
-            &b,
-            2,
-            2000,
-            &mut gen::seeded_rng(6),
-            |g, t, r| greedy_mis_rounds(g, t, r),
-        );
+        let rep = indistinguishability(&a, &b, 2, 2000, &mut gen::seeded_rng(6), greedy_mis_rounds);
         assert!(rep.locally_identical);
         assert!(
             rep.gap < 0.03,

@@ -90,11 +90,7 @@ pub fn independent_set_from_cut(g: &Graph, side: &[bool]) -> Vec<bool> {
         }
     }
     // The two sides are now independent sets; pick the larger.
-    let count = |want: bool| {
-        (0..n)
-            .filter(|&v| !removed[v] && side[v] == want)
-            .count()
-    };
+    let count = |want: bool| (0..n).filter(|&v| !removed[v] && side[v] == want).count();
     let pick = count(true) >= count(false);
     (0..n).map(|v| !removed[v] && side[v] == pick).collect()
 }

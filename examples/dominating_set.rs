@@ -1,15 +1,13 @@
 //! Theorem 1.3 end-to-end: (1 + ε)-approximate minimum (k-distance)
 //! dominating set — the running example of Definition 1.3, where one
-//! hypergraph round simulates k graph rounds.
+//! hypergraph round simulates k graph rounds — driven through the
+//! engine's `ThreePhase` backend and the `GraphProblem` builder.
 //!
 //! ```sh
 //! cargo run --release --example dominating_set
 //! ```
 
-use dapc::core::covering::approximate_covering;
-use dapc::core::params::PcParams;
-use dapc::graph::gen;
-use dapc::ilp::{problems, verify};
+use dapc::prelude::*;
 
 fn main() {
     println!("Minimum dominating set (k = 1):");
@@ -17,7 +15,7 @@ fn main() {
         "{:<16} {:>6} {:>6} {:>8} {:>8} {:>8} {:>10}",
         "family", "ε", "OPT", "ours", "ratio", "≤1+ε?", "rounds"
     );
-    let families: Vec<(&str, dapc::graph::Graph)> = vec![
+    let families: Vec<(&str, Graph)> = vec![
         ("cycle C36", gen::cycle(36)),
         ("grid 5×6", gen::grid(5, 6)),
         ("gnp(36, .09)", gen::gnp(36, 0.09, &mut gen::seeded_rng(6))),
@@ -26,9 +24,9 @@ fn main() {
     for (name, g) in &families {
         for eps in [0.2, 0.4] {
             let ilp = problems::min_dominating_set_unweighted(g);
-            let params = PcParams::covering_scaled(eps, g.n() as f64, 0.02, 0.3, 1.0);
-            let out = approximate_covering(&ilp, &params, &mut gen::seeded_rng(23));
-            let v = verify::verdict(&ilp, &out.assignment, &params.budget);
+            let cfg = SolveConfig::new().eps(eps).seed(23);
+            let out = ThreePhase.solve(&ilp, &cfg, &mut cfg.rng());
+            let v = verify::verdict(&ilp, &out.assignment, &cfg.budget);
             assert!(v.feasible, "output must dominate on {name}");
             println!(
                 "{:<16} {:>6.2} {:>6} {:>8} {:>8.3} {:>8} {:>10}",
@@ -47,11 +45,13 @@ fn main() {
     println!("{:>4} {:>6} {:>8} {:>8}", "k", "OPT", "ours", "ratio");
     let g = gen::cycle(36);
     for k in [1usize, 2, 3] {
+        let r = GraphProblem::k_dominating_set(&g, k)
+            .eps(0.4)
+            .seed(31)
+            .solve_with(&ThreePhase);
         let ilp = problems::k_dominating_set(&g, k, vec![1; 36]);
-        let params = PcParams::covering_scaled(0.4, 36.0, 0.02, 0.3, 1.0);
-        let out = approximate_covering(&ilp, &params, &mut gen::seeded_rng(31));
-        let v = verify::verdict(&ilp, &out.assignment, &params.budget);
-        println!("{:>4} {:>6} {:>8} {:>8.3}", k, v.opt, out.value, v.ratio);
+        let v = verify::verdict(&ilp, &r.report.assignment, &SolverBudget::default());
+        println!("{:>4} {:>6} {:>8} {:>8.3}", k, v.opt, r.weight, v.ratio);
         // Exact k-DS of C_n is ⌈n/(2k+1)⌉.
         assert_eq!(v.opt as usize, 36usize.div_ceil(2 * k + 1));
     }
@@ -59,12 +59,15 @@ fn main() {
     println!("\nWeighted vertex cover with skewed weights:");
     let g = gen::gnp(30, 0.12, &mut gen::seeded_rng(8));
     let w: Vec<u64> = (0..30).map(|i| 1 + (i % 5) as u64 * 3).collect();
+    let r = GraphProblem::min_vertex_cover(&g)
+        .weights(&w)
+        .eps(0.3)
+        .seed(9)
+        .solve_with(&ThreePhase);
     let ilp = problems::min_vertex_cover(&g, w);
-    let params = PcParams::covering_scaled(0.3, 30.0, 0.02, 0.3, 1.0);
-    let out = approximate_covering(&ilp, &params, &mut gen::seeded_rng(9));
-    let v = verify::verdict(&ilp, &out.assignment, &params.budget);
+    let v = verify::verdict(&ilp, &r.report.assignment, &SolverBudget::default());
     println!(
         "weighted VC: ours {} vs OPT {} (ratio {:.3})",
-        out.value, v.opt, v.ratio
+        r.weight, v.opt, v.ratio
     );
 }

@@ -1,17 +1,13 @@
-//! The two packing algorithms of §4 side by side: the cluster-driven
-//! carving solver (the main Theorem 1.2 algorithm) and the §4.2
-//! "alternative approach" ensemble (independent decompositions + best
-//! candidate + re-weighted final run).
+//! The two packing algorithms of §4 side by side — as interchangeable
+//! engine backends: `ThreePhase` (the main Theorem 1.2 carving solver)
+//! and `Ensemble` (the §4.2 "alternative approach"). One loop, two
+//! `&dyn Solver`s.
 //!
 //! ```sh
 //! cargo run --release --example ensemble_vs_carving
 //! ```
 
-use dapc::core::ensemble::packing_ensemble;
-use dapc::core::packing::approximate_packing;
-use dapc::core::params::PcParams;
-use dapc::graph::gen;
-use dapc::ilp::{problems, verify, SolverBudget};
+use dapc::prelude::*;
 
 fn main() {
     println!(
@@ -19,20 +15,24 @@ fn main() {
         "family", "OPT", "eps", "carving", "ensemble", "carve rnds", "ens rnds"
     );
     let eps = 0.3;
-    let families: Vec<(&str, dapc::graph::Graph)> = vec![
+    let families: Vec<(&str, Graph)> = vec![
         ("cycle C36", gen::cycle(36)),
         ("grid 6×6", gen::grid(6, 6)),
         ("gnp(40,.08)", gen::gnp(40, 0.08, &mut gen::seeded_rng(1))),
-        ("reg4 n=36", gen::random_regular(36, 4, &mut gen::seeded_rng(2))),
+        (
+            "reg4 n=36",
+            gen::random_regular(36, 4, &mut gen::seeded_rng(2)),
+        ),
     ];
+    let carving: &dyn Solver = &ThreePhase;
+    let ensemble: &dyn Solver = &Ensemble;
     for (name, g) in &families {
         let ilp = problems::max_independent_set_unweighted(g);
         let (opt, _) = verify::optimum(&ilp, &SolverBudget::default());
-        let params = PcParams::packing_scaled(eps, g.n() as f64, 0.02, 0.3);
-        let carve = approximate_packing(&ilp, &params, &mut gen::seeded_rng(11));
-        let ens = packing_ensemble(&ilp, &params, Some(10), &mut gen::seeded_rng(11));
-        assert!(ilp.is_feasible(&carve.assignment));
-        assert!(ilp.is_feasible(&ens.assignment));
+        let cfg = SolveConfig::new().eps(eps).seed(11).ensemble_runs(10);
+        let carve = carving.solve(&ilp, &cfg, &mut cfg.rng());
+        let ens = ensemble.solve(&ilp, &cfg, &mut cfg.rng());
+        assert!(carve.feasible() && ens.feasible());
         println!(
             "{:<14} {:>4} {:>6.2} {:>9} {:>9} {:>11} {:>11}",
             name,
@@ -50,10 +50,17 @@ fn main() {
     );
     let g = gen::gnp(40, 0.08, &mut gen::seeded_rng(1));
     let ilp = problems::max_independent_set_unweighted(&g);
-    let params = PcParams::packing_scaled(eps, 40.0, 0.02, 0.3);
-    let ens = packing_ensemble(&ilp, &params, Some(10), &mut gen::seeded_rng(99));
-    println!(
-        "candidates: {:?} → best {} (re-weighted pass: {})",
-        ens.candidate_values, ens.value, ens.reweighted_value
-    );
+    let cfg = SolveConfig::new().eps(eps).seed(99).ensemble_runs(10);
+    let ens = ensemble.solve(&ilp, &cfg, &mut cfg.rng());
+    if let BackendStats::Ensemble {
+        candidate_values,
+        reweighted_value,
+        ..
+    } = &ens.stats
+    {
+        println!(
+            "candidates: {candidate_values:?} → best {} (re-weighted pass: {reweighted_value})",
+            ens.value
+        );
+    }
 }

@@ -18,7 +18,10 @@ fn main() {
     let mut rng = gen::seeded_rng(2024);
 
     println!("Claim C.1 — Elkin–Neiman on the clique K_n (ε = {eps}, {trials} trials)");
-    println!("{:>6} {:>22} {:>22}", "n", "Pr[deleted ≥ n−1]", "theory ≈ 1 − e^(−ε)");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "n", "Pr[deleted ≥ n−1]", "theory ≈ 1 − e^(−ε)"
+    );
     for n in [20usize, 40, 80, 160] {
         let g = gen::complete(n);
         let params = EnParams::new(eps, n as f64);

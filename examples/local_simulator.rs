@@ -62,8 +62,7 @@ fn main() {
         g.n(),
     );
     let stats = net.run(500);
-    let leaders: std::collections::HashSet<u32> =
-        net.nodes().iter().map(|p| p.best).collect();
+    let leaders: std::collections::HashSet<u32> = net.nodes().iter().map(|p| p.best).collect();
     println!(
         "leader election on {g}: {} rounds, {} messages, all agree on {:?}",
         stats.rounds, stats.messages, leaders

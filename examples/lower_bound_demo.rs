@@ -11,11 +11,11 @@
 //! cargo run --release --example lower_bound_demo
 //! ```
 
+use dapc::graph::gen;
 use dapc::graph::girth::girth;
 use dapc::graph::lps::{lps_graph, LpsCase};
 use dapc::lower::capped::greedy_mis_rounds;
 use dapc::lower::harness::indistinguishability;
-use dapc::graph::gen;
 
 fn main() {
     // p = 5 keeps both family members at simulable sizes (the paper's
@@ -52,14 +52,7 @@ fn main() {
     );
     let mut rng = gen::seeded_rng(99);
     for t in 1..=locality + 2 {
-        let rep = indistinguishability(
-            &bip.graph,
-            &non.graph,
-            t,
-            60,
-            &mut rng,
-            |g, t, r| greedy_mis_rounds(g, t, r),
-        );
+        let rep = indistinguishability(&bip.graph, &non.graph, t, 60, &mut rng, greedy_mis_rounds);
         println!(
             "{:>7} {:>14.4} {:>14.4} {:>8.4} {:>16}",
             t,

@@ -1,22 +1,23 @@
 //! Theorem 1.2 end-to-end: (1 − ε)-approximate maximum independent set
-//! across graph families and ε values, verified against exact optima.
+//! across graph families and ε values, verified against exact optima —
+//! driven entirely through the engine's `ThreePhase` backend.
 //!
 //! ```sh
 //! cargo run --release --example mis_approx
 //! ```
 
-use dapc::core::packing::approximate_packing;
-use dapc::core::params::PcParams;
-use dapc::graph::gen;
-use dapc::ilp::{problems, verify};
+use dapc::prelude::*;
 
 fn main() {
-    let families: Vec<(&str, dapc::graph::Graph)> = vec![
+    let families: Vec<(&str, Graph)> = vec![
         ("cycle C40", gen::cycle(40)),
         ("grid 6×7", gen::grid(6, 7)),
         ("gnp(45, .07)", gen::gnp(45, 0.07, &mut gen::seeded_rng(3))),
         ("tree n=45", gen::random_tree(45, &mut gen::seeded_rng(4))),
-        ("4-regular n=40", gen::random_regular(40, 4, &mut gen::seeded_rng(5))),
+        (
+            "4-regular n=40",
+            gen::random_regular(40, 4, &mut gen::seeded_rng(5)),
+        ),
     ];
     println!(
         "{:<16} {:>6} {:>6} {:>8} {:>8} {:>8} {:>10}",
@@ -25,9 +26,9 @@ fn main() {
     for (name, g) in &families {
         for eps in [0.1, 0.2, 0.3] {
             let ilp = problems::max_independent_set_unweighted(g);
-            let params = PcParams::packing_scaled(eps, g.n() as f64, 0.02, 0.3);
-            let out = approximate_packing(&ilp, &params, &mut gen::seeded_rng(17));
-            let v = verify::verdict(&ilp, &out.assignment, &params.budget);
+            let cfg = SolveConfig::new().eps(eps).seed(17);
+            let out = ThreePhase.solve(&ilp, &cfg, &mut cfg.rng());
+            let v = verify::verdict(&ilp, &out.assignment, &cfg.budget);
             assert!(v.feasible, "infeasible output on {name}");
             println!(
                 "{:<16} {:>6.2} {:>6} {:>8} {:>8.3} {:>8} {:>10}",
@@ -45,11 +46,13 @@ fn main() {
     let g = gen::star(30);
     let mut w = vec![1u64; 30];
     w[0] = 1000;
-    let ilp = problems::max_independent_set(&g, w);
-    let params = PcParams::packing_scaled(0.2, 30.0, 0.02, 0.3);
-    let out = approximate_packing(&ilp, &params, &mut gen::seeded_rng(9));
+    let r = GraphProblem::max_independent_set(&g)
+        .weights(&w)
+        .eps(0.2)
+        .seed(9)
+        .solve_with(&ThreePhase);
     println!(
         "star with heavy hub: value {} (hub weight 1000, leaves 29)",
-        out.value
+        r.weight
     );
 }

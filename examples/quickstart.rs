@@ -1,14 +1,12 @@
-//! Quickstart: decompose a graph, solve a packing and a covering problem,
-//! and inspect the LOCAL round bill.
+//! Quickstart: decompose a graph, solve a packing and a covering problem
+//! through the unified engine, and inspect the LOCAL round bill.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use dapc::core::adapters::{approx_max_independent_set, approx_min_dominating_set, ScaleKnobs};
 use dapc::decomp::three_phase::{three_phase_ldd, LddParams};
-use dapc::graph::gen;
-use dapc::ilp::{problems, verify, SolverBudget};
+use dapc::prelude::*;
 
 fn main() {
     let mut rng = gen::seeded_rng(42);
@@ -32,45 +30,59 @@ fn main() {
     );
     d.validate(&g, None).expect("Definition 1.4 invariants");
 
-    // 2. (1 − ε)-approximate maximum independent set (Theorem 1.2).
+    // 2. (1 − ε)-approximate maximum independent set (Theorem 1.2),
+    //    through the GraphProblem builder and the ThreePhase backend.
     let small = gen::gnp(48, 0.07, &mut gen::seeded_rng(7));
-    let knobs = ScaleKnobs::default();
-    let mis = approx_max_independent_set(&small, &vec![1; 48], 0.3, &knobs, &mut rng);
+    let mis = GraphProblem::max_independent_set(&small)
+        .eps(0.3)
+        .seed(42)
+        .solve_with(&ThreePhase);
     let mis_ilp = problems::max_independent_set_unweighted(&small);
-    let verdict = verify::verdict(
-        &mis_ilp,
-        &membership(small.n(), &mis.vertices),
-        &SolverBudget::default(),
-    );
+    let verdict = verify::verdict(&mis_ilp, &mis.report.assignment, &SolverBudget::default());
     println!(
         "MIS on {small}: |I| = {} vs OPT = {} (ratio {:.3}, guarantee ≥ 0.7), {} rounds",
-        mis.weight, verdict.opt, verdict.ratio, mis.rounds
+        mis.weight,
+        verdict.opt,
+        verdict.ratio,
+        mis.rounds()
     );
 
-    // 3. (1 + ε)-approximate minimum dominating set (Theorem 1.3).
-    let ds = approx_min_dominating_set(&small, &vec![1; 48], 0.3, &knobs, &mut rng);
+    // 3. (1 + ε)-approximate minimum dominating set (Theorem 1.3) — same
+    //    builder, same backend, covering sense inferred from the problem.
+    let ds = GraphProblem::min_dominating_set(&small)
+        .eps(0.3)
+        .seed(43)
+        .solve_with(&ThreePhase);
     let ds_ilp = problems::min_dominating_set_unweighted(&small);
-    let verdict = verify::verdict(
-        &ds_ilp,
-        &membership(small.n(), &ds.vertices),
-        &SolverBudget::default(),
-    );
+    let verdict = verify::verdict(&ds_ilp, &ds.report.assignment, &SolverBudget::default());
     // Dominating set is the hardest reference to certify: if the budgeted
     // branch & bound could not prove optimality, say so (the distributed
     // answer may legitimately beat the centralised incumbent).
-    let opt_label = if verdict.opt_exact { "OPT =" } else { "best-known ≤" };
+    let opt_label = if verdict.opt_exact {
+        "OPT ="
+    } else {
+        "best-known ≤"
+    };
     println!(
         "MDS on {small}: |D| = {} vs {opt_label} {} (ratio {:.3}, guarantee ≤ 1.3), {} rounds",
-        ds.weight, verdict.opt, verdict.ratio, ds.rounds
+        ds.weight,
+        verdict.opt,
+        verdict.ratio,
+        ds.rounds()
     );
-    assert!(ds_ilp.is_feasible(&membership(small.n(), &ds.vertices)));
-    println!("round ledger of the LDD:\n{}", d.ledger);
-}
+    assert!(ds.report.feasible());
 
-fn membership(n: usize, vertices: &[u32]) -> Vec<bool> {
-    let mut m = vec![false; n];
-    for &v in vertices {
-        m[v as usize] = true;
+    // 4. The same covering problem through every registered backend.
+    println!("\nall backends on the dominating-set instance:");
+    let cfg = SolveConfig::new().eps(0.3).seed(43);
+    for name in engine::BACKENDS {
+        let report = engine::solve(name, &ds_ilp, &cfg).expect("registered backend");
+        println!(
+            "  {name:<12} value {:>3}  feasible {}  rounds {}",
+            report.value,
+            report.feasible(),
+            report.rounds()
+        );
     }
-    m
+    println!("\nround ledger of the LDD:\n{}", d.ledger);
 }

@@ -9,23 +9,55 @@
 //! lower-bound machinery (including LPS Ramanujan graphs), and the
 //! Appendix C counterexample families — all implemented from scratch.
 //!
-//! This crate is the facade: it re-exports the workspace members and hosts
+//! This crate is the facade: it re-exports the workspace members, hosts
 //! the runnable examples (`examples/`) and the cross-crate integration
-//! tests (`tests/`).
+//! tests (`tests/`), and provides the [`prelude`] for the unified solver
+//! engine.
 //!
 //! ## Quickstart
 //!
+//! Every backend is a [`prelude::Solver`]; graph problems are built with
+//! [`prelude::GraphProblem`] and run against any of them:
+//!
 //! ```
-//! use dapc::core::adapters::{approx_max_independent_set, ScaleKnobs};
-//! use dapc::graph::gen;
+//! use dapc::prelude::*;
 //!
 //! let g = gen::gnp(40, 0.08, &mut gen::seeded_rng(7));
-//! let result = approx_max_independent_set(
-//!     &g, &vec![1; 40], 0.3, &ScaleKnobs::default(), &mut gen::seeded_rng(1));
+//! let r = GraphProblem::max_independent_set(&g)
+//!     .eps(0.3)
+//!     .seed(1)
+//!     .solve_with(&ThreePhase);
 //! // A (1 − ε)-approximate independent set plus its LOCAL round cost.
-//! assert!(!result.vertices.is_empty());
-//! assert!(result.rounds > 0);
+//! assert!(!r.vertices.is_empty());
+//! assert!(r.report.feasible());
+//! assert!(r.rounds() > 0);
 //! ```
+//!
+//! Raw ILP instances go through the engine directly, by value or through
+//! the string-keyed registry:
+//!
+//! ```
+//! use dapc::prelude::*;
+//!
+//! let ilp = problems::min_vertex_cover_unweighted(&gen::cycle(18));
+//! let cfg = SolveConfig::new().eps(0.4).seed(3);
+//! for name in engine::BACKENDS {
+//!     let report = engine::solve(name, &ilp, &cfg).unwrap();
+//!     assert!(report.feasible(), "{name} must return a feasible cover");
+//! }
+//! ```
+//!
+//! ## Configuration
+//!
+//! [`prelude::SolveConfig`] absorbs every knob the solvers take: `ε`, the
+//! RNG seed, the size hint `ñ`, the exact-solver budget and the scaling
+//! knobs for the paper's leading constants. The default
+//! [`prelude::ScaleKnobs`] are the laptop-scale constants
+//! (`r_scale = 0.02`, `prep_scale = 0.3`, `covering_t_slack = 1`) used by
+//! every example and test; `SolveConfig::new().paper()` switches to the
+//! constants printed in the paper (`200`, `16`, `+8`) — correct but with
+//! radii that dwarf any simulable diameter, so every cluster becomes the
+//! whole graph and the round bill is astronomically honest.
 //!
 //! ## Layout
 //!
@@ -36,7 +68,7 @@
 //! | [`local`] | LOCAL model simulator (message passing + charged rounds) |
 //! | [`ilp`] | packing/covering instances, restrictions, exact solvers |
 //! | [`decomp`] | Theorem 1.1 LDD, Elkin–Neiman, MPX, sparse covers, … |
-//! | [`core`] | Theorems 1.2–1.3 solvers, GKM17 baseline, adapters |
+//! | [`core`] | the solver engine, Theorems 1.2–1.3, GKM17, adapters |
 //! | [`lower`] | Appendix B lower-bound machinery |
 
 #![forbid(unsafe_code)]
@@ -49,3 +81,28 @@ pub use dapc_graph as graph;
 pub use dapc_ilp as ilp;
 pub use dapc_local as local;
 pub use dapc_lower as lower;
+
+/// One-stop imports for the unified solver engine.
+///
+/// ```
+/// use dapc::prelude::*;
+///
+/// let report = engine::solve(
+///     "bnb",
+///     &problems::max_independent_set_unweighted(&gen::cycle(10)),
+///     &SolveConfig::new(),
+/// )
+/// .unwrap();
+/// assert_eq!(report.value, 5);
+/// ```
+pub mod prelude {
+    pub use dapc_core::adapters::{GraphProblem, GraphSolveResult};
+    pub use dapc_core::engine::{
+        self, BackendStats, BranchAndBound, Ensemble, Gkm, Greedy, SolveConfig, SolveReport,
+        Solver, ThreePhase,
+    };
+    pub use dapc_core::params::{PcParams, ScaleKnobs};
+    pub use dapc_graph::{gen, Graph, GraphBuilder, Hypergraph, Vertex};
+    pub use dapc_ilp::{problems, verify, IlpInstance, Sense, SolverBudget};
+    pub use dapc_local::{RoundCost, RoundLedger};
+}

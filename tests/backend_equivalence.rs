@@ -1,0 +1,145 @@
+//! Backend-equivalence suite: every registered backend must return a
+//! `SolveReport` whose assignment passes `dapc_ilp::verify` on a shared
+//! corpus of packing and covering instances, and whose reported rounds
+//! match the legacy per-solver accessors it wraps.
+
+use dapc::core::covering::approximate_covering;
+use dapc::core::ensemble::packing_ensemble;
+use dapc::core::gkm::gkm_solve;
+use dapc::core::packing::approximate_packing;
+use dapc::prelude::*;
+
+/// The shared corpus: a mix of graph-derived and general instances of
+/// both senses.
+fn corpus() -> Vec<(&'static str, IlpInstance)> {
+    vec![
+        (
+            "mis/cycle24",
+            problems::max_independent_set_unweighted(&gen::cycle(24)),
+        ),
+        (
+            "mis/gnp28",
+            problems::max_independent_set_unweighted(&gen::gnp(28, 0.1, &mut gen::seeded_rng(1))),
+        ),
+        (
+            "matching/grid",
+            problems::max_matching(&gen::grid(4, 4)).ilp,
+        ),
+        (
+            "pack/random",
+            problems::random_packing(22, 16, 3, &mut gen::seeded_rng(2)),
+        ),
+        (
+            "vc/cycle21",
+            problems::min_vertex_cover_unweighted(&gen::cycle(21)),
+        ),
+        (
+            "ds/grid4x5",
+            problems::min_dominating_set_unweighted(&gen::grid(4, 5)),
+        ),
+        (
+            "cover/random",
+            problems::random_covering(18, 14, 3, &mut gen::seeded_rng(3)),
+        ),
+    ]
+}
+
+#[test]
+fn every_backend_is_feasible_on_the_whole_corpus() {
+    let cfg = SolveConfig::new().eps(0.3).seed(9).ensemble_runs(6);
+    for (name, ilp) in &corpus() {
+        for backend in engine::BACKENDS {
+            let r = engine::solve(backend, ilp, &cfg)
+                .unwrap_or_else(|| panic!("backend {backend} missing"));
+            // The report's built-in verdict and an independent re-check
+            // must both pass.
+            assert!(
+                r.feasible(),
+                "{backend} on {name}: report claims infeasible"
+            );
+            let independent = verify::check(ilp, &r.assignment);
+            assert!(
+                independent.feasible,
+                "{backend} on {name}: verify::check fails"
+            );
+            assert_eq!(
+                r.value, independent.value,
+                "{backend} on {name}: value drift"
+            );
+            assert_eq!(r.sense, ilp.sense(), "{backend} on {name}: sense mismatch");
+            assert!(r.rounds() > 0, "{backend} on {name}: zero-round claim");
+        }
+    }
+}
+
+#[test]
+fn three_phase_rounds_match_legacy_packing_accessor() {
+    let ilp = problems::max_independent_set_unweighted(&gen::cycle(30));
+    let cfg = SolveConfig::new().eps(0.3).seed(4);
+    let report = engine::solve("three-phase", &ilp, &cfg).unwrap();
+    let legacy = approximate_packing(&ilp, &cfg.packing_params(ilp.n()), &mut cfg.rng());
+    assert_eq!(report.rounds(), legacy.ledger.total_rounds());
+    assert_eq!(report.assignment, legacy.assignment);
+    assert_eq!(report.value, legacy.value);
+}
+
+#[test]
+fn three_phase_rounds_match_legacy_covering_accessor() {
+    let ilp = problems::min_vertex_cover_unweighted(&gen::cycle(30));
+    let cfg = SolveConfig::new().eps(0.3).seed(5);
+    let report = engine::solve("three-phase", &ilp, &cfg).unwrap();
+    let legacy = approximate_covering(&ilp, &cfg.covering_params(ilp.n()), &mut cfg.rng());
+    assert_eq!(report.rounds(), legacy.ledger.total_rounds());
+    assert_eq!(report.assignment, legacy.assignment);
+}
+
+#[test]
+fn gkm_rounds_match_legacy_accessor() {
+    let ilp = problems::max_independent_set_unweighted(&gen::cycle(24));
+    let cfg = SolveConfig::new().eps(0.3).seed(6);
+    let report = engine::solve("gkm", &ilp, &cfg).unwrap();
+    let legacy = gkm_solve(&ilp, &cfg.gkm_params(ilp.n()), &mut cfg.rng());
+    assert_eq!(report.rounds(), legacy.ledger.total_rounds());
+    assert_eq!(report.assignment, legacy.assignment);
+}
+
+#[test]
+fn ensemble_rounds_match_legacy_accessor() {
+    let ilp = problems::max_independent_set_unweighted(&gen::cycle(24));
+    let cfg = SolveConfig::new().eps(0.3).seed(7).ensemble_runs(6);
+    let report = engine::solve("ensemble", &ilp, &cfg).unwrap();
+    let legacy = packing_ensemble(
+        &ilp,
+        &cfg.packing_params(ilp.n()),
+        cfg.ensemble_runs,
+        &mut cfg.rng(),
+    );
+    assert_eq!(report.rounds(), legacy.ledger.total_rounds());
+    assert_eq!(report.value, legacy.value);
+}
+
+#[test]
+fn distributed_backends_meet_their_guarantees_on_graph_instances() {
+    // Quality spot-check through the engine: the three distributed
+    // backends keep the (1 ± ε) guarantees the legacy call paths had.
+    let eps = 0.3;
+    let mis = problems::max_independent_set_unweighted(&gen::cycle(30));
+    let (opt_mis, _) = verify::optimum(&mis, &SolverBudget::default());
+    let vc = problems::min_vertex_cover_unweighted(&gen::cycle(30));
+    let (opt_vc, _) = verify::optimum(&vc, &SolverBudget::default());
+    let cfg = SolveConfig::new().eps(eps).seed(8).ensemble_runs(8);
+    for backend in ["three-phase", "gkm", "ensemble"] {
+        let r = engine::solve(backend, &mis, &cfg).unwrap();
+        assert!(
+            r.value as f64 >= (1.0 - eps) * opt_mis as f64,
+            "{backend}: packing {} vs OPT {opt_mis}",
+            r.value
+        );
+        let r = engine::solve(backend, &vc, &cfg).unwrap();
+        assert!(
+            r.value as f64 <= (1.0 + eps) * opt_vc as f64 + 1e-9,
+            "{backend}: covering {} vs OPT {opt_vc}",
+            r.value
+        );
+    }
+}

@@ -1,45 +1,30 @@
-//! Cross-crate integration: graph generators → ILP modelling → distributed
-//! solvers → verification, end to end.
+//! Cross-crate integration: graph generators → ILP modelling → the
+//! unified solver engine → verification, end to end, all through
+//! `dapc::prelude`.
 
-use dapc::core::adapters::{
-    approx_k_dominating_set, approx_max_independent_set, approx_max_matching,
-    approx_min_dominating_set, approx_min_vertex_cover, ScaleKnobs,
-};
-use dapc::core::gkm::{gkm_solve, GkmParams};
-use dapc::graph::gen;
-use dapc::ilp::solvers::blossom;
-use dapc::ilp::{problems, verify, SolverBudget};
-
-fn mask(n: usize, vs: &[u32]) -> Vec<bool> {
-    let mut m = vec![false; n];
-    for &v in vs {
-        m[v as usize] = true;
-    }
-    m
-}
+use dapc::prelude::*;
 
 #[test]
 fn full_stack_mis_on_every_family() {
-    let knobs = ScaleKnobs::default();
     let eps = 0.3;
-    let families: Vec<(&str, dapc::graph::Graph)> = vec![
+    let families: Vec<(&str, Graph)> = vec![
         ("cycle", gen::cycle(30)),
         ("grid", gen::grid(5, 6)),
         ("gnp", gen::gnp(32, 0.09, &mut gen::seeded_rng(1))),
         ("tree", gen::random_tree(30, &mut gen::seeded_rng(2))),
-        ("regular", gen::random_regular(30, 3, &mut gen::seeded_rng(3))),
+        (
+            "regular",
+            gen::random_regular(30, 3, &mut gen::seeded_rng(3)),
+        ),
         ("star", gen::star(25)),
     ];
     for (name, g) in families {
-        let r = approx_max_independent_set(
-            &g,
-            &vec![1; g.n()],
-            eps,
-            &knobs,
-            &mut gen::seeded_rng(77),
-        );
+        let r = GraphProblem::max_independent_set(&g)
+            .eps(eps)
+            .seed(77)
+            .solve_with(&ThreePhase);
         let ilp = problems::max_independent_set_unweighted(&g);
-        let v = verify::verdict(&ilp, &mask(g.n(), &r.vertices), &SolverBudget::default());
+        let v = verify::verdict(&ilp, &r.report.assignment, &SolverBudget::default());
         assert!(v.feasible, "{name}: infeasible");
         assert!(
             v.within_packing(eps),
@@ -51,31 +36,48 @@ fn full_stack_mis_on_every_family() {
 
 #[test]
 fn full_stack_covering_on_every_family() {
-    let knobs = ScaleKnobs::default();
     let eps = 0.4;
-    let families: Vec<(&str, dapc::graph::Graph)> = vec![
+    let families: Vec<(&str, Graph)> = vec![
         ("cycle", gen::cycle(27)),
         ("grid", gen::grid(4, 6)),
         ("gnp", gen::gnp(28, 0.1, &mut gen::seeded_rng(4))),
         ("tree", gen::random_tree(26, &mut gen::seeded_rng(5))),
     ];
     for (name, g) in families {
-        let vc = approx_min_vertex_cover(&g, &vec![1; g.n()], eps, &knobs, &mut gen::seeded_rng(8));
+        let vc = GraphProblem::min_vertex_cover(&g)
+            .eps(eps)
+            .seed(8)
+            .solve_with(&ThreePhase);
         let vc_ilp = problems::min_vertex_cover_unweighted(&g);
-        let v = verify::verdict(&vc_ilp, &mask(g.n(), &vc.vertices), &SolverBudget::default());
-        assert!(v.feasible && v.within_covering(eps), "{name}: VC ratio {}", v.ratio);
+        let v = verify::verdict(&vc_ilp, &vc.report.assignment, &SolverBudget::default());
+        assert!(
+            v.feasible && v.within_covering(eps),
+            "{name}: VC ratio {}",
+            v.ratio
+        );
 
-        let ds = approx_min_dominating_set(&g, &vec![1; g.n()], eps, &knobs, &mut gen::seeded_rng(9));
+        let ds = GraphProblem::min_dominating_set(&g)
+            .eps(eps)
+            .seed(9)
+            .solve_with(&ThreePhase);
         let ds_ilp = problems::min_dominating_set_unweighted(&g);
-        let v = verify::verdict(&ds_ilp, &mask(g.n(), &ds.vertices), &SolverBudget::default());
-        assert!(v.feasible && v.within_covering(eps), "{name}: DS ratio {}", v.ratio);
+        let v = verify::verdict(&ds_ilp, &ds.report.assignment, &SolverBudget::default());
+        assert!(
+            v.feasible && v.within_covering(eps),
+            "{name}: DS ratio {}",
+            v.ratio
+        );
     }
 }
 
 #[test]
 fn matching_against_blossom_optimum() {
+    use dapc::ilp::solvers::blossom;
     let g = gen::random_regular(28, 3, &mut gen::seeded_rng(6));
-    let r = approx_max_matching(&g, 0.3, &ScaleKnobs::default(), &mut gen::seeded_rng(10));
+    let r = GraphProblem::max_matching(&g)
+        .eps(0.3)
+        .seed(10)
+        .solve_with(&ThreePhase);
     let opt = blossom::max_matching(&g).size();
     assert!(
         r.edges.len() as f64 >= 0.7 * opt as f64,
@@ -96,16 +98,12 @@ fn k_distance_dominating_set_hypergraph_path() {
     // The Definition 1.3 running example end to end, k = 2 on a cycle:
     // exact optimum is ⌈n/5⌉.
     let g = gen::cycle(25);
-    let r = approx_k_dominating_set(
-        &g,
-        2,
-        &vec![1; 25],
-        0.4,
-        &ScaleKnobs::default(),
-        &mut gen::seeded_rng(11),
-    );
+    let r = GraphProblem::k_dominating_set(&g, 2)
+        .eps(0.4)
+        .seed(11)
+        .solve_with(&ThreePhase);
     let ilp = problems::k_dominating_set(&g, 2, vec![1; 25]);
-    let v = verify::verdict(&ilp, &mask(25, &r.vertices), &SolverBudget::default());
+    let v = verify::verdict(&ilp, &r.report.assignment, &SolverBudget::default());
     assert_eq!(v.opt, 5);
     assert!(v.feasible && v.within_covering(0.4), "ratio {}", v.ratio);
 }
@@ -117,41 +115,48 @@ fn ours_and_gkm_agree_on_guarantees_but_not_rounds() {
     let ilp = problems::max_independent_set_unweighted(&g);
     let (opt, _) = verify::optimum(&ilp, &SolverBudget::default());
 
-    let ours = approx_max_independent_set(
-        &g,
-        &vec![1; 36],
-        eps,
-        &ScaleKnobs::default(),
-        &mut gen::seeded_rng(12),
-    );
-    let gkm = gkm_solve(&ilp, &GkmParams::new(eps, 36.0, 0.2), &mut gen::seeded_rng(13));
+    let ours = GraphProblem::max_independent_set(&g)
+        .eps(eps)
+        .seed(12)
+        .solve_with(&ThreePhase);
+    let gkm = GraphProblem::max_independent_set(&g)
+        .eps(eps)
+        .seed(13)
+        .solve_with(&Gkm);
 
     assert!(ours.weight as f64 >= (1.0 - eps) * opt as f64);
-    assert!(gkm.value as f64 >= (1.0 - eps) * opt as f64);
+    assert!(gkm.weight as f64 >= (1.0 - eps) * opt as f64);
     // Both charge nontrivial LOCAL rounds; E6 measures the scaling gap.
-    assert!(ours.rounds > 0 && gkm.rounds() > 0);
+    assert!(ours.rounds() > 0 && gkm.rounds() > 0);
 }
 
 #[test]
 fn weighted_problems_preserve_weight_semantics() {
     let g = gen::gnp(24, 0.12, &mut gen::seeded_rng(14));
     let w: Vec<u64> = (0..24).map(|i| 1 + (i as u64 % 7)).collect();
-    let knobs = ScaleKnobs::default();
-    let mis = approx_max_independent_set(&g, &w, 0.3, &knobs, &mut gen::seeded_rng(15));
+    let mis = GraphProblem::max_independent_set(&g)
+        .weights(&w)
+        .eps(0.3)
+        .seed(15)
+        .solve_with(&ThreePhase);
     assert_eq!(
         mis.weight,
         mis.vertices.iter().map(|&v| w[v as usize]).sum::<u64>()
     );
-    let vc = approx_min_vertex_cover(&g, &w, 0.3, &knobs, &mut gen::seeded_rng(16));
+    let vc = GraphProblem::min_vertex_cover(&g)
+        .weights(&w)
+        .eps(0.3)
+        .seed(16)
+        .solve_with(&ThreePhase);
     let ilp = problems::min_vertex_cover(&g, w.clone());
-    let v = verify::verdict(&ilp, &mask(24, &vc.vertices), &SolverBudget::default());
+    let v = verify::verdict(&ilp, &vc.report.assignment, &SolverBudget::default());
     assert!(v.feasible && v.within_covering(0.3), "ratio {}", v.ratio);
 }
 
 #[test]
 fn disconnected_graphs_are_handled() {
     // Two components: a cycle and a path, with an isolated vertex.
-    let mut b = dapc::graph::GraphBuilder::new(16);
+    let mut b = GraphBuilder::new(16);
     for i in 0..6u32 {
         b.add_edge(i, (i + 1) % 6);
     }
@@ -159,12 +164,28 @@ fn disconnected_graphs_are_handled() {
         b.add_edge(i, i + 1);
     }
     let g = b.build();
-    let knobs = ScaleKnobs::default();
-    let mis = approx_max_independent_set(&g, &vec![1; 16], 0.3, &knobs, &mut gen::seeded_rng(17));
+    let mis = GraphProblem::max_independent_set(&g)
+        .eps(0.3)
+        .seed(17)
+        .solve_with(&ThreePhase);
     let ilp = problems::max_independent_set_unweighted(&g);
-    let v = verify::verdict(&ilp, &mask(16, &mis.vertices), &SolverBudget::default());
+    let v = verify::verdict(&ilp, &mis.report.assignment, &SolverBudget::default());
     assert!(v.feasible && v.within_packing(0.3), "ratio {}", v.ratio);
     // The isolated vertices 6 and 15 must be picked (they are free).
     assert!(mis.vertices.contains(&6));
     assert!(mis.vertices.contains(&15));
+}
+
+#[test]
+fn registry_and_builder_agree() {
+    // The GraphProblem builder and the string-keyed registry must produce
+    // identical reports for identical configs.
+    let g = gen::cycle(20);
+    let cfg = SolveConfig::new().eps(0.3).seed(21);
+    let via_builder = GraphProblem::min_vertex_cover(&g)
+        .config(cfg.clone())
+        .solve_with(&ThreePhase);
+    let ilp = problems::min_vertex_cover_unweighted(&g);
+    let via_registry = engine::solve("three-phase", &ilp, &cfg).unwrap();
+    assert_eq!(via_builder.report, via_registry);
 }

@@ -48,11 +48,9 @@ fn weighted_ldd_protects_heavy_vertices_statistically() {
     let params = LddParams::scaled(eps, 400.0, 0.05);
     let mut worst_mass_fraction = 0.0f64;
     for seed in 0..10 {
-        let out =
-            three_phase_ldd_weighted(&g, &params, &weights, &mut gen::seeded_rng(seed), None);
+        let out = three_phase_ldd_weighted(&g, &params, &weights, &mut gen::seeded_rng(seed), None);
         out.decomposition.validate(&g, None).unwrap();
-        worst_mass_fraction =
-            worst_mass_fraction.max(out.stats.deleted_mass as f64 / total as f64);
+        worst_mass_fraction = worst_mass_fraction.max(out.stats.deleted_mass as f64 / total as f64);
     }
     assert!(
         worst_mass_fraction <= eps,
@@ -124,19 +122,22 @@ fn zero_solver_budget_still_yields_feasible_output() {
 
 #[test]
 fn paper_constants_parametrisation_is_usable_on_tiny_graphs() {
-    // ScaleKnobs::paper() produces the printed constants; on a tiny graph
+    // SolveConfig::paper() produces the printed constants; on a tiny graph
     // the radii dwarf the diameter, every cluster is the whole component,
     // and the answer is exactly optimal.
-    use dapc::core::adapters::{approx_max_independent_set, ScaleKnobs};
+    use dapc::prelude::*;
     let g = gen::cycle(12);
-    let r = approx_max_independent_set(
-        &g,
-        &vec![1; 12],
-        0.3,
-        &ScaleKnobs::paper(),
-        &mut gen::seeded_rng(55),
+    let r = GraphProblem::max_independent_set(&g)
+        .config(SolveConfig::new().eps(0.3).seed(55).paper())
+        .solve_with(&ThreePhase);
+    assert_eq!(
+        r.weight, 6,
+        "paper constants on C12 must be exactly optimal"
     );
-    assert_eq!(r.weight, 6, "paper constants on C12 must be exactly optimal");
     // And the round bill reflects the paper's enormous constants.
-    assert!(r.rounds > 100_000, "paper-constant rounds should be huge: {}", r.rounds);
+    assert!(
+        r.rounds() > 100_000,
+        "paper-constant rounds should be huge: {}",
+        r.rounds()
+    );
 }

@@ -7,6 +7,7 @@ use dapc::core::params::PcParams;
 use dapc::decomp::three_phase::{three_phase_ldd, LddParams};
 use dapc::graph::gen;
 use dapc::ilp::{problems, verify, SolverBudget};
+use dapc::local::RoundCost;
 
 /// Theorem 1.1 at scale: the ε budget holds for every seed (50 trials),
 /// and the diameter bound of Lemma 3.2 is never violated.
@@ -60,10 +61,7 @@ fn theorem_1_2_holds_across_seeds() {
 fn theorem_1_3_holds_across_seeds() {
     let eps = 0.4;
     let budget = SolverBudget::default();
-    for (tag, g) in [
-        ("cycle", gen::cycle(27)),
-        ("grid", gen::grid(4, 6)),
-    ] {
+    for (tag, g) in [("cycle", gen::cycle(27)), ("grid", gen::grid(4, 6))] {
         let ilp = problems::min_dominating_set_unweighted(&g);
         let (opt, exact) = verify::optimum(&ilp, &budget);
         assert!(exact);
@@ -96,7 +94,11 @@ fn round_scaling_ours_vs_gkm() {
             &PcParams::packing_scaled(eps, n as f64, 0.02, 0.3),
             &mut gen::seeded_rng(5),
         );
-        let gkm = gkm_solve(&ilp, &GkmParams::new(eps, n as f64, 0.2), &mut gen::seeded_rng(5));
+        let gkm = gkm_solve(
+            &ilp,
+            &GkmParams::new(eps, n as f64, 0.2),
+            &mut gen::seeded_rng(5),
+        );
         ratios.push(gkm.rounds() as f64 / ours.rounds() as f64);
     }
     assert!(
