@@ -1,0 +1,100 @@
+//! Wall-clock benches for the `dapc-runtime` batch path, plus an explicit
+//! sequential-vs-batch comparison: the same corpus solved the PR-1 way
+//! (one job at a time, no shared prep) and through `solve_many` at 4
+//! workers with the per-instance-family prep cache. The comparison prints
+//! the measured speedup and the cache hit rate — the acceptance numbers
+//! for the batch subsystem.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dapc_core::engine::SolveConfig;
+use dapc_graph::gen;
+use dapc_ilp::problems;
+use dapc_runtime::{solve_many, Corpus, RuntimeConfig};
+
+/// An E3/E5-style sweep: mixed packing/covering instances × ε grid × seed
+/// range, three-phase throughout. Every `(instance, budget)` family
+/// recurs `|ε grid| × |seeds|` times, which is exactly the reuse the prep
+/// cache is built to exploit.
+fn sweep_corpus() -> Corpus {
+    Corpus::builder()
+        .instance(
+            "MIS/gnp40",
+            problems::max_independent_set_unweighted(&gen::gnp(40, 0.08, &mut gen::seeded_rng(1))),
+        )
+        .instance(
+            "MIS/cycle48",
+            problems::max_independent_set_unweighted(&gen::cycle(48)),
+        )
+        .instance(
+            "VC/cycle40",
+            problems::min_vertex_cover_unweighted(&gen::cycle(40)),
+        )
+        .instance(
+            "DS/cycle33",
+            problems::min_dominating_set_unweighted(&gen::cycle(33)),
+        )
+        .backend("three-phase")
+        .eps_grid([0.2, 0.3])
+        .seeds(0..8)
+        .base_config(SolveConfig::new())
+        .build()
+}
+
+fn sequential_config() -> RuntimeConfig {
+    RuntimeConfig::new()
+        .jobs(1)
+        .prep_cache(false)
+        .reference_optima(false)
+}
+
+fn batch_config() -> RuntimeConfig {
+    RuntimeConfig::new()
+        .jobs(4)
+        .prep_cache(true)
+        .reference_optima(false)
+}
+
+fn bench_batch_paths(c: &mut Criterion) {
+    let corpus = sweep_corpus();
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(3);
+    group.bench_function("sequential_no_cache", |b| {
+        b.iter(|| solve_many(&corpus, &sequential_config()))
+    });
+    group.bench_function("solve_many_4workers_cached", |b| {
+        b.iter(|| solve_many(&corpus, &batch_config()))
+    });
+    group.finish();
+}
+
+/// One timed head-to-head run, printing the numbers the ISSUE acceptance
+/// criteria name: ≥ 2× wall-clock at 4 workers with a positive prep-cache
+/// hit rate, and bit-identical results either way.
+fn report_speedup(_c: &mut Criterion) {
+    let corpus = sweep_corpus();
+    let sequential = solve_many(&corpus, &sequential_config());
+    let batch = solve_many(&corpus, &batch_config());
+    assert_eq!(
+        sequential.outcomes(),
+        batch.outcomes(),
+        "batch execution must be bit-identical to the sequential path"
+    );
+    let speedup = sequential.wall.as_secs_f64() / batch.wall.as_secs_f64();
+    println!(
+        "batch/speedup: {} jobs, sequential {:.2?} vs 4 workers + prep cache {:.2?} => {speedup:.2}x \
+         (cache: {} hits / {} misses, rate {:.2})",
+        corpus.len(),
+        sequential.wall,
+        batch.wall,
+        batch.cache.hits,
+        batch.cache.misses,
+        batch.cache.hit_rate(),
+    );
+    assert!(
+        batch.cache.hits > 0,
+        "the sweep must reuse prep work across seeds"
+    );
+}
+
+criterion_group!(benches, bench_batch_paths, report_speedup);
+criterion_main!(benches);

@@ -1,19 +1,36 @@
 //! Regenerates the experiment tables of `EXPERIMENTS.md`.
 //!
-//! Usage: `tables [quick|full] [e1 e2 …]` — defaults to `full` and all
-//! experiments.
+//! Usage: `tables [--quick|--full] [--jobs N] [e1 e2 …]` — defaults to
+//! `--full`, one worker, and all experiments. (`quick`/`full` without
+//! dashes are accepted for backwards compatibility.)
 
 use dapc_bench::{run_experiment, Profile, ALL_EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = Profile::Full;
+    let mut jobs = 1usize;
     let mut ids: Vec<String> = Vec::new();
-    for a in args {
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "quick" => profile = Profile::Quick,
-            "full" => profile = Profile::Full,
-            other => ids.push(other.to_string()),
+            "quick" | "--quick" => profile = Profile::Quick,
+            "full" | "--full" => profile = Profile::Full,
+            "--jobs" => {
+                let n = it.next().expect("--jobs needs a worker count");
+                jobs = n
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad --jobs value {n:?}"));
+            }
+            other => {
+                if let Some(n) = other.strip_prefix("--jobs=") {
+                    jobs = n
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad --jobs value {n:?}"));
+                } else {
+                    ids.push(other.to_string());
+                }
+            }
         }
     }
     if ids.is_empty() {
@@ -21,7 +38,7 @@ fn main() {
     }
     for id in &ids {
         let start = std::time::Instant::now();
-        let table = run_experiment(id, profile);
+        let table = run_experiment(id, profile, jobs);
         println!("{table}");
         eprintln!("[{id} finished in {:.1?}]", start.elapsed());
     }

@@ -1,49 +1,51 @@
 //! Experiments E3–E6 and E10 — the packing/covering solvers, the GKM17
 //! round-complexity comparison, and the ablations.
+//!
+//! Since PR 2 every table is produced by `dapc-runtime`: each experiment
+//! builds a [`Corpus`] (instances × backends × ε grid × seed range), fans
+//! it out with [`solve_many`], and renders rows from the returned
+//! [`GroupSummary`] aggregation — the hand-rolled per-seed loops are gone,
+//! and `--jobs N` parallelises every table.
 
 use crate::table::{f3, Table};
-use dapc_core::covering::approximate_covering;
-use dapc_core::gkm::{gkm_solve, GkmParams};
-use dapc_core::packing::approximate_packing;
-use dapc_core::params::PcParams;
+use dapc_core::engine::{BackendStats, SolveConfig};
+use dapc_core::params::ScaleKnobs;
 use dapc_graph::{gen, Graph};
-use dapc_ilp::{problems, verify, IlpInstance, SolverBudget};
-use dapc_local::RoundCost;
+use dapc_ilp::problems;
+use dapc_runtime::{
+    solve_many, solve_many_with_cache, BatchReport, Corpus, GroupSummary, PrepCache, RuntimeConfig,
+};
 
-fn packing_row(
-    t: &mut Table,
-    name: &str,
-    ilp: &IlpInstance,
-    eps: f64,
-    seeds: u64,
-    params: &PcParams,
-) {
-    let (opt, _) = verify::optimum(ilp, &params.budget);
-    let mut min_ratio = f64::INFINITY;
-    let mut sum_ratio = 0.0;
-    let mut rounds = 0usize;
-    for seed in 0..seeds {
-        let out = approximate_packing(ilp, params, &mut gen::seeded_rng(seed));
-        assert!(ilp.is_feasible(&out.assignment), "{name}: infeasible");
-        let ratio = out.value as f64 / opt.max(1) as f64;
-        min_ratio = min_ratio.min(ratio);
-        sum_ratio += ratio;
-        rounds = out.rounds();
+fn runtime(jobs: usize) -> RuntimeConfig {
+    RuntimeConfig::new().jobs(jobs)
+}
+
+fn opt_cell(g: &GroupSummary) -> String {
+    match g.opt {
+        // Mark budget-limited (unproven) reference optima.
+        Some(o) if g.opt_exact => o.to_string(),
+        Some(o) => format!("{o}*"),
+        None => "-".into(),
     }
+}
+
+/// One packing row: worst/mean ratio over the seed sweep of a group.
+fn packing_row(t: &mut Table, g: &GroupSummary) {
+    assert!(g.feasible, "{}: infeasible seed", g.instance);
     t.row(vec![
-        name.into(),
-        ilp.n().to_string(),
-        format!("{eps}"),
-        opt.to_string(),
-        f3(min_ratio),
-        f3(sum_ratio / seeds as f64),
-        (min_ratio + 1e-9 >= 1.0 - eps).to_string(),
-        rounds.to_string(),
+        g.instance.clone(),
+        g.vars.to_string(),
+        format!("{}", g.eps),
+        opt_cell(g),
+        f3(g.min_ratio.unwrap_or(f64::NAN)),
+        f3(g.mean_ratio.unwrap_or(f64::NAN)),
+        g.meets_guarantee().to_string(),
+        g.rounds_last.to_string(),
     ]);
 }
 
 /// E3 (Theorem 1.2): (1 − ε)-approximate MIS across families and ε.
-pub fn e3(seeds: u64) -> String {
+pub fn e3(seeds: u64, jobs: usize) -> String {
     let mut t = Table::new(
         "E3 — Theorem 1.2: (1 − ε)-approximate maximum independent set",
         &[
@@ -64,31 +66,43 @@ pub fn e3(seeds: u64) -> String {
         ("tree", gen::random_tree(42, &mut gen::seeded_rng(2))),
         ("reg4", gen::random_regular(40, 4, &mut gen::seeded_rng(3))),
     ];
+    let mut b = Corpus::builder()
+        .backend("three-phase")
+        .eps_grid([0.1, 0.2, 0.3])
+        .seeds(0..seeds);
     for (name, g) in &families {
-        for eps in [0.1f64, 0.2, 0.3] {
-            let ilp = problems::max_independent_set_unweighted(g);
-            let params = PcParams::packing_scaled(eps, g.n() as f64, 0.02, 0.3);
-            packing_row(&mut t, name, &ilp, eps, seeds, &params);
-        }
+        b = b.instance(*name, problems::max_independent_set_unweighted(g));
+    }
+    let report = solve_many(&b.build(), &runtime(jobs));
+    for g in &report.groups {
+        packing_row(&mut t, g);
     }
     // A weighted and a general instance.
     let g = gen::gnp(36, 0.08, &mut gen::seeded_rng(4));
     let w: Vec<u64> = (0..36).map(|i| 1 + (i as u64 % 5)).collect();
-    let ilp = problems::max_independent_set(&g, w);
-    let params = PcParams::packing_scaled(0.2, 36.0, 0.02, 0.3);
-    packing_row(&mut t, "weighted-gnp", &ilp, 0.2, seeds, &params);
-    let ilp = problems::random_packing(30, 20, 3, &mut gen::seeded_rng(5));
-    let params = PcParams::packing_scaled(0.2, 30.0, 0.02, 0.3);
-    packing_row(&mut t, "general-ILP", &ilp, 0.2, seeds, &params);
+    let corpus = Corpus::builder()
+        .instance("weighted-gnp", problems::max_independent_set(&g, w))
+        .instance(
+            "general-ILP",
+            problems::random_packing(30, 20, 3, &mut gen::seeded_rng(5)),
+        )
+        .backend("three-phase")
+        .eps(0.2)
+        .seeds(0..seeds)
+        .build();
+    let report = solve_many(&corpus, &runtime(jobs));
+    for g in &report.groups {
+        packing_row(&mut t, g);
+    }
     let mut out = t.render();
-    out.push_str(&e3_large_scale(seeds.min(5)));
+    out.push_str(&e3_large_scale(seeds.min(5), jobs));
     out
 }
 
 /// E3 (large scale): cycles long enough that the carve radius sits *below*
 /// the diameter, so Phases 1–3 genuinely delete and the (1 − ε) guarantee
 /// is earned rather than inherited from a single whole-graph solve.
-fn e3_large_scale(seeds: u64) -> String {
+fn e3_large_scale(seeds: u64, jobs: usize) -> String {
     let mut t = Table::new(
         "E3 (cont.) — large-scale carving: MIS on long cycles (OPT = n/2)",
         &[
@@ -102,44 +116,59 @@ fn e3_large_scale(seeds: u64) -> String {
             "rounds",
         ],
     );
+    let mut b = Corpus::builder()
+        .backend("three-phase")
+        .eps_grid([0.2, 0.3])
+        .seeds(0..seeds)
+        .base_config(SolveConfig::new().knobs(ScaleKnobs {
+            r_scale: 0.1,
+            ..ScaleKnobs::default()
+        }));
     for n in [1500usize, 3000] {
-        for eps in [0.2f64, 0.3] {
-            let g = gen::cycle(n);
-            let ilp = problems::max_independent_set_unweighted(&g);
-            let opt = (n / 2) as u64;
-            let params = PcParams::packing_scaled(eps, n as f64, 0.1, 0.3);
-            let mut min_ratio = f64::INFINITY;
-            let mut sum = 0.0;
-            let mut deleted = 0usize;
-            let mut components = 0usize;
-            let mut rounds = 0usize;
-            for seed in 0..seeds {
-                let out = approximate_packing(&ilp, &params, &mut gen::seeded_rng(seed));
-                assert!(ilp.is_feasible(&out.assignment));
-                let ratio = out.value as f64 / opt as f64;
-                min_ratio = min_ratio.min(ratio);
-                sum += ratio;
-                deleted = deleted.max(out.stats.deleted_carving + out.stats.deleted_phase3);
-                components = components.max(out.stats.components);
-                rounds = out.rounds();
-            }
-            t.row(vec![
-                n.to_string(),
-                format!("{eps}"),
-                f3(min_ratio),
-                f3(sum / seeds as f64),
-                (min_ratio + 1e-9 >= 1.0 - eps).to_string(),
-                deleted.to_string(),
-                components.to_string(),
-                rounds.to_string(),
-            ]);
-        }
+        b = b.instance(
+            format!("cycle{n}"),
+            problems::max_independent_set_unweighted(&gen::cycle(n)),
+        );
+    }
+    // OPT = n/2 is known analytically; skip the (large) reference solve.
+    let report = solve_many(&b.build(), &runtime(jobs).reference_optima(false));
+    for g in &report.groups {
+        assert!(g.feasible, "{}: infeasible seed", g.instance);
+        let opt = (g.vars / 2) as f64;
+        let min_ratio = g.min_value as f64 / opt;
+        let (deleted, components) = packing_stat_maxima(&report, g);
+        t.row(vec![
+            g.vars.to_string(),
+            format!("{}", g.eps),
+            f3(min_ratio),
+            f3(g.mean_value / opt),
+            (min_ratio + 1e-9 >= 1.0 - g.eps).to_string(),
+            deleted.to_string(),
+            components.to_string(),
+            g.rounds_last.to_string(),
+        ]);
     }
     t.render()
 }
 
+/// Worst-seed deletion/component counters of one group's packing runs.
+fn packing_stat_maxima(report: &BatchReport, g: &GroupSummary) -> (usize, usize) {
+    let mut deleted = 0usize;
+    let mut components = 0usize;
+    for r in &report.results {
+        if r.key.instance != g.instance || r.key.eps.to_bits() != g.eps.to_bits() {
+            continue;
+        }
+        if let BackendStats::Packing(s) = &r.report.stats {
+            deleted = deleted.max(s.deleted_carving + s.deleted_phase3);
+            components = components.max(s.components);
+        }
+    }
+    (deleted, components)
+}
+
 /// E4 (Theorem 1.2): (1 − ε)-approximate maximum matching vs blossom.
-pub fn e4(seeds: u64) -> String {
+pub fn e4(seeds: u64, jobs: usize) -> String {
     let mut t = Table::new(
         "E4 — Theorem 1.2: (1 − ε)-approximate maximum matching (OPT by blossom)",
         &[
@@ -160,39 +189,50 @@ pub fn e4(seeds: u64) -> String {
         ("reg3", gen::random_regular(36, 3, &mut gen::seeded_rng(7))),
         ("grid", gen::grid(5, 7)),
     ];
+    let mut b = Corpus::builder()
+        .backend("three-phase")
+        .eps_grid([0.2, 0.3])
+        .seeds(0..seeds);
+    // Blossom is exact and independent of the ILP solver stack, so it
+    // both supplies the OPT column and cross-checks the runtime's
+    // branch-and-bound reference.
+    let mut by_family = Vec::new();
     for (name, g) in &families {
-        for eps in [0.2f64, 0.3] {
-            let m = problems::max_matching(g);
-            let opt = dapc_ilp::solvers::blossom::max_matching(g).size() as u64;
-            let params = PcParams::packing_scaled(eps, g.n() as f64, 0.02, 0.3);
-            let mut min_ratio = f64::INFINITY;
-            let mut sum = 0.0;
-            let mut rounds = 0;
-            for seed in 0..seeds {
-                let out = approximate_packing(&m.ilp, &params, &mut gen::seeded_rng(seed));
-                let ratio = out.value as f64 / opt.max(1) as f64;
-                min_ratio = min_ratio.min(ratio);
-                sum += ratio;
-                rounds = out.rounds();
-            }
-            t.row(vec![
-                name.to_string(),
-                g.n().to_string(),
-                format!("{eps}"),
-                opt.to_string(),
-                f3(min_ratio),
-                f3(sum / seeds as f64),
-                (min_ratio + 1e-9 >= 1.0 - eps).to_string(),
-                rounds.to_string(),
-            ]);
+        by_family.push((
+            name.to_string(),
+            g.n(),
+            dapc_ilp::solvers::blossom::max_matching(g).size() as u64,
+        ));
+        b = b.instance(*name, problems::max_matching(g).ilp);
+    }
+    let report = solve_many(&b.build(), &runtime(jobs));
+    for g in &report.groups {
+        assert!(g.feasible, "{}: infeasible seed", g.instance);
+        // Matching variables are edges; report the graph's vertex count.
+        let &(_, n, blossom_opt) = by_family
+            .iter()
+            .find(|(name, _, _)| *name == g.instance)
+            .expect("family registered");
+        if g.opt_exact {
+            assert_eq!(g.opt, Some(blossom_opt), "{}: B&B vs blossom", g.instance);
         }
+        t.row(vec![
+            g.instance.clone(),
+            n.to_string(),
+            format!("{}", g.eps),
+            blossom_opt.to_string(),
+            f3(g.min_value as f64 / blossom_opt.max(1) as f64),
+            f3(g.mean_value / blossom_opt.max(1) as f64),
+            (g.min_value as f64 / blossom_opt.max(1) as f64 + 1e-9 >= 1.0 - g.eps).to_string(),
+            g.rounds_last.to_string(),
+        ]);
     }
     t.render()
 }
 
 /// E5 (Theorem 1.3): (1 + ε)-approximate covering (VC, DS, k-DS, set
 /// cover).
-pub fn e5(seeds: u64) -> String {
+pub fn e5(seeds: u64, jobs: usize) -> String {
     let mut t = Table::new(
         "E5 — Theorem 1.3: (1 + ε)-approximate covering problems",
         &[
@@ -206,81 +246,80 @@ pub fn e5(seeds: u64) -> String {
             "rounds",
         ],
     );
-    let budget = SolverBudget::default();
-    let mut run = |name: &str, ilp: &IlpInstance, eps: f64| {
-        let (opt, opt_exact) = verify::optimum(ilp, &budget);
-        let params = PcParams::covering_scaled(eps, ilp.n() as f64, 0.02, 0.3, 1.0);
-        let mut max_ratio = 0.0f64;
-        let mut sum = 0.0;
-        let mut rounds = 0;
-        for seed in 0..seeds {
-            let out = approximate_covering(ilp, &params, &mut gen::seeded_rng(seed));
-            assert!(ilp.is_feasible(&out.assignment), "{name}: infeasible");
-            let ratio = out.value as f64 / opt.max(1) as f64;
-            max_ratio = max_ratio.max(ratio);
-            sum += ratio;
-            rounds = out.rounds();
-        }
+    let covering_row = |t: &mut Table, g: &GroupSummary| {
+        assert!(g.feasible, "{}: infeasible seed", g.instance);
         t.row(vec![
-            name.to_string(),
-            ilp.n().to_string(),
-            format!("{eps}"),
-            // Mark budget-limited (unproven) reference optima.
-            if opt_exact {
-                opt.to_string()
-            } else {
-                format!("{opt}*")
-            },
-            f3(max_ratio),
-            f3(sum / seeds as f64),
-            (max_ratio <= 1.0 + eps + 1e-9).to_string(),
-            rounds.to_string(),
+            g.instance.clone(),
+            g.vars.to_string(),
+            format!("{}", g.eps),
+            opt_cell(g),
+            f3(g.max_ratio.unwrap_or(f64::NAN)),
+            f3(g.mean_ratio.unwrap_or(f64::NAN)),
+            g.meets_guarantee().to_string(),
+            g.rounds_last.to_string(),
         ]);
     };
-    for eps in [0.2f64, 0.4] {
-        run(
+    let corpus = Corpus::builder()
+        .instance(
             "VC/cycle",
-            &problems::min_vertex_cover_unweighted(&gen::cycle(36)),
-            eps,
-        );
-        run(
+            problems::min_vertex_cover_unweighted(&gen::cycle(36)),
+        )
+        .instance(
             "VC/gnp",
-            &problems::min_vertex_cover_unweighted(&gen::gnp(32, 0.1, &mut gen::seeded_rng(8))),
-            eps,
-        );
-        run(
+            problems::min_vertex_cover_unweighted(&gen::gnp(32, 0.1, &mut gen::seeded_rng(8))),
+        )
+        .instance(
             "DS/cycle",
-            &problems::min_dominating_set_unweighted(&gen::cycle(33)),
-            eps,
-        );
-        run(
+            problems::min_dominating_set_unweighted(&gen::cycle(33)),
+        )
+        .instance(
             "DS/grid",
-            &problems::min_dominating_set_unweighted(&gen::grid(5, 6)),
-            eps,
-        );
-        run(
+            problems::min_dominating_set_unweighted(&gen::grid(5, 6)),
+        )
+        .instance(
             "2-DS/cycle",
-            &problems::k_dominating_set(&gen::cycle(30), 2, vec![1; 30]),
-            eps,
-        );
+            problems::k_dominating_set(&gen::cycle(30), 2, vec![1; 30]),
+        )
+        .backend("three-phase")
+        .eps_grid([0.2, 0.4])
+        .seeds(0..seeds)
+        .build();
+    let names = corpus.instance_names();
+    let report = solve_many(&corpus, &runtime(jobs));
+    // Legacy row order is ε-major.
+    for eps in [0.2f64, 0.4] {
+        for name in &names {
+            let g = report
+                .group(name, "three-phase", eps)
+                .expect("group for every cell");
+            covering_row(&mut t, g);
+        }
     }
     // Weighted VC and a general covering ILP.
     let g = gen::gnp(28, 0.11, &mut gen::seeded_rng(9));
     let w: Vec<u64> = (0..28).map(|i| 1 + (i as u64 % 4) * 2).collect();
-    run("weighted-VC", &problems::min_vertex_cover(&g, w), 0.3);
-    run(
-        "general-ILP",
-        &problems::random_covering(24, 16, 3, &mut gen::seeded_rng(10)),
-        0.3,
-    );
+    let corpus = Corpus::builder()
+        .instance("weighted-VC", problems::min_vertex_cover(&g, w))
+        .instance(
+            "general-ILP",
+            problems::random_covering(24, 16, 3, &mut gen::seeded_rng(10)),
+        )
+        .backend("three-phase")
+        .eps(0.3)
+        .seeds(0..seeds)
+        .build();
+    let report = solve_many(&corpus, &runtime(jobs));
+    for g in &report.groups {
+        covering_row(&mut t, g);
+    }
     let mut out = t.render();
-    out.push_str(&e5_large_scale(seeds.min(5)));
+    out.push_str(&e5_large_scale(seeds.min(5), jobs));
     out
 }
 
 /// E5 (large scale): vertex cover on long cycles with genuine carving
 /// (fixing + hyperedge deletion + isolated regions).
-fn e5_large_scale(seeds: u64) -> String {
+fn e5_large_scale(seeds: u64, jobs: usize) -> String {
     let mut t = Table::new(
         "E5 (cont.) — large-scale carving: VC on long cycles (OPT = n/2)",
         &[
@@ -294,38 +333,46 @@ fn e5_large_scale(seeds: u64) -> String {
             "rounds",
         ],
     );
+    let mut b = Corpus::builder()
+        .backend("three-phase")
+        .eps_grid([0.3, 0.4])
+        .seeds(0..seeds)
+        .base_config(SolveConfig::new().knobs(ScaleKnobs {
+            r_scale: 0.3,
+            ..ScaleKnobs::default()
+        }));
     for n in [1500usize, 3000] {
-        for eps in [0.3f64, 0.4] {
-            let g = gen::cycle(n);
-            let ilp = problems::min_vertex_cover_unweighted(&g);
-            let opt = (n / 2) as u64;
-            let params = PcParams::covering_scaled(eps, n as f64, 0.3, 0.3, 1.0);
-            let mut max_ratio = 0.0f64;
-            let mut sum = 0.0;
-            let mut fixed = 0u64;
-            let mut cut = 0usize;
-            let mut rounds = 0usize;
-            for seed in 0..seeds {
-                let out = approximate_covering(&ilp, &params, &mut gen::seeded_rng(seed));
-                assert!(ilp.is_feasible(&out.assignment));
-                let ratio = out.value as f64 / opt as f64;
-                max_ratio = max_ratio.max(ratio);
-                sum += ratio;
-                fixed = fixed.max(out.stats.fixed_weight);
-                cut = cut.max(out.stats.deleted_edges);
-                rounds = out.rounds();
+        b = b.instance(
+            format!("cycle{n}"),
+            problems::min_vertex_cover_unweighted(&gen::cycle(n)),
+        );
+    }
+    let report = solve_many(&b.build(), &runtime(jobs).reference_optima(false));
+    for g in &report.groups {
+        assert!(g.feasible, "{}: infeasible seed", g.instance);
+        let opt = (g.vars / 2) as f64;
+        let max_ratio = g.max_value as f64 / opt;
+        let mut fixed = 0u64;
+        let mut cut = 0usize;
+        for r in &report.results {
+            if r.key.instance != g.instance || r.key.eps.to_bits() != g.eps.to_bits() {
+                continue;
             }
-            t.row(vec![
-                n.to_string(),
-                format!("{eps}"),
-                f3(max_ratio),
-                f3(sum / seeds as f64),
-                (max_ratio <= 1.0 + eps + 1e-9).to_string(),
-                fixed.to_string(),
-                cut.to_string(),
-                rounds.to_string(),
-            ]);
+            if let BackendStats::Covering(s) = &r.report.stats {
+                fixed = fixed.max(s.fixed_weight);
+                cut = cut.max(s.deleted_edges);
+            }
         }
+        t.row(vec![
+            g.vars.to_string(),
+            format!("{}", g.eps),
+            f3(max_ratio),
+            f3(g.mean_value / opt),
+            (max_ratio <= 1.0 + g.eps + 1e-9).to_string(),
+            fixed.to_string(),
+            cut.to_string(),
+            g.rounds_last.to_string(),
+        ]);
     }
     t.render()
 }
@@ -337,69 +384,62 @@ fn e5_large_scale(seeds: u64) -> String {
 /// GKM/ours ratio *grows* (log³ n vs log n); in the **ε sweep** at fixed n
 /// it *shrinks* — ours pays the extra `log³(1/ε)` factor while both share
 /// the `1/ε`, exactly the trade Theorem 1.2 makes to win the `log² n`.
-pub fn e6() -> String {
+/// Both backends' round bills are averaged over the same three seeds.
+pub fn e6(jobs: usize) -> String {
     let mut t = Table::new(
         "E6 — round complexity: Theorem 1.2 (Õ(log n/ε)) vs GKM17 (O(log³ n/ε))",
         &["sweep", "n", "eps", "ours rounds", "GKM rounds", "GKM/ours"],
     );
-    // GKM's round bill depends on the random colour count of its network
-    // decomposition; average a few seeds to stabilise.
-    let gkm_rounds = |ilp: &IlpInstance, eps: f64, n: usize| -> f64 {
-        let mut total = 0usize;
-        for seed in 0..3u64 {
-            total += gkm_solve(
-                ilp,
-                &GkmParams::new(eps, n as f64, 0.2),
-                &mut gen::seeded_rng(seed),
-            )
-            .rounds();
-        }
-        total as f64 / 3.0
+    let row = |t: &mut Table, sweep: &str, report: &BatchReport, name: &str, eps: f64| {
+        let ours = report
+            .group(name, "three-phase", eps)
+            .expect("three-phase group");
+        let gkm = report.group(name, "gkm", eps).expect("gkm group");
+        t.row(vec![
+            sweep.into(),
+            ours.vars.to_string(),
+            format!("{eps}"),
+            format!("{:.0}", ours.mean_rounds),
+            format!("{:.0}", gkm.mean_rounds),
+            f3(gkm.mean_rounds / ours.mean_rounds),
+        ]);
     };
-    let eps = 0.3;
-    for n in [32usize, 64, 128, 256, 512] {
-        let g = gen::cycle(n);
-        let ilp = problems::max_independent_set_unweighted(&g);
-        let ours = approximate_packing(
-            &ilp,
-            &PcParams::packing_scaled(eps, n as f64, 0.02, 0.3),
-            &mut gen::seeded_rng(1),
+    let mut b = Corpus::builder()
+        .backend("three-phase")
+        .backend("gkm")
+        .eps(0.3)
+        .seeds(0..3);
+    let ns = [32usize, 64, 128, 256, 512];
+    for n in ns {
+        b = b.instance(
+            format!("cycle{n}"),
+            problems::max_independent_set_unweighted(&gen::cycle(n)),
         );
-        let gkm = gkm_rounds(&ilp, eps, n);
-        t.row(vec![
-            "n".into(),
-            n.to_string(),
-            format!("{eps}"),
-            ours.rounds().to_string(),
-            format!("{gkm:.0}"),
-            f3(gkm / ours.rounds() as f64),
-        ]);
     }
-    let n = 64usize;
+    let report = solve_many(&b.build(), &runtime(jobs).reference_optima(false));
+    for n in ns {
+        row(&mut t, "n", &report, &format!("cycle{n}"), 0.3);
+    }
+    let corpus = Corpus::builder()
+        .instance(
+            "cycle64",
+            problems::max_independent_set_unweighted(&gen::cycle(64)),
+        )
+        .backend("three-phase")
+        .backend("gkm")
+        .eps_grid([0.4, 0.2, 0.1, 0.05])
+        .seeds(0..3)
+        .build();
+    let report = solve_many(&corpus, &runtime(jobs).reference_optima(false));
     for eps in [0.4f64, 0.2, 0.1, 0.05] {
-        let g = gen::cycle(n);
-        let ilp = problems::max_independent_set_unweighted(&g);
-        let ours = approximate_packing(
-            &ilp,
-            &PcParams::packing_scaled(eps, n as f64, 0.02, 0.3),
-            &mut gen::seeded_rng(2),
-        );
-        let gkm = gkm_rounds(&ilp, eps, n);
-        t.row(vec![
-            "eps".into(),
-            n.to_string(),
-            format!("{eps}"),
-            ours.rounds().to_string(),
-            format!("{gkm:.0}"),
-            f3(gkm / ours.rounds() as f64),
-        ]);
+        row(&mut t, "eps", &report, "cycle64", eps);
     }
     t.render()
 }
 
 /// E10 — ablations called out in DESIGN.md: preparation count, covering
 /// iteration budget, and the LDD Phase 2 toggle.
-pub fn e10(seeds: u64) -> String {
+pub fn e10(seeds: u64, jobs: usize) -> String {
     let mut t = Table::new(
         "E10 — ablations (prep count, covering t, LDD Phase 2)",
         &[
@@ -411,59 +451,63 @@ pub fn e10(seeds: u64) -> String {
             "note",
         ],
     );
-    // (a) Packing preparation count.
+    // (a) Packing preparation count, via the engine's prep_count override.
+    // The ablation rows all sweep the same (instance, budget) family, so
+    // one warm PrepCache serves every row.
+    let cache = PrepCache::new();
     let g = gen::gnp(36, 0.08, &mut gen::seeded_rng(11));
     let ilp = problems::max_independent_set_unweighted(&g);
-    let (opt, _) = verify::optimum(&ilp, &SolverBudget::default());
     for prep in [1usize, 2, 4, 8] {
-        let mut params = PcParams::packing_scaled(0.2, 36.0, 0.02, 0.3);
-        params.prep_count = prep;
-        let mut min_ratio = f64::INFINITY;
-        let mut sum = 0.0;
-        let mut rounds = 0;
-        for seed in 0..seeds {
-            let out = approximate_packing(&ilp, &params, &mut gen::seeded_rng(seed));
-            let r = out.value as f64 / opt as f64;
-            min_ratio = min_ratio.min(r);
-            sum += r;
-            rounds = out.rounds();
-        }
+        let corpus = Corpus::builder()
+            .instance("gnp36", ilp.clone())
+            .backend("three-phase")
+            .eps(0.2)
+            .seeds(0..seeds)
+            .base_config(SolveConfig::new().prep_count(prep))
+            .build();
+        let report = solve_many_with_cache(&corpus, &runtime(jobs), &cache);
+        let g = &report.groups[0];
         t.row(vec![
             "packing prep_count".into(),
             prep.to_string(),
-            f3(min_ratio),
-            f3(sum / seeds as f64),
-            rounds.to_string(),
+            f3(g.min_ratio.unwrap_or(f64::NAN)),
+            f3(g.mean_ratio.unwrap_or(f64::NAN)),
+            g.rounds_last.to_string(),
             "paper: 16·ln ñ".into(),
         ]);
     }
     // (b) Covering iteration budget t (the §1.4.3 "skip Phase 2" design).
+    let cache = PrepCache::new();
     let g = gen::cycle(33);
     let ilp = problems::min_dominating_set_unweighted(&g);
-    let (opt, _) = verify::optimum(&ilp, &SolverBudget::default());
     for t_slack in [0.0f64, 1.0, 3.0] {
-        let params = PcParams::covering_scaled(0.3, 33.0, 0.02, 0.3, t_slack.max(0.01));
-        let mut max_ratio = 0.0f64;
-        let mut sum = 0.0;
-        let mut rounds = 0;
-        for seed in 0..seeds {
-            let out = approximate_covering(&ilp, &params, &mut gen::seeded_rng(seed));
-            let r = out.value as f64 / opt as f64;
-            max_ratio = max_ratio.max(r);
-            sum += r;
-            rounds = out.rounds();
-        }
+        let cfg = SolveConfig::new().knobs(ScaleKnobs {
+            covering_t_slack: t_slack.max(0.01),
+            ..ScaleKnobs::default()
+        });
+        let t_value = cfg.covering_params(33).t;
+        let corpus = Corpus::builder()
+            .instance("DS/cycle33", ilp.clone())
+            .backend("three-phase")
+            .eps(0.3)
+            .seeds(0..seeds)
+            .base_config(cfg)
+            .build();
+        let report = solve_many_with_cache(&corpus, &runtime(jobs), &cache);
+        let g = &report.groups[0];
         t.row(vec![
             "covering t_slack".into(),
-            format!("{t_slack} (t={})", params.t),
-            f3(max_ratio),
-            f3(sum / seeds as f64),
-            rounds.to_string(),
+            format!("{t_slack} (t={t_value})"),
+            f3(g.max_ratio.unwrap_or(f64::NAN)),
+            f3(g.mean_ratio.unwrap_or(f64::NAN)),
+            g.rounds_last.to_string(),
             "paper: +8".into(),
         ]);
     }
-    // (c) LDD Phase 2 on/off.
+    // (c) LDD Phase 2 on/off — a decomposition-level ablation below the
+    // ILP engine, so it keeps driving the LDD directly.
     use dapc_decomp::three_phase::{three_phase_ldd, LddParams};
+    use dapc_local::RoundCost;
     let g = gen::gnp(600, 0.01, &mut gen::seeded_rng(12));
     for phase2 in [true, false] {
         let mut params = LddParams::scaled(0.2, 600.0, 0.05);

@@ -5,12 +5,16 @@
 //! returning a rendered markdown table. The `tables` binary drives them:
 //!
 //! ```sh
-//! cargo run -p dapc-bench --release --bin tables          # all
-//! cargo run -p dapc-bench --release --bin tables -- e1 e6 # selected
-//! cargo run -p dapc-bench --release --bin tables -- quick # reduced trials
+//! cargo run -p dapc-bench --release --bin tables             # all
+//! cargo run -p dapc-bench --release --bin tables -- e1 e6    # selected
+//! cargo run -p dapc-bench --release --bin tables -- --quick  # reduced trials
+//! cargo run -p dapc-bench --release --bin tables -- --jobs 4 # 4 workers
 //! ```
 //!
-//! Criterion wall-clock benches for the substrate live in `benches/`.
+//! The ILP experiments (E3–E6, E10) batch through `dapc-runtime`, so
+//! `--jobs N` fans their corpora out over `N` workers with shared prep
+//! caching. Criterion wall-clock benches for the substrate live in
+//! `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,17 +69,20 @@ impl Profile {
 
 /// Runs one experiment by id (`"e1"`…`"e10"`), returning its table(s).
 ///
+/// `jobs` is the worker count for the experiments that batch through
+/// `dapc-runtime` (E3–E6, E10); the remaining experiments run inline.
+///
 /// # Panics
 ///
 /// Panics on an unknown id.
-pub fn run_experiment(id: &str, profile: Profile) -> String {
+pub fn run_experiment(id: &str, profile: Profile, jobs: usize) -> String {
     match id {
         "e1" => exp_ldd::e1(profile.quality_trials()),
         "e2" => exp_ldd::e2(profile.tail_trials()),
-        "e3" => exp_ilp::e3(profile.solver_seeds()),
-        "e4" => exp_ilp::e4(profile.solver_seeds()),
-        "e5" => exp_ilp::e5(profile.solver_seeds()),
-        "e6" => exp_ilp::e6(),
+        "e3" => exp_ilp::e3(profile.solver_seeds(), jobs),
+        "e4" => exp_ilp::e4(profile.solver_seeds(), jobs),
+        "e5" => exp_ilp::e5(profile.solver_seeds(), jobs),
+        "e6" => exp_ilp::e6(jobs),
         "e7" => {
             let mut s = exp_lower::e7_lps_structure();
             s.push_str(&exp_lower::e7_indistinguishability(
@@ -88,7 +95,7 @@ pub fn run_experiment(id: &str, profile: Profile) -> String {
         }
         "e8" => exp_ldd::e8(profile.quality_trials()),
         "e9" => exp_ldd::e9(profile.quality_trials()),
-        "e10" => exp_ilp::e10(profile.solver_seeds()),
+        "e10" => exp_ilp::e10(profile.solver_seeds(), jobs),
         other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
     }
 }

@@ -210,7 +210,7 @@ impl<'g> GraphProblem<'g> {
                     .collect();
                 GraphSolveResult {
                     vertices: Vec::new(),
-                    weight: edges.len() as u64,
+                    weight: report.value,
                     edges,
                     report,
                 }

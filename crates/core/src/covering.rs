@@ -15,7 +15,7 @@
 //! solutions of the Lemma C.2 cover of the residual (Lemma C.3).
 
 use crate::params::PcParams;
-use crate::prep::{prepare, Preparation, SubsetSolver};
+use crate::prep::{prepare, Preparation, SharedSubsetCache, SubsetSolver};
 use dapc_conc::dist::bernoulli;
 use dapc_graph::{Hypergraph, Vertex};
 use dapc_ilp::instance::{IlpInstance, Sense};
@@ -86,13 +86,29 @@ pub fn approximate_covering(
     params: &PcParams,
     rng: &mut StdRng,
 ) -> CoveringOutcome {
+    approximate_covering_cached(ilp, params, rng, None)
+}
+
+/// [`approximate_covering`] with an optional cross-run subset-solve cache
+/// for the `(instance, budget)` family. The outcome is identical with or
+/// without the cache (subset solves are deterministic); only the exact
+/// local computation is shared.
+pub fn approximate_covering_cached(
+    ilp: &IlpInstance,
+    params: &PcParams,
+    rng: &mut StdRng,
+    cache: Option<&SharedSubsetCache>,
+) -> CoveringOutcome {
     assert_eq!(ilp.sense(), Sense::Covering, "expected a covering instance");
     let h = ilp.hypergraph();
     let n = h.n();
     let m = h.m();
     let mut ledger = RoundLedger::new();
     let mut stats = CoveringStats::default();
-    let mut solver = SubsetSolver::new(ilp, params.budget);
+    let mut solver = match cache {
+        Some(c) => SubsetSolver::with_shared(ilp, params.budget, c.clone()),
+        None => SubsetSolver::new(ilp, params.budget),
+    };
 
     // Preparation: sparse covers + sampling weights.
     let primal = h.primal_graph();

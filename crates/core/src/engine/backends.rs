@@ -3,13 +3,14 @@
 use super::config::SolveConfig;
 use super::report::{BackendStats, SolveReport};
 use super::Solver;
-use crate::covering::approximate_covering;
-use crate::ensemble::packing_ensemble;
-use crate::gkm::gkm_solve;
-use crate::packing::approximate_packing;
+use crate::covering::approximate_covering_cached;
+use crate::ensemble::packing_ensemble_cached;
+use crate::gkm::gkm_solve_cached;
+use crate::packing::approximate_packing_cached;
+use crate::prep::SubsetSolver;
 use dapc_ilp::instance::{IlpInstance, Sense};
 use dapc_ilp::restrict::{covering_restriction, packing_restriction};
-use dapc_ilp::solvers::{self, greedy};
+use dapc_ilp::solvers::greedy;
 use dapc_local::RoundLedger;
 use rand::rngs::StdRng;
 
@@ -24,13 +25,15 @@ impl Solver for ThreePhase {
     }
 
     fn solve(&self, ilp: &IlpInstance, cfg: &SolveConfig, rng: &mut StdRng) -> SolveReport {
+        let cache = cfg.prep_cache.as_ref();
         match ilp.sense() {
             Sense::Packing => {
-                let out = approximate_packing(ilp, &cfg.packing_params(ilp.n()), rng);
+                let out = approximate_packing_cached(ilp, &cfg.packing_params(ilp.n()), rng, cache);
                 SolveReport::from_packing(ilp, self.name(), out)
             }
             Sense::Covering => {
-                let out = approximate_covering(ilp, &cfg.covering_params(ilp.n()), rng);
+                let out =
+                    approximate_covering_cached(ilp, &cfg.covering_params(ilp.n()), rng, cache);
                 SolveReport::from_covering(ilp, self.name(), out)
             }
         }
@@ -48,7 +51,7 @@ impl Solver for Gkm {
     }
 
     fn solve(&self, ilp: &IlpInstance, cfg: &SolveConfig, rng: &mut StdRng) -> SolveReport {
-        let out = gkm_solve(ilp, &cfg.gkm_params(ilp.n()), rng);
+        let out = gkm_solve_cached(ilp, &cfg.gkm_params(ilp.n()), rng, cfg.prep_cache.as_ref());
         SolveReport::from_gkm(ilp, self.name(), out)
     }
 }
@@ -66,14 +69,21 @@ impl Solver for Ensemble {
     }
 
     fn solve(&self, ilp: &IlpInstance, cfg: &SolveConfig, rng: &mut StdRng) -> SolveReport {
+        let cache = cfg.prep_cache.as_ref();
         match ilp.sense() {
             Sense::Packing => {
-                let out =
-                    packing_ensemble(ilp, &cfg.packing_params(ilp.n()), cfg.ensemble_runs, rng);
+                let out = packing_ensemble_cached(
+                    ilp,
+                    &cfg.packing_params(ilp.n()),
+                    cfg.ensemble_runs,
+                    rng,
+                    cache,
+                );
                 SolveReport::from_ensemble(ilp, self.name(), out)
             }
             Sense::Covering => {
-                let out = approximate_covering(ilp, &cfg.covering_params(ilp.n()), rng);
+                let out =
+                    approximate_covering_cached(ilp, &cfg.covering_params(ilp.n()), rng, cache);
                 SolveReport::from_covering(ilp, self.name(), out)
             }
         }
@@ -132,21 +142,22 @@ impl Solver for BranchAndBound {
     }
 
     fn solve(&self, ilp: &IlpInstance, cfg: &SolveConfig, _rng: &mut StdRng) -> SolveReport {
+        // The full-instance solve goes through the subset memoiser so a
+        // batch runtime's shared cache also covers this backend; with no
+        // cache attached the result is identical to a direct solve.
         let full = vec![true; ilp.n()];
-        let sub = match ilp.sense() {
-            Sense::Packing => packing_restriction(ilp, &full),
-            Sense::Covering => covering_restriction(ilp, &full),
+        let mut solver = match &cfg.prep_cache {
+            Some(c) => SubsetSolver::with_shared(ilp, cfg.budget, c.clone()),
+            None => SubsetSolver::new(ilp, cfg.budget),
         };
-        let sol = solvers::solve(&sub, &cfg.budget);
-        let mut assignment = vec![false; ilp.n()];
-        sub.lift_into(&sol.assignment, &mut assignment);
+        let (_, assignment, exact) = solver.solve_mask(&full, None);
         let verdict = dapc_ilp::verify::check(ilp, &assignment);
         SolveReport {
             backend: self.name(),
             sense: ilp.sense(),
             value: verdict.value,
             ledger: centralised_ledger("bnb", ilp.n()),
-            stats: BackendStats::Centralised { exact: sol.exact },
+            stats: BackendStats::Centralised { exact },
             assignment,
             verdict,
         }

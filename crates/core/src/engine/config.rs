@@ -2,6 +2,7 @@
 
 use crate::gkm::GkmParams;
 use crate::params::{PcParams, ScaleKnobs};
+use crate::prep::SharedSubsetCache;
 use dapc_ilp::SolverBudget;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +42,13 @@ pub struct SolveConfig {
     /// Number of ensemble candidate runs; `None` = the paper's
     /// `⌈ln ñ/ε²⌉` capped at 48.
     pub ensemble_runs: Option<usize>,
+    /// Overrides the preparation-decomposition count of
+    /// [`PcParams`] (`None` = derive it from the knobs' `prep_scale`).
+    pub prep_count: Option<usize>,
+    /// Optional cross-run subset-solve cache for this instance family
+    /// (attached by `dapc-runtime`'s `PrepCache`; solver outputs are
+    /// identical with or without it).
+    pub prep_cache: Option<SharedSubsetCache>,
 }
 
 impl Default for SolveConfig {
@@ -53,6 +61,8 @@ impl Default for SolveConfig {
             budget: SolverBudget::default(),
             gkm_k_scale: 0.2,
             ensemble_runs: None,
+            prep_count: None,
+            prep_cache: None,
         }
     }
 }
@@ -133,6 +143,22 @@ impl SolveConfig {
         self
     }
 
+    /// Overrides the preparation-decomposition count (the E10 ablation
+    /// knob; the paper's value is `⌈16·ln ñ⌉`).
+    pub fn prep_count(mut self, count: usize) -> Self {
+        assert!(count > 0, "need at least one preparation decomposition");
+        self.prep_count = Some(count);
+        self
+    }
+
+    /// Attaches a cross-run subset-solve cache for this instance family.
+    /// Reports are bit-identical with or without a cache; only the exact
+    /// local computation is shared across runs.
+    pub fn prep_cache(mut self, cache: SharedSubsetCache) -> Self {
+        self.prep_cache = Some(cache);
+        self
+    }
+
     /// The effective size hint for an `n`-variable instance.
     pub fn effective_n_tilde(&self, n: usize) -> f64 {
         self.n_tilde.unwrap_or((n.max(3)) as f64)
@@ -140,26 +166,25 @@ impl SolveConfig {
 
     /// Theorem 1.2 parameters for an `n`-variable packing instance.
     pub fn packing_params(&self, n: usize) -> PcParams {
-        let mut p = PcParams::packing_scaled(
-            self.eps,
-            self.effective_n_tilde(n),
-            self.knobs.r_scale,
-            self.knobs.prep_scale,
-        );
+        let mut p = self
+            .knobs
+            .packing_params_for(self.eps, self.effective_n_tilde(n));
         p.budget = self.budget;
+        if let Some(c) = self.prep_count {
+            p.prep_count = c;
+        }
         p
     }
 
     /// Theorem 1.3 parameters for an `n`-variable covering instance.
     pub fn covering_params(&self, n: usize) -> PcParams {
-        let mut p = PcParams::covering_scaled(
-            self.eps,
-            self.effective_n_tilde(n),
-            self.knobs.r_scale,
-            self.knobs.prep_scale,
-            self.knobs.covering_t_slack,
-        );
+        let mut p = self
+            .knobs
+            .covering_params_for(self.eps, self.effective_n_tilde(n));
         p.budget = self.budget;
+        if let Some(c) = self.prep_count {
+            p.prep_count = c;
+        }
         p
     }
 

@@ -48,6 +48,8 @@ pub use backends::{BranchAndBound, Ensemble, Gkm, Greedy, ThreePhase};
 pub use config::SolveConfig;
 pub use report::{BackendStats, SolveReport};
 
+pub use crate::prep::SharedSubsetCache;
+
 use dapc_ilp::instance::IlpInstance;
 use rand::rngs::StdRng;
 

@@ -17,7 +17,7 @@
 //! output value is a maximum of both mechanisms — never worse than either.
 
 use crate::params::PcParams;
-use crate::prep::SubsetSolver;
+use crate::prep::{SharedSubsetCache, SubsetSolver};
 use dapc_decomp::elkin_neiman::{elkin_neiman, EnParams};
 use dapc_ilp::instance::{IlpInstance, Sense};
 use dapc_local::RoundLedger;
@@ -76,6 +76,20 @@ pub fn packing_ensemble(
     t_runs: Option<usize>,
     rng: &mut StdRng,
 ) -> EnsembleOutcome {
+    packing_ensemble_cached(ilp, params, t_runs, rng, None)
+}
+
+/// [`packing_ensemble`] with an optional cross-run subset-solve cache for
+/// the `(instance, budget)` family. The outcome is identical with or
+/// without the cache (subset solves are deterministic); only the exact
+/// local computation is shared.
+pub fn packing_ensemble_cached(
+    ilp: &IlpInstance,
+    params: &PcParams,
+    t_runs: Option<usize>,
+    rng: &mut StdRng,
+    cache: Option<&SharedSubsetCache>,
+) -> EnsembleOutcome {
     assert_eq!(ilp.sense(), Sense::Packing, "expected a packing instance");
     let n = ilp.n();
     let primal = ilp.hypergraph().primal_graph();
@@ -83,7 +97,10 @@ pub fn packing_ensemble(
         ((params.n_tilde.ln() / (params.eps * params.eps)).ceil() as usize).clamp(4, 48)
     });
     let en = EnParams::new(params.eps / 2.0, params.n_tilde);
-    let mut solver = SubsetSolver::new(ilp, params.budget);
+    let mut solver = match cache {
+        Some(c) => SubsetSolver::with_shared(ilp, params.budget, c.clone()),
+        None => SubsetSolver::new(ilp, params.budget),
+    };
     let mut ledger = RoundLedger::new();
     ledger.begin_phase(format!("{t_runs} parallel decompositions"));
     ledger.charge_gather(en.rounds());

@@ -10,7 +10,7 @@
 //! `O(k log n)` in `H`), the round complexity is `O(k·C·D) = O(log³ n/ε)`
 //! versus the paper's `Õ(log n/ε)` — the gap experiment E6 measures.
 
-use crate::prep::SubsetSolver;
+use crate::prep::{SharedSubsetCache, SubsetSolver};
 use dapc_decomp::network_decomposition::network_decomposition;
 use dapc_graph::{GraphBuilder, Hypergraph, Vertex};
 use dapc_ilp::instance::{IlpInstance, Sense};
@@ -84,10 +84,26 @@ impl dapc_local::RoundCost for GkmOutcome {
 /// assert!(out.value >= 6); // (1 − ε)·α(C18) = 0.7 · 9
 /// ```
 pub fn gkm_solve(ilp: &IlpInstance, params: &GkmParams, rng: &mut StdRng) -> GkmOutcome {
+    gkm_solve_cached(ilp, params, rng, None)
+}
+
+/// [`gkm_solve`] with an optional cross-run subset-solve cache for the
+/// `(instance, budget)` family. The outcome is identical with or without
+/// the cache (subset solves are deterministic); only the exact local
+/// computation is shared.
+pub fn gkm_solve_cached(
+    ilp: &IlpInstance,
+    params: &GkmParams,
+    rng: &mut StdRng,
+    cache: Option<&SharedSubsetCache>,
+) -> GkmOutcome {
     let h = ilp.hypergraph();
     let n = h.n();
     let mut ledger = RoundLedger::new();
-    let mut solver = SubsetSolver::new(ilp, params.budget);
+    let mut solver = match cache {
+        Some(c) => SubsetSolver::with_shared(ilp, params.budget, c.clone()),
+        None => SubsetSolver::new(ilp, params.budget),
+    };
 
     // Network decomposition of H^{2k} (computed centrally; every round on
     // the power graph costs 2k rounds of H).

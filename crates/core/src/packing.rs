@@ -19,7 +19,7 @@
 //! optima is a (1 − ε)-approximation.
 
 use crate::params::PcParams;
-use crate::prep::{prepare, Preparation, SubsetSolver};
+use crate::prep::{prepare, Preparation, SharedSubsetCache, SubsetSolver};
 use dapc_conc::dist::bernoulli;
 use dapc_graph::{Hypergraph, Vertex};
 use dapc_ilp::instance::{IlpInstance, Sense};
@@ -88,12 +88,28 @@ pub fn approximate_packing(
     params: &PcParams,
     rng: &mut StdRng,
 ) -> PackingOutcome {
+    approximate_packing_cached(ilp, params, rng, None)
+}
+
+/// [`approximate_packing`] with an optional cross-run subset-solve cache
+/// for the `(instance, budget)` family. The outcome is identical with or
+/// without the cache (subset solves are deterministic); only the exact
+/// local computation is shared.
+pub fn approximate_packing_cached(
+    ilp: &IlpInstance,
+    params: &PcParams,
+    rng: &mut StdRng,
+    cache: Option<&SharedSubsetCache>,
+) -> PackingOutcome {
     assert_eq!(ilp.sense(), Sense::Packing, "expected a packing instance");
     let h = ilp.hypergraph();
     let n = h.n();
     let mut ledger = RoundLedger::new();
     let mut stats = PackingStats::default();
-    let mut solver = SubsetSolver::new(ilp, params.budget);
+    let mut solver = match cache {
+        Some(c) => SubsetSolver::with_shared(ilp, params.budget, c.clone()),
+        None => SubsetSolver::new(ilp, params.budget),
+    };
 
     // Preparation: independent decompositions + sampling weights.
     let primal = h.primal_graph();

@@ -38,20 +38,33 @@ impl ScaleKnobs {
         }
     }
 
-    /// Packing parameters for an `n`-variable instance under these knobs.
-    pub fn packing_params(&self, eps: f64, n: usize) -> PcParams {
-        PcParams::packing_scaled(eps, (n.max(3)) as f64, self.r_scale, self.prep_scale)
+    /// Packing parameters for an explicit size hint `ñ` under these knobs
+    /// — the one derivation `SolveConfig` and the `n`-variable helpers
+    /// both delegate to.
+    pub fn packing_params_for(&self, eps: f64, n_tilde: f64) -> PcParams {
+        PcParams::packing_scaled(eps, n_tilde, self.r_scale, self.prep_scale)
     }
 
-    /// Covering parameters for an `n`-variable instance under these knobs.
-    pub fn covering_params(&self, eps: f64, n: usize) -> PcParams {
+    /// Covering parameters for an explicit size hint `ñ` under these
+    /// knobs.
+    pub fn covering_params_for(&self, eps: f64, n_tilde: f64) -> PcParams {
         PcParams::covering_scaled(
             eps,
-            (n.max(3)) as f64,
+            n_tilde,
             self.r_scale,
             self.prep_scale,
             self.covering_t_slack,
         )
+    }
+
+    /// Packing parameters for an `n`-variable instance under these knobs.
+    pub fn packing_params(&self, eps: f64, n: usize) -> PcParams {
+        self.packing_params_for(eps, (n.max(3)) as f64)
+    }
+
+    /// Covering parameters for an `n`-variable instance under these knobs.
+    pub fn covering_params(&self, eps: f64, n: usize) -> PcParams {
+        self.covering_params_for(eps, (n.max(3)) as f64)
     }
 }
 

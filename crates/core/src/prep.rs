@@ -11,6 +11,100 @@ use dapc_ilp::restrict::packing_restriction;
 use dapc_ilp::solvers::{self, SolverBudget};
 use rand::rngs::StdRng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One memoised exact subset solve: `(value, global assignment, exact)`.
+type SubsetEntry = (u64, Vec<bool>, bool);
+
+/// A shareable memo of exact subset solves for one `(instance, budget)`
+/// family.
+///
+/// Every entry is a deterministic function of the subset key alone (the
+/// exact solvers draw no randomness), so sharing a cache across runs,
+/// seeds, `ε` values and threads never changes any solver's output — it
+/// only skips recomputation. This is the hook `dapc-runtime` uses to hoist
+/// the [`SubsetSolver`] memoisation from per-run to per-instance-family.
+///
+/// Cloning is shallow: clones address the same underlying map and
+/// counters. Equality is identity (two handles are equal iff they share
+/// storage), which keeps `SolveConfig: PartialEq` meaningful.
+#[derive(Clone, Default)]
+pub struct SharedSubsetCache {
+    inner: Arc<CacheInner>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: Mutex<HashMap<Vec<Vertex>, SubsetEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedSubsetCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lookups answered from the shared map (across all attached solvers).
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the exact solver.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoised subset solves.
+    pub fn len(&self) -> usize {
+        self.inner.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether no subset solve has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: &[Vertex]) -> Option<SubsetEntry> {
+        let hit = self.inner.map.lock().expect("cache lock").get(key).cloned();
+        match hit {
+            Some(entry) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: Vec<Vertex>, entry: SubsetEntry) {
+        self.inner
+            .map
+            .lock()
+            .expect("cache lock")
+            .insert(key, entry);
+    }
+}
+
+impl PartialEq for SharedSubsetCache {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl std::fmt::Debug for SharedSubsetCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSubsetCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
 
 /// One sampling cluster from the preparation step.
 #[derive(Clone, Debug)]
@@ -38,7 +132,8 @@ pub struct Preparation {
 pub struct SubsetSolver<'a> {
     ilp: &'a IlpInstance,
     budget: SolverBudget,
-    cache: HashMap<Vec<Vertex>, (u64, Vec<bool>, bool)>,
+    cache: HashMap<Vec<Vertex>, SubsetEntry>,
+    shared: Option<SharedSubsetCache>,
     /// Whether every solve so far was exact.
     pub all_exact: bool,
 }
@@ -50,6 +145,25 @@ impl<'a> SubsetSolver<'a> {
             ilp,
             budget,
             cache: HashMap::new(),
+            shared: None,
+            all_exact: true,
+        }
+    }
+
+    /// Like [`SubsetSolver::new`], but consulting `shared` behind the
+    /// per-run memo. The shared cache must belong to the same
+    /// `(instance, budget)` family; results are identical with or without
+    /// it (subset solves are deterministic), only the work is shared.
+    pub fn with_shared(
+        ilp: &'a IlpInstance,
+        budget: SolverBudget,
+        shared: SharedSubsetCache,
+    ) -> Self {
+        SubsetSolver {
+            ilp,
+            budget,
+            cache: HashMap::new(),
+            shared: Some(shared),
             all_exact: true,
         }
     }
@@ -75,6 +189,16 @@ impl<'a> SubsetSolver<'a> {
         if let Some(hit) = self.cache.get(&key) {
             return hit.clone();
         }
+        // Per-run miss: try the cross-run family cache before solving.
+        // Shared hits must still feed `all_exact` — the inexact miss that
+        // populated the entry may have happened in a different run.
+        if let Some(hit) = self.shared.as_ref().and_then(|s| s.get(&key)) {
+            if !hit.2 {
+                self.all_exact = false;
+            }
+            self.cache.insert(key, hit.clone());
+            return hit;
+        }
         let sub = match self.ilp.sense() {
             Sense::Packing => packing_restriction(self.ilp, mask),
             Sense::Covering => {
@@ -88,6 +212,9 @@ impl<'a> SubsetSolver<'a> {
         let mut global = vec![false; self.ilp.n()];
         sub.lift_into(&sol.assignment, &mut global);
         let out = (sol.value, global, sol.exact);
+        if let Some(shared) = &self.shared {
+            shared.insert(key.clone(), out.clone());
+        }
         self.cache.insert(key, out.clone());
         out
     }
@@ -182,6 +309,27 @@ mod tests {
         assert_eq!(v1, v2);
         assert!(e1);
         assert_eq!(solver.cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_spans_solvers() {
+        let g = gen::cycle(10);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let shared = SharedSubsetCache::new();
+        let mask = vec![true; 10];
+        let mut a = SubsetSolver::with_shared(&ilp, SolverBudget::default(), shared.clone());
+        let (v1, _, _) = a.solve_mask(&mask, None);
+        assert_eq!((shared.hits(), shared.misses()), (0, 1));
+        let mut b = SubsetSolver::with_shared(&ilp, SolverBudget::default(), shared.clone());
+        let (v2, _, _) = b.solve_mask(&mask, None);
+        assert_eq!(v1, v2);
+        assert_eq!((shared.hits(), shared.misses()), (1, 1));
+        // Per-run re-lookups are served by the local memo, not the shared
+        // map, so hit counts measure genuine cross-run reuse.
+        let (v3, _, _) = b.solve_mask(&mask, None);
+        assert_eq!(v2, v3);
+        assert_eq!((shared.hits(), shared.misses()), (1, 1));
+        assert_eq!(shared.len(), 1);
     }
 
     #[test]

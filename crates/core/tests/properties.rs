@@ -2,6 +2,7 @@
 //! solutions meeting their guarantees on arbitrary random graphs.
 
 use dapc_core::covering::approximate_covering;
+use dapc_core::gkm::{gkm_solve, GkmParams};
 use dapc_core::packing::approximate_packing;
 use dapc_core::params::PcParams;
 use dapc_graph::{gen, Graph, Vertex};
@@ -42,6 +43,54 @@ proptest! {
         prop_assert!(exact);
         prop_assert!(out.value as f64 <= (1.0 + eps) * opt as f64 + 1e-9,
             "value {} > (1+ε)·{}", out.value, opt);
+    }
+
+    #[test]
+    fn gkm_covering_carve_feasible_for_any_k_scale(
+        g in arb_graph(20),
+        k_scale in 0.01f64..1.5,
+        eps_pct in 10u32..60,
+        seed in 0u64..8,
+    ) {
+        // Hardens the PR 1 small-k window clamp: for tiny k the covering
+        // carve's default window used to sit on the ball boundary and
+        // delete vertices whose outward constraints were never satisfied.
+        // Whatever k the scale produces (the constructor floors it at 3,
+        // exercising both the `lo = 1` and `lo = 3` window paths), the
+        // carve must stay feasible — and, when the reference optimum is
+        // proven, never dip below it (covering minimises).
+        let eps = eps_pct as f64 / 100.0;
+        let ilp = problems::min_vertex_cover_unweighted(&g);
+        let params = GkmParams::new(eps, g.n() as f64, k_scale);
+        let out = gkm_solve(&ilp, &params, &mut gen::seeded_rng(seed));
+        prop_assert!(
+            ilp.is_feasible(&out.assignment),
+            "k = {} (k_scale {k_scale}, eps {eps}): infeasible carve",
+            params.k
+        );
+        let (opt, exact) = verify::optimum(&ilp, &SolverBudget::default());
+        if exact {
+            prop_assert!(out.value >= opt, "covering below optimum: {} < {opt}", out.value);
+        }
+    }
+
+    #[test]
+    fn gkm_dominating_set_carve_feasible_for_any_k_scale(
+        n in 6usize..36,
+        k_scale in 0.01f64..1.2,
+        seed in 0u64..6,
+    ) {
+        // Long cycles keep the carve radius below the diameter, so the
+        // window search genuinely runs instead of swallowing the graph.
+        let g = gen::cycle(n);
+        let ilp = problems::min_dominating_set_unweighted(&g);
+        let params = GkmParams::new(0.3, n as f64, k_scale);
+        let out = gkm_solve(&ilp, &params, &mut gen::seeded_rng(seed));
+        prop_assert!(
+            ilp.is_feasible(&out.assignment),
+            "n = {n}, k = {}: infeasible carve",
+            params.k
+        );
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! The one FNV-1a fold shared by everything that needs a stable,
+//! platform-independent 64-bit digest (instance fingerprints, batch job
+//! RNG seeds). One definition keeps the constants and fold order from
+//! drifting between call sites — persisted cache keys and recorded seeds
+//! depend on them.
+
+/// The FNV-1a 64-bit offset basis: the starting state of a fold.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds `bytes` into state `h` (start from [`FNV_OFFSET`]).
+///
+/// ```
+/// use dapc_ilp::hash::{fnv1a, FNV_OFFSET};
+///
+/// let h = fnv1a(fnv1a(FNV_OFFSET, b"a"), b"b");
+/// assert_eq!(h, fnv1a(FNV_OFFSET, b"ab"));
+/// assert_ne!(h, fnv1a(FNV_OFFSET, b"ba"));
+/// ```
+pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds one `u64` into state `h` (little-endian byte order).
+pub fn fnv1a_u64(h: u64, v: u64) -> u64 {
+    fnv1a(h, &v.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(FNV_OFFSET, b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn u64_fold_is_byte_fold() {
+        let v = 0x0102_0304_0506_0708u64;
+        assert_eq!(
+            fnv1a_u64(FNV_OFFSET, v),
+            fnv1a(FNV_OFFSET, &v.to_le_bytes())
+        );
+    }
+}

@@ -208,6 +208,34 @@ impl IlpInstance {
         &self.hypergraph
     }
 
+    /// A stable structural fingerprint of the instance (FNV-1a over the
+    /// sense, weights and constraint system). Two instances with equal
+    /// fingerprints are, with overwhelming probability, the same ILP —
+    /// batch runtimes use this to key per-instance-family caches without
+    /// holding onto the instances themselves.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::hash::FNV_OFFSET;
+        let mut eat = |v: u64| h = crate::hash::fnv1a_u64(h, v);
+        eat(match self.sense {
+            Sense::Packing => 1,
+            Sense::Covering => 2,
+        });
+        eat(self.n() as u64);
+        for &w in &self.weights {
+            eat(w);
+        }
+        eat(self.constraints.len() as u64);
+        for c in &self.constraints {
+            eat(c.bound().to_bits());
+            eat(c.coeffs().len() as u64);
+            for &(v, a) in c.coeffs() {
+                eat(v as u64);
+                eat(a.to_bits());
+            }
+        }
+        h
+    }
+
     /// Whether a 0/1 assignment satisfies every constraint.
     pub fn is_feasible(&self, x: &[bool]) -> bool {
         assert_eq!(x.len(), self.n(), "assignment length mismatch");
@@ -371,5 +399,28 @@ mod tests {
     #[should_panic]
     fn negative_coefficients_rejected() {
         let _ = Constraint::new(vec![(0, -1.0)], 1.0);
+    }
+
+    #[test]
+    fn fingerprint_separates_instances() {
+        let a = triangle_mis();
+        let b = triangle_mis();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different weights, different constraints, different sense: all
+        // move the fingerprint.
+        let heavier = IlpInstance::packing(3, vec![2, 1, 1], a.constraints().to_vec());
+        assert_ne!(a.fingerprint(), heavier.fingerprint());
+        let looser = IlpInstance::packing(
+            3,
+            vec![1, 1, 1],
+            vec![Constraint::new(vec![(0, 1.0), (1, 1.0)], 2.0)],
+        );
+        assert_ne!(a.fingerprint(), looser.fingerprint());
+        let cover = IlpInstance::covering(
+            3,
+            vec![1, 1, 1],
+            vec![Constraint::new(vec![(0, 1.0), (1, 1.0), (2, 1.0)], 1.0)],
+        );
+        assert_ne!(a.fingerprint(), cover.fingerprint());
     }
 }

@@ -1,0 +1,118 @@
+//! The cross-job preparation cache: one [`SharedSubsetCache`] per
+//! instance family.
+
+use dapc_core::engine::SharedSubsetCache;
+use dapc_ilp::{IlpInstance, SolverBudget};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Hoists the `dapc_core::prep` subset-solve memoisation from per-run to
+/// per-instance-family: families are keyed by
+/// `(instance fingerprint, budget)`, and every job of one family shares
+/// one [`SharedSubsetCache`] behind an `Arc`.
+///
+/// Cached entries are deterministic functions of their key, so attaching
+/// a cache never changes any job's report — only how much exact local
+/// computation is repeated. Handles are cheap to clone (shallow); a cache
+/// can outlive a single [`crate::solve_many`] call to keep its memo warm
+/// across batches of the same family.
+#[derive(Clone, Default)]
+pub struct PrepCache {
+    families: Arc<Mutex<HashMap<(u64, u64), SharedSubsetCache>>>,
+}
+
+impl PrepCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The family cache for `(ilp, budget)`, created on first use.
+    pub fn family(&self, ilp: &IlpInstance, budget: &SolverBudget) -> SharedSubsetCache {
+        self.families
+            .lock()
+            .expect("prep cache lock")
+            .entry((ilp.fingerprint(), budget.node_limit))
+            .or_default()
+            .clone()
+    }
+
+    /// Aggregate counters across every family.
+    pub fn stats(&self) -> CacheStats {
+        let families = self.families.lock().expect("prep cache lock");
+        let mut stats = CacheStats {
+            families: families.len(),
+            ..CacheStats::default()
+        };
+        for cache in families.values() {
+            stats.entries += cache.len();
+            stats.hits += cache.hits();
+            stats.misses += cache.misses();
+        }
+        stats
+    }
+}
+
+impl std::fmt::Debug for PrepCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PrepCache").field(&self.stats()).finish()
+    }
+}
+
+/// Aggregate prep-cache counters, surfaced in
+/// [`crate::BatchReport::cache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Distinct `(instance fingerprint, budget)` families.
+    pub families: usize,
+    /// Memoised subset solves across all families.
+    pub entries: usize,
+    /// Cross-run lookups answered from a family cache.
+    pub hits: u64,
+    /// Cross-run lookups that ran the exact solver.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dapc_graph::gen;
+    use dapc_ilp::problems;
+
+    #[test]
+    fn families_split_by_instance_and_budget() {
+        let cache = PrepCache::new();
+        let a = problems::max_independent_set_unweighted(&gen::cycle(8));
+        let b = problems::max_independent_set_unweighted(&gen::cycle(10));
+        let default = SolverBudget::default();
+        let tight = SolverBudget { node_limit: 10 };
+        let fa = cache.family(&a, &default);
+        assert_eq!(cache.family(&a, &default), fa, "same family, same cache");
+        assert_ne!(cache.family(&b, &default), fa);
+        assert_ne!(cache.family(&a, &tight), fa);
+        assert_eq!(cache.stats().families, 3);
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let some = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert!((some.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

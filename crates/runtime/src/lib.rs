@@ -1,0 +1,65 @@
+//! # dapc-runtime
+//!
+//! The parallel batch-solve subsystem: sweep whole corpora of
+//! `(instance × backend × ε × seed)` jobs across a fixed-size worker pool
+//! (the vendored `threadpool` crate) with per-instance-family prep
+//! caching, and get back the aggregation the experiment tables need.
+//!
+//! Three guarantees shape the design:
+//!
+//! 1. **Order-independence.** Every job derives its `StdRng` from its own
+//!    [`JobKey`], so results are byte-identical to sequential execution at
+//!    any worker count — fan-out changes wall-clock time, never outcomes.
+//! 2. **Cache-transparency.** The [`PrepCache`] shares only memoised
+//!    exact subset solves, which are deterministic functions of their key;
+//!    reports with the cache on and off are equal, the cache only skips
+//!    repeated local computation (the memoised-subproblem-reuse idea of
+//!    Chekuri & Quanrud 2018 applied across runs).
+//! 3. **One instance model, pluggable strategies.** Jobs go through the
+//!    `dapc_core::engine` registry, so any registered backend — current or
+//!    future — batches without new code here (Koufogiannakis & Young
+//!    2011's framing).
+//!
+//! # Examples
+//!
+//! ```
+//! use dapc_graph::gen;
+//! use dapc_ilp::problems;
+//! use dapc_runtime::{solve_many, Corpus, RuntimeConfig};
+//!
+//! let corpus = Corpus::builder()
+//!     .instance(
+//!         "MIS/cycle18",
+//!         problems::max_independent_set_unweighted(&gen::cycle(18)),
+//!     )
+//!     .instance(
+//!         "VC/cycle14",
+//!         problems::min_vertex_cover_unweighted(&gen::cycle(14)),
+//!     )
+//!     .backend("three-phase")
+//!     .backend("bnb")
+//!     .eps(0.3)
+//!     .seeds(0..3)
+//!     .build();
+//! let report = solve_many(&corpus, &RuntimeConfig::new().jobs(4));
+//! assert_eq!(report.results.len(), 2 * 2 * 1 * 3);
+//! assert!(report.results.iter().all(|r| r.report.feasible()));
+//! // Seeds of one family share prep work through the cache:
+//! assert!(report.cache.hits > 0);
+//! // The worst three-phase packing seed still meets (1 − ε)·OPT:
+//! let g = report.group("MIS/cycle18", "three-phase", 0.3).unwrap();
+//! assert!(g.meets_guarantee());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod corpus;
+mod report;
+mod run;
+
+pub use cache::{CacheStats, PrepCache};
+pub use corpus::{Corpus, CorpusBuilder, Job, JobKey};
+pub use report::{BackendSummary, BatchReport, GroupSummary, JobResult};
+pub use run::{solve_many, solve_many_with_cache, RuntimeConfig};

@@ -1,0 +1,283 @@
+//! Batch results: per-job reports plus the per-group and per-backend
+//! aggregation that used to be hand-rolled in `dapc-bench`.
+
+use crate::cache::CacheStats;
+use crate::corpus::JobKey;
+use dapc_core::engine::SolveReport;
+use dapc_ilp::Sense;
+use dapc_local::RoundCost;
+use std::time::Duration;
+
+/// One job's outcome: its key, the engine report, and how long the job
+/// took on its worker.
+///
+/// The `(key, report)` pair is a pure function of the corpus — it is
+/// byte-identical across worker counts and cache configurations. The
+/// timing is not, which is why it lives beside the report instead of
+/// inside it.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Identity of the job.
+    pub key: JobKey,
+    /// The unified engine report.
+    pub report: SolveReport,
+    /// Wall-clock microseconds spent solving this job.
+    pub micros: u64,
+}
+
+/// Aggregation over the seed sweep of one `(instance, backend, ε)` cell.
+#[derive(Clone, Debug)]
+pub struct GroupSummary {
+    /// Instance name.
+    pub instance: String,
+    /// Backend registry key.
+    pub backend: String,
+    /// Approximation parameter `ε`.
+    pub eps: f64,
+    /// Whether the instance packs or covers.
+    pub sense: Sense,
+    /// Number of variables of the instance.
+    pub vars: usize,
+    /// Number of seeds aggregated.
+    pub jobs: usize,
+    /// Whether every seed produced a feasible assignment.
+    pub feasible: bool,
+    /// Reference optimum, when the runtime computed one.
+    pub opt: Option<u64>,
+    /// Whether the reference optimum was proven optimal.
+    pub opt_exact: bool,
+    /// Smallest objective value across seeds.
+    pub min_value: u64,
+    /// Largest objective value across seeds.
+    pub max_value: u64,
+    /// Mean objective value across seeds.
+    pub mean_value: f64,
+    /// `min value / opt` (packing's worst seed; needs a reference).
+    pub min_ratio: Option<f64>,
+    /// `max value / opt` (covering's worst seed; needs a reference).
+    pub max_ratio: Option<f64>,
+    /// Mean of `value / opt` across seeds.
+    pub mean_ratio: Option<f64>,
+    /// Charged LOCAL rounds of the last seed (the legacy table column).
+    pub rounds_last: usize,
+    /// Mean charged LOCAL rounds across seeds.
+    pub mean_rounds: f64,
+    /// Total wall-clock microseconds across the group's jobs.
+    pub micros: u64,
+}
+
+impl GroupSummary {
+    /// Whether the worst seed met the paper's guarantee: `≥ 1 − ε` of the
+    /// optimum for packing, `≤ 1 + ε` of it for covering. `false` when no
+    /// reference optimum is available.
+    pub fn meets_guarantee(&self) -> bool {
+        match self.sense {
+            Sense::Packing => self.min_ratio.is_some_and(|r| r + 1e-9 >= 1.0 - self.eps),
+            Sense::Covering => self.max_ratio.is_some_and(|r| r <= 1.0 + self.eps + 1e-9),
+        }
+    }
+}
+
+/// Roll-up of every group of one backend.
+#[derive(Clone, Debug)]
+pub struct BackendSummary {
+    /// Backend registry key.
+    pub backend: String,
+    /// Total jobs run by this backend.
+    pub jobs: usize,
+    /// Whether every job was feasible.
+    pub feasible: bool,
+    /// Worst packing seed across groups (`min value/opt`).
+    pub min_ratio: Option<f64>,
+    /// Worst covering seed across groups (`max value/opt`).
+    pub max_ratio: Option<f64>,
+    /// Job-weighted mean of `value / opt`.
+    pub mean_ratio: Option<f64>,
+    /// Job-weighted mean charged LOCAL rounds.
+    pub mean_rounds: f64,
+    /// Total wall-clock microseconds across the backend's jobs.
+    pub micros: u64,
+}
+
+/// Everything [`crate::solve_many`] returns.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job results in the corpus's canonical order — byte-identical
+    /// across worker counts and cache configurations (timings aside).
+    pub results: Vec<JobResult>,
+    /// One summary per `(instance, backend, ε)` cell, in job order.
+    pub groups: Vec<GroupSummary>,
+    /// One roll-up per backend, in corpus backend order.
+    pub backends: Vec<BackendSummary>,
+    /// Aggregate prep-cache counters for the run.
+    pub cache: CacheStats,
+    /// Worker threads used.
+    pub workers: usize,
+    /// End-to-end wall-clock time of the batch.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// The deterministic payload: every `(key, report)` pair in canonical
+    /// order. Two batches over the same corpus are interchangeable iff
+    /// their outcomes are equal, regardless of workers or caching.
+    pub fn outcomes(&self) -> Vec<(&JobKey, &SolveReport)> {
+        self.results.iter().map(|r| (&r.key, &r.report)).collect()
+    }
+
+    /// Looks a group up by cell coordinates (`eps` compared bit-exactly).
+    pub fn group(&self, instance: &str, backend: &str, eps: f64) -> Option<&GroupSummary> {
+        self.groups.iter().find(|g| {
+            g.instance == instance && g.backend == backend && g.eps.to_bits() == eps.to_bits()
+        })
+    }
+
+    /// A compact text rendering (one line per group plus cache totals).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>5} {:>6} {:>7} {:>7} {:>7} {:>8} {:>9}\n",
+            "instance", "backend", "eps", "OPT", "worst r", "mean r", "ok", "rounds", "ms"
+        ));
+        for g in &self.groups {
+            let worst = match g.sense {
+                Sense::Packing => g.min_ratio,
+                Sense::Covering => g.max_ratio,
+            };
+            out.push_str(&format!(
+                "{:<24} {:>12} {:>5} {:>6} {:>7} {:>7} {:>7} {:>8} {:>9.1}\n",
+                g.instance,
+                g.backend,
+                g.eps,
+                g.opt
+                    .map(|o| if g.opt_exact {
+                        o.to_string()
+                    } else {
+                        format!("{o}*")
+                    })
+                    .unwrap_or_else(|| "-".into()),
+                worst
+                    .map(|r| format!("{r:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+                g.mean_ratio
+                    .map(|r| format!("{r:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+                g.meets_guarantee(),
+                g.rounds_last,
+                g.micros as f64 / 1000.0,
+            ));
+        }
+        out.push_str(&format!(
+            "workers {} | wall {:.1?} | prep cache: {} families, {} entries, {} hits / {} misses (rate {:.2})\n",
+            self.workers,
+            self.wall,
+            self.cache.families,
+            self.cache.entries,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate(),
+        ));
+        out
+    }
+
+    pub(crate) fn summarise(
+        results: &[JobResult],
+        optima: impl Fn(&str) -> Option<(u64, bool)>,
+    ) -> (Vec<GroupSummary>, Vec<BackendSummary>) {
+        let mut groups: Vec<GroupSummary> = Vec::new();
+        for r in results {
+            let cell = (&r.key.instance, &r.key.backend, r.key.eps.to_bits());
+            let matches = |g: &GroupSummary| (&g.instance, &g.backend, g.eps.to_bits()) == cell;
+            if !groups.last().is_some_and(matches) {
+                let (opt, opt_exact) = match optima(&r.key.instance) {
+                    Some((o, e)) => (Some(o), e),
+                    None => (None, false),
+                };
+                groups.push(GroupSummary {
+                    instance: r.key.instance.clone(),
+                    backend: r.key.backend.clone(),
+                    eps: r.key.eps,
+                    sense: r.report.sense,
+                    vars: r.report.assignment.len(),
+                    jobs: 0,
+                    feasible: true,
+                    opt,
+                    opt_exact,
+                    min_value: u64::MAX,
+                    max_value: 0,
+                    mean_value: 0.0,
+                    min_ratio: None,
+                    max_ratio: None,
+                    mean_ratio: None,
+                    rounds_last: 0,
+                    mean_rounds: 0.0,
+                    micros: 0,
+                });
+            }
+            let g = groups.last_mut().expect("group just ensured");
+            g.jobs += 1;
+            g.feasible &= r.report.feasible();
+            g.min_value = g.min_value.min(r.report.value);
+            g.max_value = g.max_value.max(r.report.value);
+            g.mean_value += r.report.value as f64;
+            if let Some(opt) = g.opt {
+                let ratio = r.report.value as f64 / opt.max(1) as f64;
+                g.min_ratio = Some(g.min_ratio.map_or(ratio, |m: f64| m.min(ratio)));
+                g.max_ratio = Some(g.max_ratio.map_or(ratio, |m: f64| m.max(ratio)));
+                g.mean_ratio = Some(g.mean_ratio.unwrap_or(0.0) + ratio);
+            }
+            g.rounds_last = r.report.rounds();
+            g.mean_rounds += r.report.rounds() as f64;
+            g.micros += r.micros;
+        }
+        for g in &mut groups {
+            let jobs = g.jobs as f64;
+            g.mean_value /= jobs;
+            g.mean_rounds /= jobs;
+            if let Some(sum) = g.mean_ratio {
+                g.mean_ratio = Some(sum / jobs);
+            }
+        }
+
+        let mut backends: Vec<BackendSummary> = Vec::new();
+        for g in &groups {
+            if !backends.iter().any(|b| b.backend == g.backend) {
+                backends.push(BackendSummary {
+                    backend: g.backend.clone(),
+                    jobs: 0,
+                    feasible: true,
+                    min_ratio: None,
+                    max_ratio: None,
+                    mean_ratio: None,
+                    mean_rounds: 0.0,
+                    micros: 0,
+                });
+            }
+            let b = backends
+                .iter_mut()
+                .find(|b| b.backend == g.backend)
+                .expect("backend just ensured");
+            b.jobs += g.jobs;
+            b.feasible &= g.feasible;
+            if let Some(r) = g.min_ratio {
+                b.min_ratio = Some(b.min_ratio.map_or(r, |m: f64| m.min(r)));
+            }
+            if let Some(r) = g.max_ratio {
+                b.max_ratio = Some(b.max_ratio.map_or(r, |m: f64| m.max(r)));
+            }
+            if let Some(r) = g.mean_ratio {
+                b.mean_ratio = Some(b.mean_ratio.unwrap_or(0.0) + r * g.jobs as f64);
+            }
+            b.mean_rounds += g.mean_rounds * g.jobs as f64;
+            b.micros += g.micros;
+        }
+        for b in &mut backends {
+            let jobs = b.jobs as f64;
+            b.mean_rounds /= jobs;
+            if let Some(sum) = b.mean_ratio {
+                b.mean_ratio = Some(sum / jobs);
+            }
+        }
+        (groups, backends)
+    }
+}

@@ -1,0 +1,156 @@
+//! The batch driver: fan a corpus out across a worker pool.
+
+use crate::cache::PrepCache;
+use crate::corpus::{Corpus, Job};
+use crate::report::{BatchReport, JobResult};
+use dapc_core::engine;
+use dapc_core::prep::SubsetSolver;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use threadpool::ThreadPool;
+
+/// How a batch is executed. Orthogonal to *what* is solved: no
+/// [`RuntimeConfig`] choice changes any job's `(key, report)` outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads (default 1 = run jobs inline on the caller).
+    pub jobs: usize,
+    /// Whether to share prep caches across jobs of one instance family
+    /// (default `true`).
+    pub prep_cache: bool,
+    /// Whether to compute a reference optimum per instance so the report
+    /// can aggregate approximation ratios (default `true`).
+    pub reference_optima: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            jobs: 1,
+            prep_cache: true,
+            reference_optima: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Starts from the defaults (sequential, caching, with reference
+    /// optima).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (clamped to at least 1 at execution).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enables or disables the shared prep cache.
+    pub fn prep_cache(mut self, on: bool) -> Self {
+        self.prep_cache = on;
+        self
+    }
+
+    /// Enables or disables the per-instance reference optima (and with
+    /// them the ratio columns of the report).
+    pub fn reference_optima(mut self, on: bool) -> Self {
+        self.reference_optima = on;
+        self
+    }
+}
+
+/// Solves every job of `corpus` under `rt` with a fresh [`PrepCache`].
+///
+/// Results come back in the corpus's canonical order and are
+/// byte-identical to sequential execution (`jobs = 1`) at any worker
+/// count: each job draws its randomness from an RNG derived from its own
+/// key, and cached subset solves are deterministic.
+pub fn solve_many(corpus: &Corpus, rt: &RuntimeConfig) -> BatchReport {
+    solve_many_with_cache(corpus, rt, &PrepCache::new())
+}
+
+/// [`solve_many`] against a caller-owned [`PrepCache`], so the memo stays
+/// warm across successive batches over the same instance families.
+pub fn solve_many_with_cache(
+    corpus: &Corpus,
+    rt: &RuntimeConfig,
+    cache: &PrepCache,
+) -> BatchReport {
+    let start = Instant::now();
+    let jobs = corpus.jobs();
+    let workers = rt.jobs.max(1);
+    let use_cache = rt.prep_cache;
+
+    let results: Vec<JobResult> = if workers == 1 {
+        jobs.into_iter()
+            .map(|job| run_job(job, use_cache, cache))
+            .collect()
+    } else {
+        let pool = ThreadPool::new(workers);
+        let slots: Arc<Mutex<Vec<Option<JobResult>>>> =
+            Arc::new(Mutex::new((0..jobs.len()).map(|_| None).collect()));
+        for job in jobs {
+            let slots = Arc::clone(&slots);
+            let cache = cache.clone();
+            pool.execute(move || {
+                let index = job.index;
+                let result = run_job(job, use_cache, &cache);
+                slots.lock().expect("result slots")[index] = Some(result);
+            });
+        }
+        pool.join();
+        Arc::try_unwrap(slots)
+            .expect("pool joined, no worker holds the slots")
+            .into_inner()
+            .expect("result slots")
+            .into_iter()
+            .map(|slot| slot.expect("every job filled its slot"))
+            .collect()
+    };
+
+    // Reference optima, one exact solve per instance. Routed through the
+    // family cache so a batch that already ran `bnb` gets them for free.
+    let mut optima: HashMap<String, (u64, bool)> = HashMap::new();
+    if rt.reference_optima {
+        for inst in &corpus.instances {
+            let full = vec![true; inst.ilp.n()];
+            let budget = corpus.base.budget;
+            let mut solver = if use_cache {
+                SubsetSolver::with_shared(&inst.ilp, budget, cache.family(&inst.ilp, &budget))
+            } else {
+                SubsetSolver::new(&inst.ilp, budget)
+            };
+            let (opt, _, exact) = solver.solve_mask(&full, None);
+            optima.insert(inst.name.clone(), (opt, exact));
+        }
+    }
+
+    let (groups, backends) = BatchReport::summarise(&results, |name| optima.get(name).copied());
+    BatchReport {
+        results,
+        groups,
+        backends,
+        cache: cache.stats(),
+        workers,
+        wall: start.elapsed(),
+    }
+}
+
+fn run_job(job: Job, use_cache: bool, cache: &PrepCache) -> JobResult {
+    let Job {
+        key, ilp, mut cfg, ..
+    } = job;
+    if use_cache {
+        cfg.prep_cache = Some(cache.family(&ilp, &cfg.budget));
+    }
+    let timer = Instant::now();
+    let report =
+        engine::solve(&key.backend, &ilp, &cfg).expect("corpus build validated every backend key");
+    JobResult {
+        key,
+        report,
+        micros: timer.elapsed().as_micros() as u64,
+    }
+}

@@ -81,8 +81,11 @@ pub use dapc_graph as graph;
 pub use dapc_ilp as ilp;
 pub use dapc_local as local;
 pub use dapc_lower as lower;
+pub use dapc_runtime as runtime;
 
-/// One-stop imports for the unified solver engine.
+/// One-stop imports for the unified solver engine and the batch runtime.
+///
+/// A single solve goes through the string-keyed registry:
 ///
 /// ```
 /// use dapc::prelude::*;
@@ -95,14 +98,44 @@ pub use dapc_lower as lower;
 /// .unwrap();
 /// assert_eq!(report.value, 5);
 /// ```
+///
+/// Sweeps go through `dapc-runtime`: build a [`prelude::Corpus`] of
+/// `(instance × backend × ε × seed)` jobs and fan it out with
+/// [`prelude::solve_many`]. Results are byte-identical to sequential
+/// execution at any worker count, and seeds of one instance family share
+/// their preparation work through the prep cache:
+///
+/// ```
+/// use dapc::prelude::*;
+///
+/// let corpus = Corpus::builder()
+///     .instance(
+///         "MIS/cycle20",
+///         problems::max_independent_set_unweighted(&gen::cycle(20)),
+///     )
+///     .backend("three-phase")
+///     .backend("bnb")
+///     .eps(0.3)
+///     .seeds(0..4)
+///     .build();
+/// let report = solve_many(&corpus, &RuntimeConfig::new().jobs(4));
+/// assert_eq!(report.results.len(), 1 * 2 * 1 * 4);
+/// assert!(report.results.iter().all(|r| r.report.feasible()));
+/// assert!(report.cache.hits > 0, "seeds share prep work");
+/// let worst = report.group("MIS/cycle20", "three-phase", 0.3).unwrap();
+/// assert!(worst.meets_guarantee()); // min ratio ≥ 1 − ε
+/// ```
 pub mod prelude {
     pub use dapc_core::adapters::{GraphProblem, GraphSolveResult};
     pub use dapc_core::engine::{
-        self, BackendStats, BranchAndBound, Ensemble, Gkm, Greedy, SolveConfig, SolveReport,
-        Solver, ThreePhase,
+        self, BackendStats, BranchAndBound, Ensemble, Gkm, Greedy, SharedSubsetCache, SolveConfig,
+        SolveReport, Solver, ThreePhase,
     };
     pub use dapc_core::params::{PcParams, ScaleKnobs};
     pub use dapc_graph::{gen, Graph, GraphBuilder, Hypergraph, Vertex};
     pub use dapc_ilp::{problems, verify, IlpInstance, Sense, SolverBudget};
     pub use dapc_local::{RoundCost, RoundLedger};
+    pub use dapc_runtime::{
+        solve_many, solve_many_with_cache, BatchReport, Corpus, JobKey, PrepCache, RuntimeConfig,
+    };
 }

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `threadpool` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides a from-scratch fixed-size worker pool implementing the
+//! API subset `dapc-runtime` uses: [`ThreadPool::new`],
+//! [`ThreadPool::execute`] and [`ThreadPool::join`]. Jobs are `FnOnce`
+//! closures drained from one shared FIFO queue; `join` blocks until the
+//! queue is empty *and* no job is mid-flight, and propagates job panics to
+//! the caller so a failing batch cannot be mistaken for a finished one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<Job>,
+    /// Queued + currently running jobs.
+    pending: usize,
+    /// Jobs whose closure panicked (the panic is re-raised by `join`).
+    panicked: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a job is queued or the pool shuts down.
+    work: Condvar,
+    /// Signalled when `pending` drops to zero.
+    done: Condvar,
+}
+
+/// A fixed-size pool of worker threads draining one FIFO job queue.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = threadpool::ThreadPool::new(4);
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..32 {
+///     let counter = Arc::clone(&counter);
+///     pool.execute(move || {
+///         counter.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// pool.join();
+/// assert_eq!(counter.load(Ordering::Relaxed), 32);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("threadpool-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues a job. Jobs start in FIFO order on whichever worker frees
+    /// up first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the pool started shutting down (only
+    /// possible from a job racing `Drop`, which the API makes hard to do).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, f: F) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        assert!(!state.shutdown, "execute on a shut-down pool");
+        state.queue.push_back(Box::new(f));
+        state.pending += 1;
+        drop(state);
+        self.shared.work.notify_one();
+    }
+
+    /// Blocks until every queued job has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panicked since the last `join`, so batch drivers
+    /// cannot silently lose work.
+    pub fn join(&self) {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        while state.pending > 0 {
+            state = self.shared.done.wait(state).expect("pool lock");
+        }
+        let panicked = std::mem::take(&mut state.panicked);
+        drop(state);
+        assert!(panicked == 0, "{panicked} pool job(s) panicked");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work.wait(state).expect("pool lock");
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut state = shared.state.lock().expect("pool lock");
+        state.pending -= 1;
+        if outcome.is_err() {
+            state.panicked += 1;
+        }
+        let idle = state.pending == 0;
+        drop(state);
+        if idle {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn join_is_reusable() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for round in 1..=3usize {
+            for _ in 0..10 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.join();
+            assert_eq!(counter.load(Ordering::Relaxed), 10 * round);
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_fifo() {
+        let pool = ThreadPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..20 {
+            let order = Arc::clone(&order);
+            pool.execute(move || order.lock().unwrap().push(i));
+        }
+        pool.join();
+        assert_eq!(*order.lock().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&flag);
+        pool.execute(move || {
+            f.store(7, Ordering::Relaxed);
+        });
+        pool.join();
+        assert_eq!(flag.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool job(s) panicked")]
+    fn job_panics_surface_at_join() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("boom"));
+        pool.join();
+    }
+
+    #[test]
+    fn drop_with_queued_jobs_terminates() {
+        // Workers drain whatever is queued before shutdown is observed;
+        // dropping must not deadlock either way.
+        let pool = ThreadPool::new(2);
+        for _ in 0..50 {
+            pool.execute(|| {});
+        }
+        drop(pool);
+    }
+}
