@@ -91,6 +91,7 @@ pub fn run_experiment(id: &str, profile: Profile, jobs: usize) -> String {
             s.push_str(&exp_lower::e7_subdivision_tradeoff(
                 profile.profile_trials(),
             ));
+            s.push_str(&exp_lower::e7_registry_gap(profile.profile_trials()));
             s
         }
         "e8" => exp_ldd::e8(profile.quality_trials()),

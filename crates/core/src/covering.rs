@@ -17,7 +17,7 @@
 use crate::params::PcParams;
 use crate::prep::{prepare, Preparation, SharedSubsetCache, SubsetSolver};
 use dapc_conc::dist::bernoulli;
-use dapc_graph::{Hypergraph, Vertex};
+use dapc_graph::{BallScratch, Hypergraph, Vertex};
 use dapc_ilp::instance::{IlpInstance, Sense};
 use dapc_local::RoundLedger;
 use rand::rngs::StdRng;
@@ -124,6 +124,8 @@ pub fn approximate_covering_cached(
     let mut alive_v = vec![true; n];
     let mut alive_e = vec![true; m];
     let mut fixed_one = vec![false; n];
+    let mut scratch = BallScratch::new();
+    let mut ball_mask = vec![false; n];
 
     // Phase 1: t carving iterations.
     for i in 1..=params.t {
@@ -154,12 +156,15 @@ pub fn approximate_covering_cached(
             if sources.is_empty() {
                 continue;
             }
-            let ball = h.ball(&sources, b_i, Some(&alive_v), Some(&alive_e));
-            let mut ball_mask = vec![false; n];
+            let ball =
+                h.ball_with_scratch(&sources, b_i, Some(&alive_v), Some(&alive_e), &mut scratch);
             for v in ball.iter() {
                 ball_mask[v as usize] = true;
             }
             let (_, local_sol, _) = solver.solve_mask(&ball_mask, Some(&fixed_one));
+            for v in ball.iter() {
+                ball_mask[v as usize] = false;
+            }
             // Pick the odd j* in [a_i, b_i] minimising the solution weight
             // on layers j*, j*+1.
             let layer_weight = |j: usize| -> u64 {
@@ -239,8 +244,11 @@ pub fn approximate_covering_cached(
     ledger.begin_phase("removed-region local solves");
     ledger.charge_gather(2 * (params.t + 1) * 2 * params.r);
     ledger.end_phase();
+    let mut mask = vec![false; n];
     for c in 0..k {
-        let mask: Vec<bool> = (0..n).map(|v| removed[v] && comp[v] == c as u32).collect();
+        for v in 0..n {
+            mask[v] = removed[v] && comp[v] == c as u32;
+        }
         let (_, local, _) = solver.solve_mask(&mask, Some(&fixed_one));
         for v in 0..n {
             if mask[v] && local[v] {
@@ -265,7 +273,7 @@ pub fn approximate_covering_cached(
     ledger.charge_gather(2 * (params.t + 1) * 2 * params.r);
     ledger.end_phase();
     for cluster in &cover.clusters {
-        let mut mask = vec![false; n];
+        mask.iter_mut().for_each(|b| *b = false);
         for &v in cluster {
             mask[v as usize] = true;
         }
@@ -301,11 +309,18 @@ fn component_split(h: &Hypergraph, mask: &[bool], alive_e: &[bool]) -> (Vec<u32>
     let n = h.n();
     let mut comp = vec![u32::MAX; n];
     let mut next = 0u32;
+    let mut scratch = BallScratch::new();
     for s in 0..n {
         if !mask[s] || comp[s] != u32::MAX {
             continue;
         }
-        let ball = h.ball(&[s as Vertex], usize::MAX, Some(mask), Some(alive_e));
+        let ball = h.ball_with_scratch(
+            &[s as Vertex],
+            usize::MAX,
+            Some(mask),
+            Some(alive_e),
+            &mut scratch,
+        );
         for v in ball.iter() {
             comp[v as usize] = next;
         }

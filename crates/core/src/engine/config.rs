@@ -49,6 +49,13 @@ pub struct SolveConfig {
     /// (attached by `dapc-runtime`'s `PrepCache`; solver outputs are
     /// identical with or without it).
     pub prep_cache: Option<SharedSubsetCache>,
+    /// Worker threads for the preparation step's exact subset solves
+    /// inside *one* solve (default `1`). Purely an execution knob:
+    /// reports are byte-identical at every worker count, because subset
+    /// solves are deterministic functions of their key and the RNG is
+    /// consumed only by the sequential decomposition pass (see
+    /// [`crate::prep::prepare`]).
+    pub prep_workers: usize,
 }
 
 impl Default for SolveConfig {
@@ -63,6 +70,7 @@ impl Default for SolveConfig {
             ensemble_runs: None,
             prep_count: None,
             prep_cache: None,
+            prep_workers: 1,
         }
     }
 }
@@ -159,6 +167,20 @@ impl SolveConfig {
         self
     }
 
+    /// Shards the preparation step's exact subset solves across `workers`
+    /// threads inside one solve. Reports are bit-identical at every
+    /// worker count; only the wall-clock time of a large instance's
+    /// preparation changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn prep_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one preparation worker");
+        self.prep_workers = workers;
+        self
+    }
+
     /// The effective size hint for an `n`-variable instance.
     pub fn effective_n_tilde(&self, n: usize) -> f64 {
         self.n_tilde.unwrap_or((n.max(3)) as f64)
@@ -173,6 +195,7 @@ impl SolveConfig {
         if let Some(c) = self.prep_count {
             p.prep_count = c;
         }
+        p.prep_workers = self.prep_workers;
         p
     }
 
@@ -185,6 +208,7 @@ impl SolveConfig {
         if let Some(c) = self.prep_count {
             p.prep_count = c;
         }
+        p.prep_workers = self.prep_workers;
         p
     }
 
@@ -223,12 +247,15 @@ mod tests {
             .paper()
             .node_limit(1234)
             .gkm_k_scale(0.5)
-            .ensemble_runs(6);
+            .ensemble_runs(6)
+            .prep_workers(3);
         assert_eq!(cfg.knobs, ScaleKnobs::paper());
         let p = cfg.packing_params(10);
         assert_eq!(p.eps, 0.2);
         assert_eq!(p.n_tilde, 512.0);
         assert_eq!(p.budget.node_limit, 1234);
+        assert_eq!(p.prep_workers, 3);
+        assert_eq!(cfg.covering_params(10).prep_workers, 3);
         let g = cfg.gkm_params(10);
         assert_eq!(g.budget.node_limit, 1234);
         assert_eq!(cfg.ensemble_runs, Some(6));

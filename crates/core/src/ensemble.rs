@@ -109,15 +109,16 @@ pub fn packing_ensemble_cached(
     ledger.charge_gather((en.diameter_bound()).ceil() as usize);
     ledger.end_phase();
 
-    // Candidates: one feasible solution per decomposition.
+    // Candidates: one feasible solution per decomposition. One mask
+    // buffer serves every cluster solve of every run.
     let mut selection_count = vec![0u64; n];
     let mut best_candidate: Option<(u64, Vec<bool>)> = None;
     let mut candidate_values = Vec::with_capacity(t_runs);
+    let mut mask = vec![false; n];
     for _ in 0..t_runs {
         let d = elkin_neiman(&primal, &en, rng, None);
         let mut assignment = vec![false; n];
         for cluster in &d.clusters {
-            let mut mask = vec![false; n];
             for &v in cluster {
                 mask[v as usize] = true;
             }
@@ -126,6 +127,9 @@ pub fn packing_ensemble_cached(
                 if mask[v] && local[v] {
                     assignment[v] = true;
                 }
+            }
+            for &v in cluster {
+                mask[v as usize] = false;
             }
         }
         debug_assert!(ilp.is_feasible(&assignment));
@@ -155,7 +159,6 @@ pub fn packing_ensemble_cached(
     ledger.end_phase();
     let mut reweighted = vec![false; n];
     for cluster in &d.clusters {
-        let mut mask = vec![false; n];
         for &v in cluster {
             mask[v as usize] = true;
         }
@@ -164,6 +167,9 @@ pub fn packing_ensemble_cached(
             if mask[v] && local[v] {
                 reweighted[v] = true;
             }
+        }
+        for &v in cluster {
+            mask[v as usize] = false;
         }
     }
     debug_assert!(ilp.is_feasible(&reweighted));

@@ -21,7 +21,7 @@
 use crate::params::PcParams;
 use crate::prep::{prepare, Preparation, SharedSubsetCache, SubsetSolver};
 use dapc_conc::dist::bernoulli;
-use dapc_graph::{Hypergraph, Vertex};
+use dapc_graph::{BallScratch, Hypergraph, Vertex};
 use dapc_ilp::instance::{IlpInstance, Sense};
 use dapc_local::RoundLedger;
 use rand::rngs::StdRng;
@@ -123,9 +123,12 @@ pub fn approximate_packing_cached(
     let prep: Preparation = prepare(ilp, h, &primal, params, rng, &mut solver);
 
     // Phases 1 and 2: cluster-driven carving. `alive[v]` = still in the
-    // residual hypergraph (not removed, not deleted).
+    // residual hypergraph (not removed, not deleted). The ball scratch and
+    // mask buffer are shared across every carve of every iteration.
     let mut alive = vec![true; n];
     let mut deleted = vec![false; n];
+    let mut scratch = BallScratch::new();
+    let mut ball_mask = vec![false; n];
     for i in 1..=params.t + 1 {
         let is_phase2 = i == params.t + 1;
         let (a_i, b_i) = params.packing_interval(i);
@@ -159,12 +162,14 @@ pub fn approximate_packing_cached(
                 .copied()
                 .filter(|&v| alive[v as usize])
                 .collect();
-            let ball = h.ball(&sources, b_i - 1, Some(&alive), None);
-            let mut ball_mask = vec![false; n];
+            let ball = h.ball_with_scratch(&sources, b_i - 1, Some(&alive), None, &mut scratch);
             for v in ball.iter() {
                 ball_mask[v as usize] = true;
             }
             let (_, local_solution, _) = solver.solve_mask(&ball_mask, None);
+            for v in ball.iter() {
+                ball_mask[v as usize] = false;
+            }
             // Window weights: W(P^local, S_j ∪ S_{j+1} ∪ S_{j+2}) for
             // j ≡ a_i (mod 3).
             let window_weight = |j: usize| -> u64 {
@@ -233,10 +238,11 @@ pub fn approximate_packing_cached(
     ledger.charge_gather(2 * (params.t + 2) * 3 * (params.r + 1));
     ledger.end_phase();
     let mut assignment = vec![false; n];
+    let mut mask = vec![false; n];
     for c in 0..k {
-        let mask: Vec<bool> = (0..n)
-            .map(|v| survivors[v] && comp[v] == c as u32)
-            .collect();
+        for v in 0..n {
+            mask[v] = survivors[v] && comp[v] == c as u32;
+        }
         let (_, local, _) = solver.solve_mask(&mask, None);
         for v in 0..n {
             if mask[v] && local[v] {
@@ -263,11 +269,12 @@ fn component_split(h: &Hypergraph, alive: &[bool]) -> (Vec<u32>, usize) {
     let n = h.n();
     let mut comp = vec![u32::MAX; n];
     let mut next = 0u32;
+    let mut scratch = BallScratch::new();
     for s in 0..n {
         if !alive[s] || comp[s] != u32::MAX {
             continue;
         }
-        let ball = h.ball(&[s as Vertex], usize::MAX, Some(alive), None);
+        let ball = h.ball_with_scratch(&[s as Vertex], usize::MAX, Some(alive), None, &mut scratch);
         for v in ball.iter() {
             comp[v as usize] = next;
         }

@@ -97,6 +97,11 @@ pub struct PcParams {
     pub final_lambda: f64,
     /// Budget for every exact local solve.
     pub budget: SolverBudget,
+    /// Worker threads for the preparation step's exact subset solves
+    /// (default `1` = fully sequential). An *execution* knob, not an
+    /// algorithm parameter: the preparation output is byte-identical at
+    /// every worker count (see [`crate::prep::prepare`]).
+    pub prep_workers: usize,
 }
 
 impl PcParams {
@@ -135,6 +140,7 @@ impl PcParams {
             sc_radius,
             final_lambda: eps / 10.0,
             budget: SolverBudget::default(),
+            prep_workers: 1,
         }
     }
 
@@ -170,6 +176,7 @@ impl PcParams {
             sc_radius,
             final_lambda: ((5.0 + eps) / 5.0).ln(),
             budget: SolverBudget::default(),
+            prep_workers: 1,
         }
     }
 

@@ -3,19 +3,72 @@
 //! instance hypergraph whose clusters drive the sampling, each annotated
 //! with its local optimum `W(OPT^local_C, C)` and the neighbourhood
 //! estimate `W(OPT^local_{S_C}, S_C)`, `S_C = N^{8tR}(C)`.
+//!
+//! The preparation is the dominant cost of one solve — one exact subset
+//! solve per cluster plus one per `S_C` ball — so [`prepare`] splits it
+//! into a sequential RNG-driven decomposition pass and a deterministic
+//! annotation pass, and (when [`crate::params::PcParams::prep_workers`]
+//! exceeds one) shards the distinct exact subset solves of the annotation
+//! pass across the vendored thread pool. The output is byte-identical to
+//! sequential execution: subset solves are deterministic functions of
+//! their key, the RNG is consumed only by the decomposition pass, and
+//! clusters are re-emitted in canonical order.
 
 use crate::params::PcParams;
-use dapc_graph::{Hypergraph, Vertex};
+use dapc_graph::{BallScratch, Hypergraph, Vertex};
+use dapc_ilp::hash::{fnv1a_128_u32, FNV128_OFFSET};
 use dapc_ilp::instance::{IlpInstance, Sense};
 use dapc_ilp::restrict::packing_restriction;
 use dapc_ilp::solvers::{self, SolverBudget};
 use rand::rngs::StdRng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use threadpool::ThreadPool;
 
 /// One memoised exact subset solve: `(value, global assignment, exact)`.
 type SubsetEntry = (u64, Vec<bool>, bool);
+
+/// One sharded annotation result: the entry plus whether a warm family
+/// cache already held it (drives counter parity with sequential runs).
+type ShardSlot = Option<(SubsetEntry, bool)>;
+
+/// The identity of one subset solve: a 128-bit FNV-1a digest of the
+/// subset (plus the fixed-variable overlay for covering sub-instances).
+///
+/// Replaces the former `Vec<Vertex>` keys — a lookup now costs one fold
+/// over the mask and no allocation, and the digest is stable across runs
+/// and platforms (persisted warm-start formats can rely on it). At 128
+/// bits, a collision within one `(instance, budget)` family is out of
+/// reach for any realisable workload.
+pub type SubsetKey = u128;
+
+/// Folds a subset mask (and optional fixed-ones overlay) into its
+/// [`SubsetKey`]. The separator distinguishes "no overlay" from "empty
+/// overlay", mirroring the restriction functions' semantics.
+fn subset_key(mask: &[bool], fixed_ones: Option<&[bool]>) -> SubsetKey {
+    let mut h = FNV128_OFFSET;
+    for (v, &m) in mask.iter().enumerate() {
+        if m {
+            h = fnv1a_128_u32(h, v as u32);
+        }
+    }
+    if let Some(f) = fixed_ones {
+        h = fnv1a_128_u32(h, u32::MAX); // separator
+        for (v, (&fv, &m)) in f.iter().zip(mask.iter()).enumerate() {
+            if fv && m {
+                h = fnv1a_128_u32(h, v as u32);
+            }
+        }
+    }
+    h
+}
+
+/// Number of independently locked shards of a [`SharedSubsetCache`].
+/// Subset keys spread uniformly (they are FNV digests), so with 16
+/// stripes the per-lookup lock is contended only 1/16th as often as the
+/// former single global mutex when many workers share one family.
+const STRIPE_COUNT: usize = 16;
 
 /// A shareable memo of exact subset solves for one `(instance, budget)`
 /// family.
@@ -24,7 +77,16 @@ type SubsetEntry = (u64, Vec<bool>, bool);
 /// exact solvers draw no randomness), so sharing a cache across runs,
 /// seeds, `ε` values and threads never changes any solver's output — it
 /// only skips recomputation. This is the hook `dapc-runtime` uses to hoist
-/// the [`SubsetSolver`] memoisation from per-run to per-instance-family.
+/// the [`SubsetSolver`] memoisation from per-run to per-instance-family,
+/// and the hook [`prepare`] uses to shard one large instance's subset
+/// solves across workers.
+///
+/// Internally the map is split into [`STRIPE_COUNT`] independently locked
+/// stripes selected by key bits, and each stripe can enforce a byte
+/// budget with least-recently-used eviction (see
+/// [`SharedSubsetCache::with_capacity`]). Eviction is *transparent*: a
+/// victim is simply recomputed on its next lookup, so no capacity choice
+/// can change a [`crate::engine::SolveReport`].
 ///
 /// Cloning is shallow: clones address the same underlying map and
 /// counters. Equality is identity (two handles are equal iff they share
@@ -34,17 +96,73 @@ pub struct SharedSubsetCache {
     inner: Arc<CacheInner>,
 }
 
-#[derive(Default)]
 struct CacheInner {
-    map: Mutex<HashMap<Vec<Vertex>, SubsetEntry>>,
+    stripes: Vec<Mutex<Stripe>>,
+    /// Total byte budget across all stripes (`None` = unbounded).
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for CacheInner {
+    fn default() -> Self {
+        CacheInner {
+            stripes: (0..STRIPE_COUNT).map(|_| Mutex::default()).collect(),
+            capacity: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Stripe {
+    map: HashMap<SubsetKey, Slot>,
+    /// Recency index: `last_used tick → key`. Ticks are unique within a
+    /// stripe, so the first entry is always the LRU victim — eviction is
+    /// `O(log n)` instead of a full scan under the stripe lock.
+    order: BTreeMap<u64, SubsetKey>,
+    /// Approximate bytes held by this stripe's entries.
+    bytes: usize,
+    /// Monotone use counter driving the LRU order.
+    tick: u64,
+}
+
+struct Slot {
+    entry: SubsetEntry,
+    last_used: u64,
+}
+
+/// Approximate heap footprint of one memoised entry: the assignment mask
+/// plus fixed map/key overhead.
+fn entry_bytes(entry: &SubsetEntry) -> usize {
+    entry.1.len() + std::mem::size_of::<SubsetKey>() + std::mem::size_of::<Slot>()
 }
 
 impl SharedSubsetCache {
-    /// Creates an empty cache.
+    /// Creates an unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a cache that holds at most ~`capacity` bytes of memoised
+    /// entries, evicting least-recently-used entries when a stripe
+    /// overflows its share. Eviction never changes any solver output —
+    /// an evicted subset solve is recomputed on its next lookup.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedSubsetCache {
+            inner: Arc::new(CacheInner {
+                capacity: Some(capacity),
+                ..CacheInner::default()
+            }),
+        }
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.capacity
     }
 
     /// Lookups answered from the shared map (across all attached solvers).
@@ -57,9 +175,27 @@ impl SharedSubsetCache {
         self.inner.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries dropped by the LRU policy since creation.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of memoised subset solves.
     pub fn len(&self) -> usize {
-        self.inner.map.lock().expect("cache lock").len()
+        self.inner
+            .stripes
+            .iter()
+            .map(|s| s.lock().expect("cache stripe lock").map.len())
+            .sum()
+    }
+
+    /// Approximate bytes held across all stripes.
+    pub fn bytes(&self) -> usize {
+        self.inner
+            .stripes
+            .iter()
+            .map(|s| s.lock().expect("cache stripe lock").bytes)
+            .sum()
     }
 
     /// Whether no subset solve has been memoised yet.
@@ -67,26 +203,87 @@ impl SharedSubsetCache {
         self.len() == 0
     }
 
-    fn get(&self, key: &[Vertex]) -> Option<SubsetEntry> {
-        let hit = self.inner.map.lock().expect("cache lock").get(key).cloned();
-        match hit {
-            Some(entry) => {
-                self.inner.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry)
-            }
-            None => {
-                self.inner.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
-        }
+    fn stripe(&self, key: SubsetKey) -> &Mutex<Stripe> {
+        &self.inner.stripes[(key as usize) & (STRIPE_COUNT - 1)]
     }
 
-    fn insert(&self, key: Vec<Vertex>, entry: SubsetEntry) {
-        self.inner
-            .map
-            .lock()
-            .expect("cache lock")
-            .insert(key, entry);
+    fn get(&self, key: SubsetKey) -> Option<SubsetEntry> {
+        let hit = self.get_uncounted(key);
+        match hit {
+            Some(_) => self.record_hit(),
+            None => self.record_miss(),
+        }
+        hit
+    }
+
+    /// [`SharedSubsetCache::get`] without touching the hit/miss counters
+    /// (recency is still updated). The sharded annotation workers probe
+    /// with this so the hit rate keeps measuring genuine cross-run reuse,
+    /// not the sharding handshake; the owning solve records one counted
+    /// event per distinct solve afterwards, matching what a sequential
+    /// run would have recorded.
+    fn get_uncounted(&self, key: SubsetKey) -> Option<SubsetEntry> {
+        let mut stripe = self.stripe(key).lock().expect("cache stripe lock");
+        stripe.tick += 1;
+        let tick = stripe.tick;
+        let Stripe { map, order, .. } = &mut *stripe;
+        map.get_mut(&key).map(|slot| {
+            // One lookup does it all: bump recency and clone the entry.
+            order.remove(&slot.last_used);
+            slot.last_used = tick;
+            order.insert(tick, key);
+            slot.entry.clone()
+        })
+    }
+
+    /// Counts one lookup answered from the cache.
+    fn record_hit(&self) {
+        self.inner.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one lookup that had to run the exact solver.
+    fn record_miss(&self) {
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn insert(&self, key: SubsetKey, entry: SubsetEntry) {
+        let budget = self.inner.capacity.map(|c| c / STRIPE_COUNT);
+        let mut evicted = 0u64;
+        {
+            let mut stripe = self.stripe(key).lock().expect("cache stripe lock");
+            stripe.tick += 1;
+            let tick = stripe.tick;
+            let added = entry_bytes(&entry);
+            if let Some(old) = stripe.map.insert(
+                key,
+                Slot {
+                    entry,
+                    last_used: tick,
+                },
+            ) {
+                stripe.bytes -= entry_bytes(&old.entry);
+                stripe.order.remove(&old.last_used);
+            }
+            stripe.order.insert(tick, key);
+            stripe.bytes += added;
+            // Size-aware LRU: shed the coldest entries until back under
+            // the stripe's share, always keeping the entry just inserted
+            // (it holds the newest tick, so it is last in the index).
+            if let Some(budget) = budget {
+                while stripe.bytes > budget && stripe.map.len() > 1 {
+                    let (_, victim) = stripe
+                        .order
+                        .pop_first()
+                        .expect("non-empty map has a recency index");
+                    let old = stripe.map.remove(&victim).expect("victim present");
+                    stripe.bytes -= entry_bytes(&old.entry);
+                    evicted += 1;
+                }
+            }
+        }
+        if evicted > 0 {
+            self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 }
 
@@ -100,8 +297,11 @@ impl std::fmt::Debug for SharedSubsetCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedSubsetCache")
             .field("entries", &self.len())
+            .field("bytes", &self.bytes())
+            .field("capacity", &self.capacity())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -132,8 +332,10 @@ pub struct Preparation {
 pub struct SubsetSolver<'a> {
     ilp: &'a IlpInstance,
     budget: SolverBudget,
-    cache: HashMap<Vec<Vertex>, SubsetEntry>,
+    cache: HashMap<SubsetKey, SubsetEntry>,
     shared: Option<SharedSubsetCache>,
+    /// Reusable mask buffer for [`SubsetSolver::value_of`].
+    mask_buf: Vec<bool>,
     /// Whether every solve so far was exact.
     pub all_exact: bool,
 }
@@ -146,6 +348,7 @@ impl<'a> SubsetSolver<'a> {
             budget,
             cache: HashMap::new(),
             shared: None,
+            mask_buf: Vec::new(),
             all_exact: true,
         }
     }
@@ -164,8 +367,33 @@ impl<'a> SubsetSolver<'a> {
             budget,
             cache: HashMap::new(),
             shared: Some(shared),
+            mask_buf: Vec::new(),
             all_exact: true,
         }
+    }
+
+    /// Seeds the per-run memo with an already-computed entry (the sharded
+    /// annotation pass hands worker results over with this), feeding
+    /// `all_exact` exactly as a first compute would.
+    fn preload(&mut self, key: SubsetKey, entry: SubsetEntry) {
+        if !entry.2 {
+            self.all_exact = false;
+        }
+        self.cache.insert(key, entry);
+    }
+
+    /// Value of a solve [`SubsetSolver::preload`]ed earlier — the sharded
+    /// re-emit path reads cluster weights with this instead of rebuilding
+    /// masks and keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was never preloaded or solved in this run.
+    fn preloaded_value(&self, key: SubsetKey) -> u64 {
+        self.cache
+            .get(&key)
+            .expect("sharded annotation preloaded every cluster key")
+            .0
     }
 
     /// Optimal local value and assignment on the subset (mask form). For
@@ -177,62 +405,85 @@ impl<'a> SubsetSolver<'a> {
         mask: &[bool],
         fixed_ones: Option<&[bool]>,
     ) -> (u64, Vec<bool>, bool) {
-        let mut key: Vec<Vertex> = (0..self.ilp.n() as Vertex)
-            .filter(|&v| mask[v as usize])
-            .collect();
-        // Fixed variables change covering sub-instances; fold them into the
-        // key by offsetting (cheap, collision-free encoding).
-        if let Some(f) = fixed_ones {
-            key.push(u32::MAX); // separator
-            key.extend((0..self.ilp.n() as Vertex).filter(|&v| f[v as usize] && mask[v as usize]));
-        }
+        let key = subset_key(mask, fixed_ones);
         if let Some(hit) = self.cache.get(&key) {
             return hit.clone();
         }
         // Per-run miss: try the cross-run family cache before solving.
         // Shared hits must still feed `all_exact` — the inexact miss that
         // populated the entry may have happened in a different run.
-        if let Some(hit) = self.shared.as_ref().and_then(|s| s.get(&key)) {
+        if let Some(hit) = self.shared.as_ref().and_then(|s| s.get(key)) {
             if !hit.2 {
                 self.all_exact = false;
             }
             self.cache.insert(key, hit.clone());
             return hit;
         }
-        let sub = match self.ilp.sense() {
-            Sense::Packing => packing_restriction(self.ilp, mask),
-            Sense::Covering => {
-                dapc_ilp::restrict::covering_restriction_with_fixed(self.ilp, mask, fixed_ones)
-            }
-        };
-        let sol = solvers::solve(&sub, &self.budget);
-        if !sol.exact {
+        let out = solve_subset(self.ilp, &self.budget, mask, fixed_ones);
+        if !out.2 {
             self.all_exact = false;
         }
-        let mut global = vec![false; self.ilp.n()];
-        sub.lift_into(&sol.assignment, &mut global);
-        let out = (sol.value, global, sol.exact);
         if let Some(shared) = &self.shared {
-            shared.insert(key.clone(), out.clone());
+            shared.insert(key, out.clone());
         }
         self.cache.insert(key, out.clone());
         out
     }
 
-    /// Convenience: optimal local value on a vertex list.
+    /// Convenience: optimal local value on a vertex list. Reuses an
+    /// internal mask buffer, so repeated calls allocate nothing.
     pub fn value_of(&mut self, vertices: &[Vertex]) -> u64 {
-        let mut mask = vec![false; self.ilp.n()];
+        let mut mask = std::mem::take(&mut self.mask_buf);
+        mask.clear();
+        mask.resize(self.ilp.n(), false);
         for &v in vertices {
             mask[v as usize] = true;
         }
-        self.solve_mask(&mask, None).0
+        let value = self.solve_mask(&mask, None).0;
+        self.mask_buf = mask;
+        value
     }
+}
+
+/// The memo-free core of one exact subset solve: restrict, dispatch to
+/// the exact solvers, lift back to a global assignment. A pure function
+/// of its arguments (the exact solvers draw no randomness) — both the
+/// memoising [`SubsetSolver::solve_mask`] and the sharded annotation
+/// workers bottom out here.
+fn solve_subset(
+    ilp: &IlpInstance,
+    budget: &SolverBudget,
+    mask: &[bool],
+    fixed_ones: Option<&[bool]>,
+) -> SubsetEntry {
+    let sub = match ilp.sense() {
+        Sense::Packing => packing_restriction(ilp, mask),
+        Sense::Covering => {
+            dapc_ilp::restrict::covering_restriction_with_fixed(ilp, mask, fixed_ones)
+        }
+    };
+    let sol = solvers::solve(&sub, budget);
+    let mut global = vec![false; ilp.n()];
+    sub.lift_into(&sol.assignment, &mut global);
+    (sol.value, global, sol.exact)
 }
 
 /// Runs the preparation step: `prep_count` independent decompositions
 /// (Elkin–Neiman at `prep_lambda` for packing; sparse cover at
 /// `prep_lambda` for covering), annotating every cluster with its sampling
 /// weights.
+///
+/// The step runs in two passes. Pass 1 consumes the RNG: it runs the
+/// decompositions sequentially and records the non-empty clusters in
+/// canonical order (run by run, cluster by cluster) together with their
+/// `S_C = N^{8tR}(C)` balls. Pass 2 is RNG-free: it annotates every
+/// cluster with its two exact subset solves. With
+/// `params.prep_workers > 1` the *distinct* subset solves of pass 2 —
+/// exactly the set the sequential memo would compute — are fanned out
+/// over the vendored thread pool through the solver's family cache, then
+/// the clusters are re-emitted in canonical order from cache hits. Either
+/// way the output is byte-identical: solves are deterministic functions
+/// of their key, and the worker count changes only wall-clock time.
 pub fn prepare(
     ilp: &IlpInstance,
     h: &Hypergraph,
@@ -241,8 +492,9 @@ pub fn prepare(
     rng: &mut StdRng,
     solver: &mut SubsetSolver<'_>,
 ) -> Preparation {
-    let n = h.n();
-    let mut clusters: Vec<PrepCluster> = Vec::new();
+    // Pass 1 (sequential, RNG-driven): decompositions → canonical
+    // (cluster, S_C) work items.
+    let mut members_list: Vec<Vec<Vertex>> = Vec::new();
     for _run in 0..params.prep_count {
         let run_clusters: Vec<Vec<Vertex>> = match ilp.sense() {
             Sense::Packing => {
@@ -266,18 +518,38 @@ pub fn prepare(
                 cover.clusters
             }
         };
-        for members in run_clusters {
-            if members.is_empty() {
-                continue;
-            }
+        members_list.extend(run_clusters.into_iter().filter(|m| !m.is_empty()));
+    }
+
+    // Pass 2 (deterministic): annotate. Sharded, the fan-out seeds the
+    // solver's memo and hands back each cluster's two subset keys, so the
+    // canonical re-emit is pure memo reads — no ball is recomputed.
+    // Sequential, the annotation streams: each `S_C` ball is computed,
+    // masked, solved and dropped, so peak memory stays one ball.
+    let mut clusters: Vec<PrepCluster> = Vec::with_capacity(members_list.len());
+    if params.prep_workers > 1 {
+        let cluster_keys = shard_subset_solves(ilp, h, params, solver, &members_list);
+        for (members, (local_key, sc_key)) in members_list.into_iter().zip(cluster_keys) {
+            clusters.push(PrepCluster {
+                members,
+                w_local: solver.preloaded_value(local_key),
+                w_neighborhood: solver.preloaded_value(sc_key),
+            });
+        }
+    } else {
+        let n = h.n();
+        let mut scratch = BallScratch::new();
+        let mut mask = vec![false; n];
+        for members in members_list {
             let w_local = solver.value_of(&members);
-            // S_C = N^{8tR}(C) in the hypergraph metric.
-            let sc = h.ball(&members, params.sc_radius, None, None);
-            let mut mask = vec![false; n];
+            let sc = h.ball_with_scratch(&members, params.sc_radius, None, None, &mut scratch);
             for v in sc.iter() {
                 mask[v as usize] = true;
             }
             let (w_neighborhood, _, _) = solver.solve_mask(&mask, None);
+            for v in sc.iter() {
+                mask[v as usize] = false;
+            }
             clusters.push(PrepCluster {
                 members,
                 w_local,
@@ -289,6 +561,114 @@ pub fn prepare(
         clusters,
         all_exact: solver.all_exact,
     }
+}
+
+/// Fans the distinct subset solves of the annotation pass out over the
+/// vendored thread pool, seeds the solver's per-run memo with the results
+/// (exactness flags feeding `all_exact` exactly as a sequential first
+/// compute would), and returns each cluster's `(local, S_C)` key pair so
+/// the caller's canonical re-emit is pure memo reads — no ball or key is
+/// recomputed.
+///
+/// Work items are deduplicated by [`SubsetKey`] first, so the sharded
+/// pass performs exactly the set of exact solves the sequential memo
+/// would — parallelism changes wall-clock time, never the work done. The
+/// worklist stores vertex lists (ball-sized), not `n`-length masks, so
+/// fan-out memory is proportional to the balls themselves; each worker
+/// expands into its own transient mask. Solves run under the solver's
+/// own budget — the one every sequential lookup would use.
+///
+/// If a family cache is attached, workers probe it *uncounted* for warm
+/// entries and the hand-over loop records exactly one hit or miss per
+/// distinct solve (and deposits computed entries). For an unbounded cache
+/// this is the same counter trace a sequential run leaves, so hit rates
+/// keep measuring genuine cross-run reuse rather than the sharding
+/// handshake; a capacity-bounded cache under eviction churn can drift by
+/// a few hits/misses (worker probes all precede the deposits), which
+/// affects telemetry only, never a report. Without a family cache nothing
+/// extra is allocated or retained.
+fn shard_subset_solves(
+    ilp: &IlpInstance,
+    h: &Hypergraph,
+    params: &PcParams,
+    solver: &mut SubsetSolver<'_>,
+    members_list: &[Vec<Vertex>],
+) -> Vec<(SubsetKey, SubsetKey)> {
+    let n = ilp.n();
+    let mut seen: HashSet<SubsetKey> = HashSet::new();
+    let mut worklist: Vec<(SubsetKey, Vec<Vertex>)> = Vec::new();
+    let mut cluster_keys: Vec<(SubsetKey, SubsetKey)> = Vec::with_capacity(members_list.len());
+    let mut scratch = BallScratch::new();
+    let mut mask = vec![false; n];
+    for members in members_list {
+        for &v in members {
+            mask[v as usize] = true;
+        }
+        let local_key = subset_key(&mask, None);
+        if seen.insert(local_key) {
+            worklist.push((local_key, members.clone()));
+        }
+        for &v in members {
+            mask[v as usize] = false;
+        }
+        let ball = h.ball_with_scratch(members, params.sc_radius, None, None, &mut scratch);
+        for v in ball.iter() {
+            mask[v as usize] = true;
+        }
+        let sc_key = subset_key(&mask, None);
+        if seen.insert(sc_key) {
+            worklist.push((sc_key, ball.iter().collect()));
+        }
+        for v in ball.iter() {
+            mask[v as usize] = false;
+        }
+        cluster_keys.push((local_key, sc_key));
+    }
+    // The pool wants 'static jobs; one shallow instance clone per
+    // *prepare call* (not per lookup) buys owned job data.
+    let owned: Arc<IlpInstance> = Arc::new(ilp.clone());
+    let budget = solver.budget;
+    let shared = solver.shared.clone();
+    let keys: Vec<SubsetKey> = worklist.iter().map(|(k, _)| *k).collect();
+    let slots: Arc<Mutex<Vec<ShardSlot>>> =
+        Arc::new(Mutex::new((0..worklist.len()).map(|_| None).collect()));
+    let pool = ThreadPool::new(params.prep_workers.min(worklist.len().max(1)));
+    for (index, (key, vertices)) in worklist.into_iter().enumerate() {
+        let owned = Arc::clone(&owned);
+        let shared = shared.clone();
+        let slots = Arc::clone(&slots);
+        pool.execute(move || {
+            let result = match shared.and_then(|s| s.get_uncounted(key)) {
+                Some(entry) => (entry, true),
+                None => {
+                    let mut mask = vec![false; owned.n()];
+                    for &v in &vertices {
+                        mask[v as usize] = true;
+                    }
+                    (solve_subset(&owned, &budget, &mask, None), false)
+                }
+            };
+            slots.lock().expect("prep result slots")[index] = Some(result);
+        });
+    }
+    pool.join();
+    let slots = Arc::try_unwrap(slots)
+        .expect("pool joined, no worker holds the slots")
+        .into_inner()
+        .expect("prep result slots");
+    for (key, slot) in keys.into_iter().zip(slots) {
+        let (entry, was_warm) = slot.expect("every work item filled its slot");
+        if let Some(shared) = &solver.shared {
+            if was_warm {
+                shared.record_hit();
+            } else {
+                shared.record_miss();
+                shared.insert(key, entry.clone());
+            }
+        }
+        solver.preload(key, entry);
+    }
+    cluster_keys
 }
 
 #[cfg(test)]
@@ -312,6 +692,20 @@ mod tests {
     }
 
     #[test]
+    fn subset_keys_distinguish_fixed_overlays() {
+        let mask = vec![true, true, false, true];
+        let none_fixed = subset_key(&mask, None);
+        let empty_fixed = subset_key(&mask, Some(&[false, false, false, false]));
+        let some_fixed = subset_key(&mask, Some(&[true, false, false, false]));
+        let outside_fixed = subset_key(&mask, Some(&[false, false, true, false]));
+        assert_ne!(none_fixed, empty_fixed, "separator must mark the overlay");
+        assert_ne!(empty_fixed, some_fixed);
+        // Fixed vertices outside the mask are irrelevant to the
+        // restriction and must not move the key.
+        assert_eq!(empty_fixed, outside_fixed);
+    }
+
+    #[test]
     fn shared_cache_spans_solvers() {
         let g = gen::cycle(10);
         let ilp = problems::max_independent_set_unweighted(&g);
@@ -330,6 +724,50 @@ mod tests {
         assert_eq!(v2, v3);
         assert_eq!((shared.hits(), shared.misses()), (1, 1));
         assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recomputes() {
+        let n = 20usize;
+        let g = gen::cycle(n);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        // A budget of one byte per stripe: every stripe keeps at most the
+        // entry just inserted, and with more prefixes than stripes the
+        // pigeonhole principle forces at least one eviction.
+        let tiny = SharedSubsetCache::with_capacity(16);
+        let mut solver = SubsetSolver::new(&ilp, SolverBudget::default());
+        let mut values = Vec::new();
+        for k in 1..=n {
+            let mask: Vec<bool> = (0..n).map(|v| v < k).collect();
+            let mut s = SubsetSolver::with_shared(&ilp, SolverBudget::default(), tiny.clone());
+            values.push(s.solve_mask(&mask, None));
+        }
+        assert!(
+            tiny.evictions() > 0,
+            "a 16-byte budget must evict: {tiny:?}"
+        );
+        assert!(tiny.len() <= 16, "one entry per stripe at most: {tiny:?}");
+        // Transparency: every value matches the uncached reference solver.
+        for (k, cached) in values.iter().enumerate() {
+            let mask: Vec<bool> = (0..n).map(|v| v <= k).collect();
+            assert_eq!(&solver.solve_mask(&mask, None), cached, "prefix {k}");
+        }
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let g = gen::path(9);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let cache = SharedSubsetCache::new();
+        for k in 1..=9usize {
+            let mask: Vec<bool> = (0..9).map(|v| v < k).collect();
+            let mut s = SubsetSolver::with_shared(&ilp, SolverBudget::default(), cache.clone());
+            s.solve_mask(&mask, None);
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 9);
+        assert_eq!(cache.capacity(), None);
+        assert!(cache.bytes() > 0);
     }
 
     #[test]
@@ -367,6 +805,113 @@ mod tests {
         assert!(!prep.clusters.is_empty());
         for c in &prep.clusters {
             assert!(c.w_local <= c.w_neighborhood);
+        }
+    }
+
+    /// The sharded workers must solve under the *solver's* budget, not
+    /// `params.budget` — byte-identity has to survive a caller that
+    /// builds its `SubsetSolver` with a different budget than the params
+    /// it hands to `prepare`.
+    #[test]
+    fn sharded_prepare_honours_the_solver_budget() {
+        let ilp =
+            problems::max_independent_set_unweighted(&gen::gnp(32, 0.12, &mut gen::seeded_rng(33)));
+        let h = ilp.hypergraph().clone();
+        let primal = h.primal_graph();
+        let mut params = PcParams::packing_scaled(0.3, 32.0, 0.05, 0.5);
+        // A budget tight enough that some whole-component solve is inexact
+        // — the divergence a budget mix-up would surface through
+        // `all_exact` and the weights.
+        let tight = SolverBudget { node_limit: 4 };
+        let run = |params: &PcParams| {
+            let mut rng = gen::seeded_rng(8);
+            let mut solver = SubsetSolver::new(&ilp, tight);
+            let prep = prepare(&ilp, &h, &primal, params, &mut rng, &mut solver);
+            (
+                prep.all_exact,
+                prep.clusters
+                    .iter()
+                    .map(|c| (c.w_local, c.w_neighborhood))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let sequential = run(&params);
+        assert!(!sequential.0, "node_limit 4 should leave inexact solves");
+        params.prep_workers = 4;
+        assert_eq!(run(&params), sequential);
+    }
+
+    /// Counter parity: a sharded preparation leaves the same family-cache
+    /// hit/miss trace a sequential one would — the telemetry measures
+    /// cross-run reuse, not the sharding handshake.
+    #[test]
+    fn sharded_prepare_preserves_cache_counters() {
+        let ilp =
+            problems::max_independent_set_unweighted(&gen::gnp(28, 0.1, &mut gen::seeded_rng(21)));
+        let h = ilp.hypergraph().clone();
+        let primal = h.primal_graph();
+        let mut params = PcParams::packing_scaled(0.3, 28.0, 0.05, 0.5);
+        let mut counters = Vec::new();
+        for workers in [1usize, 4] {
+            params.prep_workers = workers;
+            let cold = SharedSubsetCache::new();
+            let mut rng = gen::seeded_rng(6);
+            let mut solver = SubsetSolver::with_shared(&ilp, params.budget, cold.clone());
+            let _ = prepare(&ilp, &h, &primal, &params, &mut rng, &mut solver);
+            let after_cold = (cold.hits(), cold.misses());
+            // Warm replay against the same family cache.
+            let mut rng = gen::seeded_rng(6);
+            let mut solver = SubsetSolver::with_shared(&ilp, params.budget, cold.clone());
+            let _ = prepare(&ilp, &h, &primal, &params, &mut rng, &mut solver);
+            counters.push((after_cold, (cold.hits(), cold.misses())));
+        }
+        assert_eq!(
+            counters[0], counters[1],
+            "sequential vs sharded counter traces diverge"
+        );
+        let ((_, cold_misses), (warm_hits, warm_misses)) = counters[0];
+        assert!(cold_misses > 0, "cold prep must record misses");
+        assert!(warm_hits > 0, "warm replay must record hits");
+        assert_eq!(warm_misses, cold_misses, "warm replay adds no solves");
+    }
+
+    /// The tentpole invariant at the unit level: for both senses, the
+    /// clusters and `all_exact` flag emitted by a sharded preparation are
+    /// byte-identical to the sequential ones at every worker count.
+    #[test]
+    fn sharded_prepare_is_byte_identical() {
+        let pack =
+            problems::max_independent_set_unweighted(&gen::gnp(30, 0.1, &mut gen::seeded_rng(9)));
+        let cover = problems::min_vertex_cover_unweighted(&gen::cycle(26));
+        for ilp in [&pack, &cover] {
+            let h = ilp.hypergraph().clone();
+            let primal = h.primal_graph();
+            let mut params = match ilp.sense() {
+                Sense::Packing => PcParams::packing_scaled(0.3, 30.0, 0.05, 0.5),
+                Sense::Covering => PcParams::covering_scaled(0.3, 26.0, 0.05, 0.5, 1.0),
+            };
+            let run = |params: &PcParams| {
+                let mut rng = gen::seeded_rng(5);
+                let mut solver = SubsetSolver::new(ilp, params.budget);
+                let prep = prepare(ilp, &h, &primal, params, &mut rng, &mut solver);
+                (
+                    prep.all_exact,
+                    prep.clusters
+                        .iter()
+                        .map(|c| (c.members.clone(), c.w_local, c.w_neighborhood))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            let sequential = run(&params);
+            for workers in [2usize, 4] {
+                params.prep_workers = workers;
+                assert_eq!(
+                    run(&params),
+                    sequential,
+                    "{:?} prep at {workers} workers drifted",
+                    ilp.sense()
+                );
+            }
         }
     }
 }

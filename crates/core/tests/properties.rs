@@ -2,6 +2,7 @@
 //! solutions meeting their guarantees on arbitrary random graphs.
 
 use dapc_core::covering::approximate_covering;
+use dapc_core::engine::{self, SharedSubsetCache, SolveConfig};
 use dapc_core::gkm::{gkm_solve, GkmParams};
 use dapc_core::packing::approximate_packing;
 use dapc_core::params::PcParams;
@@ -91,6 +92,42 @@ proptest! {
             "n = {n}, k = {}: infeasible carve",
             params.k
         );
+    }
+
+    #[test]
+    fn lru_eviction_never_changes_a_solve_report(
+        g in arb_graph(20),
+        seed in 0u64..8,
+        capacity in 0usize..4096,
+        covering_bit in 0u8..2,
+    ) {
+        let covering = covering_bit == 1;
+        // The PrepCache eviction contract: any byte budget — including 0,
+        // which evicts on every insert — yields reports byte-identical to
+        // the unbounded cache and to no cache at all, for both senses.
+        let ilp = if covering {
+            problems::min_vertex_cover_unweighted(&g)
+        } else {
+            problems::max_independent_set_unweighted(&g)
+        };
+        let cfg = SolveConfig::new().eps(0.3).seed(seed);
+        let reference = engine::solve("three-phase", &ilp, &cfg).unwrap();
+        let bounded = SharedSubsetCache::with_capacity(capacity);
+        let with_bounded = engine::solve(
+            "three-phase", &ilp, &cfg.clone().prep_cache(bounded.clone())).unwrap();
+        prop_assert_eq!(&reference, &with_bounded,
+            "capacity {} changed the report (evictions: {})", capacity, bounded.evictions());
+        // Replay against the (possibly churned) cache: still identical.
+        let replay = engine::solve(
+            "three-phase", &ilp, &cfg.clone().prep_cache(bounded.clone())).unwrap();
+        prop_assert_eq!(&reference, &replay);
+        if let Some(cap) = bounded.capacity() {
+            // Size-awareness: the residual footprint respects the budget
+            // up to one entry per stripe (the just-inserted survivor).
+            let slack = 16 * (ilp.n() + 64);
+            prop_assert!(bounded.bytes() <= cap + slack,
+                "bytes {} exceed capacity {} + slack {}", bounded.bytes(), cap, slack);
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, Vertex};
-use crate::traversal::Ball;
+use crate::traversal::{Ball, BallScratch};
 use std::collections::VecDeque;
 
 /// Identifier of a hyperedge within its [`Hypergraph`].
@@ -156,6 +156,27 @@ impl Hypergraph {
         alive_vertices: Option<&[bool]>,
         alive_edges: Option<&[bool]>,
     ) -> Ball {
+        self.ball_with_scratch(
+            sources,
+            r,
+            alive_vertices,
+            alive_edges,
+            &mut BallScratch::new(),
+        )
+    }
+
+    /// [`Hypergraph::ball`] against a caller-owned [`BallScratch`], so
+    /// repeated extractions (the preparation step performs one per
+    /// cluster) stop allocating the per-call vertex and hyperedge visited
+    /// masks. Output is identical to [`Hypergraph::ball`].
+    pub fn ball_with_scratch(
+        &self,
+        sources: &[Vertex],
+        r: usize,
+        alive_vertices: Option<&[bool]>,
+        alive_edges: Option<&[bool]>,
+        scratch: &mut BallScratch,
+    ) -> Ball {
         if let Some(a) = alive_vertices {
             assert_eq!(a.len(), self.n, "vertex mask length mismatch");
         }
@@ -164,8 +185,11 @@ impl Hypergraph {
         }
         let v_ok = |v: Vertex| alive_vertices.is_none_or(|a| a[v as usize]);
         let e_ok = |e: EdgeId| alive_edges.is_none_or(|a| a[e as usize]);
-        let mut seen_v = vec![false; self.n];
-        let mut seen_e = vec![false; self.edges.len()];
+        scratch.ensure_vertices(self.n);
+        scratch.ensure_edges(self.edges.len());
+        let seen_v = &mut scratch.seen_v;
+        let seen_e = &mut scratch.seen_e;
+        let touched_e = &mut scratch.touched_e;
         let mut levels: Vec<Vec<Vertex>> = Vec::new();
         let mut frontier: Vec<Vertex> = Vec::new();
         for &s in sources {
@@ -177,16 +201,17 @@ impl Hypergraph {
         if frontier.is_empty() {
             return Ball { levels };
         }
-        levels.push(frontier.clone());
+        levels.push(frontier);
         let mut depth = 0usize;
         while depth < r {
             let mut next: Vec<Vertex> = Vec::new();
-            for &u in &frontier {
+            for &u in levels.last().expect("frontier level pushed above") {
                 for &e in self.incident_edges(u) {
                     if seen_e[e as usize] || !e_ok(e) {
                         continue;
                     }
                     seen_e[e as usize] = true;
+                    touched_e.push(e);
                     for &w in self.edge(e) {
                         if v_ok(w) && !seen_v[w as usize] {
                             seen_v[w as usize] = true;
@@ -198,9 +223,17 @@ impl Hypergraph {
             if next.is_empty() {
                 break;
             }
-            levels.push(next.clone());
-            frontier = next;
+            levels.push(next);
             depth += 1;
+        }
+        // Restore the scratch invariant: clear exactly the marks we set.
+        for level in &levels {
+            for &v in level {
+                seen_v[v as usize] = false;
+            }
+        }
+        for e in touched_e.drain(..) {
+            seen_e[e as usize] = false;
         }
         Ball { levels }
     }
@@ -362,6 +395,25 @@ mod tests {
         // With both shared vertices dead the chain is cut... but edge 0 is
         // still alive, so 0 reaches 1 only.
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_calls() {
+        let h = triangle_chain();
+        let mut scratch = BallScratch::new();
+        let edge_alive = vec![true, false, true];
+        let mut v_alive = vec![true; 7];
+        v_alive[2] = false;
+        for r in 0..5 {
+            assert_eq!(
+                h.ball_with_scratch(&[0], r, None, None, &mut scratch),
+                h.ball(&[0], r, None, None)
+            );
+            assert_eq!(
+                h.ball_with_scratch(&[0, 6], r, Some(&v_alive), Some(&edge_alive), &mut scratch),
+                h.ball(&[0, 6], r, Some(&v_alive), Some(&edge_alive))
+            );
+        }
     }
 
     #[test]

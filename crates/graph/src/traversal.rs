@@ -122,17 +122,73 @@ pub fn bfs_distances_masked(g: &Graph, sources: &[Vertex], alive: &[bool]) -> Ve
     dist
 }
 
+/// Reusable BFS scratch for [`ball`]-family traversals (graph and
+/// hypergraph alike).
+///
+/// The ball extractions sit on the hottest path of the solvers — the
+/// preparation step and every carving iteration call them once per
+/// cluster — and each call used to allocate fresh `vec![false; n]`
+/// visited masks. A `BallScratch` amortises those: the marker vectors are
+/// grown once and *self-cleaning* (each traversal clears exactly the
+/// entries it set before returning), so a scratch can be reused across
+/// any sequence of calls on graphs of any size.
+///
+/// Invariant: between calls every entry of `seen_v` / `seen_e` is `false`
+/// and `touched_e` is empty; the traversals restore this on every exit
+/// path in `O(|ball|)` time.
+#[derive(Debug, Default)]
+pub struct BallScratch {
+    pub(crate) seen_v: Vec<bool>,
+    pub(crate) seen_e: Vec<bool>,
+    pub(crate) touched_e: Vec<u32>,
+}
+
+impl BallScratch {
+    /// Creates an empty scratch; marker storage grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the vertex markers to cover `n` vertices.
+    pub(crate) fn ensure_vertices(&mut self, n: usize) {
+        if self.seen_v.len() < n {
+            self.seen_v.resize(n, false);
+        }
+    }
+
+    /// Grows the edge markers to cover `m` hyperedges.
+    pub(crate) fn ensure_edges(&mut self, m: usize) {
+        if self.seen_e.len() < m {
+            self.seen_e.resize(m, false);
+        }
+    }
+}
+
 /// Extracts the radius-`r` ball `N^r(sources)` with per-distance levels,
 /// restricted to the `alive` mask. Pass `None` for an unmasked traversal.
 ///
 /// This is the "gather the topology of its b-radius neighbourhood" step of
 /// Grow-and-Carve (Algorithm 1 in the paper).
 pub fn ball(g: &Graph, sources: &[Vertex], r: usize, alive: Option<&[bool]>) -> Ball {
+    ball_with_scratch(g, sources, r, alive, &mut BallScratch::new())
+}
+
+/// [`ball`] against a caller-owned [`BallScratch`], so repeated
+/// extractions (one per cluster, per iteration) stop allocating visited
+/// masks. Output is identical to [`ball`].
+pub fn ball_with_scratch(
+    g: &Graph,
+    sources: &[Vertex],
+    r: usize,
+    alive: Option<&[bool]>,
+    scratch: &mut BallScratch,
+) -> Ball {
     if let Some(a) = alive {
         assert_eq!(a.len(), g.n(), "alive mask length mismatch");
     }
     let is_alive = |v: Vertex| alive.is_none_or(|a| a[v as usize]);
-    let mut seen = vec![false; g.n()];
+    scratch.ensure_vertices(g.n());
+    let seen = &mut scratch.seen_v;
     let mut levels: Vec<Vec<Vertex>> = Vec::new();
     let mut frontier: Vec<Vertex> = Vec::new();
     for &s in sources {
@@ -144,10 +200,10 @@ pub fn ball(g: &Graph, sources: &[Vertex], r: usize, alive: Option<&[bool]>) -> 
     if frontier.is_empty() {
         return Ball { levels };
     }
-    levels.push(frontier.clone());
+    levels.push(frontier);
     for _depth in 1..=r {
         let mut next: Vec<Vertex> = Vec::new();
-        for &u in &frontier {
+        for &u in levels.last().expect("frontier level pushed above") {
             for &w in g.neighbors(u) {
                 if is_alive(w) && !seen[w as usize] {
                     seen[w as usize] = true;
@@ -158,8 +214,13 @@ pub fn ball(g: &Graph, sources: &[Vertex], r: usize, alive: Option<&[bool]>) -> 
         if next.is_empty() {
             break;
         }
-        levels.push(next.clone());
-        frontier = next;
+        levels.push(next);
+    }
+    // Restore the scratch invariant: clear exactly the marks we set.
+    for level in &levels {
+        for &v in level {
+            seen[v as usize] = false;
+        }
     }
     Ball { levels }
 }
@@ -324,6 +385,32 @@ mod tests {
         let g = gen::path(6);
         assert_eq!(set_distance(&g, &[0, 1], &[4, 5]), Some(3));
         assert_eq!(set_distance(&g, &[], &[1]), None);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_calls() {
+        let g = gen::grid(6, 6);
+        let h = gen::cycle(50); // different size: scratch must regrow
+        let mut scratch = BallScratch::new();
+        for r in 0..6 {
+            assert_eq!(
+                ball_with_scratch(&g, &[7], r, None, &mut scratch),
+                ball(&g, &[7], r, None)
+            );
+            assert_eq!(
+                ball_with_scratch(&h, &[3, 40], r, None, &mut scratch),
+                ball(&h, &[3, 40], r, None)
+            );
+        }
+        let alive: Vec<bool> = (0..g.n()).map(|v| v % 3 != 0).collect();
+        for r in 0..6 {
+            assert_eq!(
+                ball_with_scratch(&g, &[8], r, Some(&alive), &mut scratch),
+                ball(&g, &[8], r, Some(&alive))
+            );
+        }
+        // Self-cleaning invariant: no marks survive a traversal.
+        assert!(scratch.seen_v.iter().all(|&s| !s));
     }
 
     #[test]

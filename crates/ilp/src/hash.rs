@@ -1,13 +1,25 @@
 //! The one FNV-1a fold shared by everything that needs a stable,
-//! platform-independent 64-bit digest (instance fingerprints, batch job
-//! RNG seeds). One definition keeps the constants and fold order from
-//! drifting between call sites — persisted cache keys and recorded seeds
-//! depend on them.
+//! platform-independent digest (instance fingerprints, batch job RNG
+//! seeds, subset-solve cache keys). One definition keeps the constants
+//! and fold order from drifting between call sites — persisted cache keys
+//! and recorded seeds depend on them.
+//!
+//! Two widths are provided: the 64-bit fold for fingerprints and seeds,
+//! and the 128-bit fold for *identity-bearing* keys (the subset-solve
+//! caches in `dapc-core` index memoised exact solves by a 128-bit digest
+//! of the vertex subset instead of the subset itself, so a lookup costs
+//! one fold and no allocation; at 128 bits, collisions are out of reach
+//! for any realisable workload).
 
 /// The FNV-1a 64-bit offset basis: the starting state of a fold.
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// The FNV-1a 128-bit offset basis: the starting state of a wide fold.
+pub const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
 
 /// Folds `bytes` into state `h` (start from [`FNV_OFFSET`]).
 ///
@@ -31,6 +43,29 @@ pub fn fnv1a_u64(h: u64, v: u64) -> u64 {
     fnv1a(h, &v.to_le_bytes())
 }
 
+/// Folds `bytes` into 128-bit state `h` (start from [`FNV128_OFFSET`]).
+///
+/// ```
+/// use dapc_ilp::hash::{fnv1a_128, FNV128_OFFSET};
+///
+/// let h = fnv1a_128(fnv1a_128(FNV128_OFFSET, b"a"), b"b");
+/// assert_eq!(h, fnv1a_128(FNV128_OFFSET, b"ab"));
+/// assert_ne!(h, fnv1a_128(FNV128_OFFSET, b"ba"));
+/// ```
+pub fn fnv1a_128(mut h: u128, bytes: &[u8]) -> u128 {
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// Folds one `u32` into 128-bit state `h` (little-endian byte order) —
+/// the per-vertex step of the subset-key folds.
+pub fn fnv1a_128_u32(h: u128, v: u32) -> u128 {
+    fnv1a_128(h, &v.to_le_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,6 +76,33 @@ mod tests {
         assert_eq!(fnv1a(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(FNV_OFFSET, b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn wide_fold_matches_reference_vectors() {
+        // Published FNV-1a 128-bit test vectors.
+        assert_eq!(fnv1a_128(FNV128_OFFSET, b""), FNV128_OFFSET);
+        assert_eq!(
+            fnv1a_128(FNV128_OFFSET, b"a"),
+            0xd228_cb69_6f1a_8caf_7891_2b70_4e4a_8964
+        );
+        assert_eq!(
+            fnv1a_128(FNV128_OFFSET, b"foobar"),
+            0x343e_1662_793c_64bf_6f0d_3597_ba44_6f18
+        );
+    }
+
+    #[test]
+    fn u32_wide_fold_is_byte_fold() {
+        let v = 0x0102_0304u32;
+        assert_eq!(
+            fnv1a_128_u32(FNV128_OFFSET, v),
+            fnv1a_128(FNV128_OFFSET, &v.to_le_bytes())
+        );
+        // Order-sensitive: the fold distinguishes permutations.
+        let a = fnv1a_128_u32(fnv1a_128_u32(FNV128_OFFSET, 1), 2);
+        let b = fnv1a_128_u32(fnv1a_128_u32(FNV128_OFFSET, 2), 1);
+        assert_ne!(a, b);
     }
 
     #[test]

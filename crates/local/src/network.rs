@@ -173,9 +173,21 @@ impl<'g, P: NodeProgram> Network<'g, P> {
         match outbox {
             Outbox::Silent => {}
             Outbox::Broadcast(m) => {
+                // Clone lazily, one copy per port *except the last*, which
+                // takes the original by move — a broadcast to d neighbours
+                // costs d − 1 clones, and a degree-1 vertex none at all.
+                let mut m = Some(m);
+                let last = neighbors.len().saturating_sub(1);
                 for (port, &w) in neighbors.iter().enumerate() {
+                    let msg = if port == last {
+                        m.take().expect("broadcast message moved before last port")
+                    } else {
+                        m.as_ref()
+                            .expect("broadcast message moved before last port")
+                            .clone()
+                    };
                     let back_port = reverse_port(self.graph, v, w, port);
-                    next[w as usize].push((back_port, m.clone()));
+                    next[w as usize].push((back_port, msg));
                     self.messages += 1;
                 }
             }
@@ -403,6 +415,72 @@ mod tests {
         // -> neighbour 0, 1 -> neighbour 2.
         assert!(net.nodes()[1].received.contains(&0));
         assert!(net.nodes()[1].received.contains(&1));
+    }
+
+    /// Broadcasts one clone-counting message from vertex 0 at init, then
+    /// goes quiet.
+    struct OneShotBroadcast {
+        counter: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        done: bool,
+    }
+
+    #[derive(Debug)]
+    struct CountedMsg(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+
+    impl Clone for CountedMsg {
+        fn clone(&self) -> Self {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            CountedMsg(std::sync::Arc::clone(&self.0))
+        }
+    }
+
+    impl NodeProgram for OneShotBroadcast {
+        type Message = CountedMsg;
+
+        fn init(&mut self, ctx: &NodeCtx<'_>) -> Outbox<CountedMsg> {
+            if ctx.id == 0 {
+                Outbox::Broadcast(CountedMsg(std::sync::Arc::clone(&self.counter)))
+            } else {
+                Outbox::Silent
+            }
+        }
+
+        fn round(
+            &mut self,
+            _ctx: &NodeCtx<'_>,
+            _inbox: Vec<(usize, CountedMsg)>,
+        ) -> Outbox<CountedMsg> {
+            self.done = true;
+            Outbox::Silent
+        }
+
+        fn halted(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn broadcast_clones_once_per_port_except_the_last() {
+        // Star centre has degree 5: all 5 neighbours must receive the
+        // message, but only 4 clones happen (the last port takes the
+        // original by move).
+        let g = gen::star(6);
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut net = Network::new(
+            &g,
+            |_, _| OneShotBroadcast {
+                counter: std::sync::Arc::clone(&counter),
+                done: false,
+            },
+            6,
+        );
+        let stats = net.run(5);
+        assert_eq!(stats.messages, 5, "degree-5 broadcast delivers 5 messages");
+        assert_eq!(
+            counter.load(std::sync::atomic::Ordering::Relaxed),
+            4,
+            "d-port broadcast must clone exactly d − 1 times"
+        );
     }
 
     #[test]

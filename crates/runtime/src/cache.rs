@@ -16,15 +16,33 @@ use std::sync::{Arc, Mutex};
 /// computation is repeated. Handles are cheap to clone (shallow); a cache
 /// can outlive a single [`crate::solve_many`] call to keep its memo warm
 /// across batches of the same family.
+///
+/// By default families are unbounded; [`PrepCache::with_family_capacity`]
+/// puts every family under a byte budget with least-recently-used
+/// eviction, so long-running batch services sweeping many large instance
+/// families hold their memory flat. Eviction is transparent — a victim is
+/// recomputed on its next lookup, never changing a report.
 #[derive(Clone, Default)]
 pub struct PrepCache {
     families: Arc<Mutex<HashMap<(u64, u64), SharedSubsetCache>>>,
+    /// Byte budget applied to every family cache (`None` = unbounded).
+    family_capacity: Option<usize>,
 }
 
 impl PrepCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with unbounded families.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache whose families each hold at most
+    /// ~`capacity` bytes of memoised subset solves, evicting
+    /// least-recently-used entries beyond that.
+    pub fn with_family_capacity(capacity: usize) -> Self {
+        PrepCache {
+            families: Arc::default(),
+            family_capacity: Some(capacity),
+        }
     }
 
     /// The family cache for `(ilp, budget)`, created on first use.
@@ -33,7 +51,10 @@ impl PrepCache {
             .lock()
             .expect("prep cache lock")
             .entry((ilp.fingerprint(), budget.node_limit))
-            .or_default()
+            .or_insert_with(|| match self.family_capacity {
+                Some(bytes) => SharedSubsetCache::with_capacity(bytes),
+                None => SharedSubsetCache::new(),
+            })
             .clone()
     }
 
@@ -46,8 +67,10 @@ impl PrepCache {
         };
         for cache in families.values() {
             stats.entries += cache.len();
+            stats.bytes += cache.bytes();
             stats.hits += cache.hits();
             stats.misses += cache.misses();
+            stats.evictions += cache.evictions();
         }
         stats
     }
@@ -67,10 +90,15 @@ pub struct CacheStats {
     pub families: usize,
     /// Memoised subset solves across all families.
     pub entries: usize,
+    /// Approximate bytes held across all families.
+    pub bytes: usize,
     /// Cross-run lookups answered from a family cache.
     pub hits: u64,
     /// Cross-run lookups that ran the exact solver.
     pub misses: u64,
+    /// Entries dropped by the per-family LRU policy (always 0 for
+    /// unbounded caches).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -103,6 +131,19 @@ mod tests {
         assert_ne!(cache.family(&b, &default), fa);
         assert_ne!(cache.family(&a, &tight), fa);
         assert_eq!(cache.stats().families, 3);
+    }
+
+    #[test]
+    fn family_capacity_propagates() {
+        let bounded = PrepCache::with_family_capacity(4096);
+        let ilp = problems::max_independent_set_unweighted(&gen::cycle(6));
+        let family = bounded.family(&ilp, &SolverBudget::default());
+        assert_eq!(family.capacity(), Some(4096));
+        let unbounded = PrepCache::new();
+        assert_eq!(
+            unbounded.family(&ilp, &SolverBudget::default()).capacity(),
+            None
+        );
     }
 
     #[test]

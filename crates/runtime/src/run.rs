@@ -22,6 +22,15 @@ pub struct RuntimeConfig {
     /// Whether to compute a reference optimum per instance so the report
     /// can aggregate approximation ratios (default `true`).
     pub reference_optima: bool,
+    /// Worker threads for the preparation step *inside each job*.
+    /// Orthogonal to `jobs`: `jobs` parallelises across the corpus,
+    /// `prep_workers` shards one large instance's exact subset solves.
+    /// Values above 1 override each job's `SolveConfig::prep_workers`;
+    /// the default (1) leaves whatever the corpus's `base_config` set.
+    /// Like every other runtime knob it never changes a job's
+    /// `(key, report)` outcome — preparation output is byte-identical at
+    /// any worker count.
+    pub prep_workers: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -30,6 +39,7 @@ impl Default for RuntimeConfig {
             jobs: 1,
             prep_cache: true,
             reference_optima: true,
+            prep_workers: 1,
         }
     }
 }
@@ -59,6 +69,15 @@ impl RuntimeConfig {
         self.reference_optima = on;
         self
     }
+
+    /// Shards each job's preparation step across `workers` threads
+    /// (clamped to at least 1 at execution). Most useful for corpora of
+    /// few, large instances, where across-job parallelism alone cannot
+    /// fill the machine.
+    pub fn prep_workers(mut self, workers: usize) -> Self {
+        self.prep_workers = workers;
+        self
+    }
 }
 
 /// Solves every job of `corpus` under `rt` with a fresh [`PrepCache`].
@@ -83,9 +102,11 @@ pub fn solve_many_with_cache(
     let workers = rt.jobs.max(1);
     let use_cache = rt.prep_cache;
 
+    let prep_workers = rt.prep_workers.max(1);
+
     let results: Vec<JobResult> = if workers == 1 {
         jobs.into_iter()
-            .map(|job| run_job(job, use_cache, cache))
+            .map(|job| run_job(job, use_cache, cache, prep_workers))
             .collect()
     } else {
         let pool = ThreadPool::new(workers);
@@ -96,7 +117,7 @@ pub fn solve_many_with_cache(
             let cache = cache.clone();
             pool.execute(move || {
                 let index = job.index;
-                let result = run_job(job, use_cache, &cache);
+                let result = run_job(job, use_cache, &cache, prep_workers);
                 slots.lock().expect("result slots")[index] = Some(result);
             });
         }
@@ -138,12 +159,18 @@ pub fn solve_many_with_cache(
     }
 }
 
-fn run_job(job: Job, use_cache: bool, cache: &PrepCache) -> JobResult {
+fn run_job(job: Job, use_cache: bool, cache: &PrepCache, prep_workers: usize) -> JobResult {
     let Job {
         key, ilp, mut cfg, ..
     } = job;
     if use_cache {
         cfg.prep_cache = Some(cache.family(&ilp, &cfg.budget));
+    }
+    // Like `prep_cache`, the runtime knob only adds to the corpus's own
+    // configuration: a `RuntimeConfig` left at the default (1) must not
+    // silently reset a `prep_workers` the corpus set via `base_config`.
+    if prep_workers > 1 {
+        cfg.prep_workers = prep_workers;
     }
     let timer = Instant::now();
     let report =
