@@ -1,21 +1,41 @@
-//! Wall-clock benches for the `dapc-runtime` batch path, plus an explicit
-//! sequential-vs-batch comparison: the same corpus solved the PR-1 way
-//! (one job at a time, no shared prep) and through `solve_many` at 4
-//! workers with the per-instance-family prep cache. The comparison prints
-//! the measured speedup and the cache hit rate — the acceptance numbers
-//! for the batch subsystem.
+//! Wall-clock benches for the `dapc-runtime` batch path, plus three
+//! explicit acceptance measurements:
+//!
+//! 1. sequential-vs-batch: the same corpus solved the PR-1 way (one job
+//!    at a time, no shared prep) and through `solve_many` at 4 concurrent
+//!    jobs with the per-instance-family prep cache;
+//! 2. streaming smoke: `solve_many_streaming` delivers the identical
+//!    results in canonical order with a bounded reorder buffer;
+//! 3. executor-vs-per-solve-pool: on a corpus of many *small* preps, the
+//!    shared-executor batch wall clock beside the per-solve pool
+//!    spawn/teardown tax the former architecture paid (measured
+//!    standalone — the removed cost, not a rerun of the old code). The
+//!    measured line is committed as `BENCH_exec.json` at the repo root.
+//!
+//! Run quick (CI smoke): `cargo bench -p dapc-bench --bench bench_batch -- --quick`
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dapc_core::engine::SolveConfig;
 use dapc_graph::gen;
 use dapc_ilp::problems;
-use dapc_runtime::{solve_many, Corpus, RuntimeConfig};
+use dapc_runtime::{solve_many, solve_many_streaming, Corpus, JobResult, RuntimeConfig};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
 
 /// An E3/E5-style sweep: mixed packing/covering instances × ε grid × seed
 /// range, three-phase throughout. Every `(instance, budget)` family
 /// recurs `|ε grid| × |seeds|` times, which is exactly the reuse the prep
 /// cache is built to exploit.
 fn sweep_corpus() -> Corpus {
+    let (eps, seeds): (&[f64], _) = if quick_mode() {
+        (&[0.3], 0..3)
+    } else {
+        (&[0.2, 0.3], 0..8)
+    };
     Corpus::builder()
         .instance(
             "MIS/gnp40",
@@ -34,10 +54,35 @@ fn sweep_corpus() -> Corpus {
             problems::min_dominating_set_unweighted(&gen::cycle(33)),
         )
         .backend("three-phase")
-        .eps_grid([0.2, 0.3])
-        .seeds(0..8)
+        .eps_grid(eps.iter().copied())
+        .seeds(seeds)
         .base_config(SolveConfig::new())
         .build()
+}
+
+/// Many small instances, one seed sweep: every solve's preparation is
+/// tiny, so under the former architecture the per-solve
+/// `ThreadPool::new(prep_workers)` spawn/teardown was a visible fraction
+/// of the job — the workload the shared executor targets.
+fn small_prep_corpus() -> Corpus {
+    let (count, seeds) = if quick_mode() { (6, 0..2) } else { (10, 0..4) };
+    let mut b = Corpus::builder()
+        .backend("three-phase")
+        .eps(0.3)
+        .seeds(seeds)
+        .base_config(SolveConfig::new());
+    for i in 0..count {
+        let n = 14 + 2 * i;
+        b = b.instance(
+            format!("MIS/gnp{n}-{i}"),
+            problems::max_independent_set_unweighted(&gen::gnp(
+                n,
+                0.12,
+                &mut gen::seeded_rng(100 + i as u64),
+            )),
+        );
+    }
+    b.build()
 }
 
 fn sequential_config() -> RuntimeConfig {
@@ -57,7 +102,7 @@ fn batch_config() -> RuntimeConfig {
 fn bench_batch_paths(c: &mut Criterion) {
     let corpus = sweep_corpus();
     let mut group = c.benchmark_group("batch");
-    group.sample_size(3);
+    group.sample_size(if quick_mode() { 2 } else { 3 });
     group.bench_function("sequential_no_cache", |b| {
         b.iter(|| solve_many(&corpus, &sequential_config()))
     });
@@ -96,5 +141,85 @@ fn report_speedup(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_batch_paths, report_speedup);
+/// Streaming smoke: `solve_many_streaming` hands over the identical
+/// `(key, report)` sequence in canonical order, with the reorder buffer
+/// staying inside its bound — the CI `--quick` step runs this.
+fn report_streaming_smoke(_c: &mut Criterion) {
+    let corpus = sweep_corpus();
+    let batch = solve_many(&corpus, &batch_config());
+    let sink: Arc<Mutex<Vec<JobResult>>> = Arc::default();
+    let hook = Arc::clone(&sink);
+    let stream = solve_many_streaming(&corpus, &batch_config(), move |r| {
+        hook.lock().expect("stream sink").push(r);
+    });
+    let streamed = Arc::try_unwrap(sink)
+        .expect("hook dropped")
+        .into_inner()
+        .expect("stream sink");
+    assert_eq!(batch.results.len(), streamed.len());
+    for (a, b) in batch.results.iter().zip(&streamed) {
+        assert_eq!(a.key, b.key, "streaming broke the canonical order");
+        assert_eq!(a.report, b.report, "streaming moved a report byte");
+    }
+    println!(
+        "batch/streaming: {} jobs in canonical order, peak reorder buffer {} (workers {})",
+        stream.jobs, stream.peak_buffered, stream.workers,
+    );
+}
+
+/// The tentpole measurement: the shared-executor batch wall clock beside
+/// the *per-solve pool tax* the former architecture paid on the same
+/// corpus — one vendored `ThreadPool::new(4)` spawn + teardown per solve,
+/// measured standalone (it cannot be re-inserted into `prepare` itself,
+/// which no longer spawns pools, so this is an emulation of the removed
+/// cost, not a rerun of the old code; the old tax was partially
+/// overlapped across jobs, so the standalone figure is an upper bound on
+/// wall clock and an exact count of spawned threads). Prints one
+/// `BENCH_exec` JSON line; the committed `BENCH_exec.json` records it
+/// with the host's core count.
+fn report_executor_vs_per_solve_pool(_c: &mut Criterion) {
+    let corpus = small_prep_corpus();
+    let rt = RuntimeConfig::new()
+        .jobs(2)
+        .prep_workers(4)
+        .reference_optima(false);
+    let quick = quick_mode();
+    let samples = if quick { 1 } else { 3 };
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let (mut shared_exec, mut pool_tax) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let stream = solve_many_streaming(&corpus, &rt, |_r| {});
+        shared_exec = shared_exec.min(start.elapsed().as_secs_f64());
+        assert_eq!(stream.jobs, corpus.len());
+
+        // The removed cost, measured alone: the former architecture span
+        // (and tore down) one prep pool per solve.
+        let start = Instant::now();
+        for _ in 0..corpus.len() {
+            let pool = threadpool::ThreadPool::new(4);
+            pool.join();
+        }
+        pool_tax = pool_tax.min(start.elapsed().as_secs_f64());
+    }
+    let tax_fraction = pool_tax / shared_exec;
+    println!(
+        "BENCH_exec {{\"corpus\":{{\"jobs\":{},\"shape\":\"small-prep\"}},\"quick\":{quick},\
+         \"cores\":{cores},\"rt\":{{\"jobs\":2,\"prep_workers\":4}},\
+         \"wall_seconds\":{{\"shared_executor_batch\":{shared_exec:.4},\"per_solve_pool_tax\":{pool_tax:.4}}},\
+         \"tax_over_batch\":{tax_fraction:.3},\
+         \"threads_not_spawned\":{},\
+         \"emulation\":\"tax measured standalone: one ThreadPool::new(4)+join per solve of the same corpus\"}}",
+        corpus.len(),
+        4 * corpus.len(),
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_batch_paths,
+    report_speedup,
+    report_streaming_smoke,
+    report_executor_vs_per_solve_pool
+);
 criterion_main!(benches);

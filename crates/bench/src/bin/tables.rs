@@ -1,15 +1,25 @@
 //! Regenerates the experiment tables of `EXPERIMENTS.md`.
 //!
-//! Usage: `tables [--quick|--full] [--jobs N] [e1 e2 …]` — defaults to
-//! `--full`, one worker, and all experiments. (`quick`/`full` without
-//! dashes are accepted for backwards compatibility.)
+//! Usage: `tables [--quick|--full] [--jobs N] [--prep-workers N] [e1 e2 …]`
+//! — defaults to `--full`, one concurrent job, unsharded preparations, and
+//! all experiments. (`quick`/`full` without dashes are accepted for
+//! backwards compatibility.) `--jobs` and `--prep-workers` are honoured
+//! in both profiles; neither changes a table — batching is byte-identical
+//! to sequential execution.
 
 use dapc_bench::{run_experiment, Profile, ALL_EXPERIMENTS};
+use dapc_runtime::RuntimeConfig;
+
+fn parse_count(flag: &str, value: &str) -> usize {
+    value
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {flag} value {value:?}"))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = Profile::Full;
-    let mut jobs = 1usize;
+    let mut rt = RuntimeConfig::new();
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -18,15 +28,17 @@ fn main() {
             "full" | "--full" => profile = Profile::Full,
             "--jobs" => {
                 let n = it.next().expect("--jobs needs a worker count");
-                jobs = n
-                    .parse()
-                    .unwrap_or_else(|_| panic!("bad --jobs value {n:?}"));
+                rt.jobs = parse_count("--jobs", &n);
+            }
+            "--prep-workers" => {
+                let n = it.next().expect("--prep-workers needs a worker count");
+                rt.prep_workers = parse_count("--prep-workers", &n);
             }
             other => {
                 if let Some(n) = other.strip_prefix("--jobs=") {
-                    jobs = n
-                        .parse()
-                        .unwrap_or_else(|_| panic!("bad --jobs value {n:?}"));
+                    rt.jobs = parse_count("--jobs", n);
+                } else if let Some(n) = other.strip_prefix("--prep-workers=") {
+                    rt.prep_workers = parse_count("--prep-workers", n);
                 } else {
                     ids.push(other.to_string());
                 }
@@ -38,7 +50,7 @@ fn main() {
     }
     for id in &ids {
         let start = std::time::Instant::now();
-        let table = run_experiment(id, profile, jobs);
+        let table = run_experiment(id, profile, &rt);
         println!("{table}");
         eprintln!("[{id} finished in {:.1?}]", start.elapsed());
     }

@@ -16,10 +16,6 @@ use dapc_runtime::{
     solve_many, solve_many_with_cache, BatchReport, Corpus, GroupSummary, PrepCache, RuntimeConfig,
 };
 
-fn runtime(jobs: usize) -> RuntimeConfig {
-    RuntimeConfig::new().jobs(jobs)
-}
-
 fn opt_cell(g: &GroupSummary) -> String {
     match g.opt {
         // Mark budget-limited (unproven) reference optima.
@@ -45,7 +41,7 @@ fn packing_row(t: &mut Table, g: &GroupSummary) {
 }
 
 /// E3 (Theorem 1.2): (1 − ε)-approximate MIS across families and ε.
-pub fn e3(seeds: u64, jobs: usize) -> String {
+pub fn e3(seeds: u64, rt: &RuntimeConfig) -> String {
     let mut t = Table::new(
         "E3 — Theorem 1.2: (1 − ε)-approximate maximum independent set",
         &[
@@ -73,7 +69,7 @@ pub fn e3(seeds: u64, jobs: usize) -> String {
     for (name, g) in &families {
         b = b.instance(*name, problems::max_independent_set_unweighted(g));
     }
-    let report = solve_many(&b.build(), &runtime(jobs));
+    let report = solve_many(&b.build(), rt);
     for g in &report.groups {
         packing_row(&mut t, g);
     }
@@ -90,19 +86,19 @@ pub fn e3(seeds: u64, jobs: usize) -> String {
         .eps(0.2)
         .seeds(0..seeds)
         .build();
-    let report = solve_many(&corpus, &runtime(jobs));
+    let report = solve_many(&corpus, rt);
     for g in &report.groups {
         packing_row(&mut t, g);
     }
     let mut out = t.render();
-    out.push_str(&e3_large_scale(seeds.min(5), jobs));
+    out.push_str(&e3_large_scale(seeds.min(5), rt));
     out
 }
 
 /// E3 (large scale): cycles long enough that the carve radius sits *below*
 /// the diameter, so Phases 1–3 genuinely delete and the (1 − ε) guarantee
 /// is earned rather than inherited from a single whole-graph solve.
-fn e3_large_scale(seeds: u64, jobs: usize) -> String {
+fn e3_large_scale(seeds: u64, rt: &RuntimeConfig) -> String {
     let mut t = Table::new(
         "E3 (cont.) — large-scale carving: MIS on long cycles (OPT = n/2)",
         &[
@@ -131,7 +127,7 @@ fn e3_large_scale(seeds: u64, jobs: usize) -> String {
         );
     }
     // OPT = n/2 is known analytically; skip the (large) reference solve.
-    let report = solve_many(&b.build(), &runtime(jobs).reference_optima(false));
+    let report = solve_many(&b.build(), &rt.clone().reference_optima(false));
     for g in &report.groups {
         assert!(g.feasible, "{}: infeasible seed", g.instance);
         let opt = (g.vars / 2) as f64;
@@ -168,7 +164,7 @@ fn packing_stat_maxima(report: &BatchReport, g: &GroupSummary) -> (usize, usize)
 }
 
 /// E4 (Theorem 1.2): (1 − ε)-approximate maximum matching vs blossom.
-pub fn e4(seeds: u64, jobs: usize) -> String {
+pub fn e4(seeds: u64, rt: &RuntimeConfig) -> String {
     let mut t = Table::new(
         "E4 — Theorem 1.2: (1 − ε)-approximate maximum matching (OPT by blossom)",
         &[
@@ -205,7 +201,7 @@ pub fn e4(seeds: u64, jobs: usize) -> String {
         ));
         b = b.instance(*name, problems::max_matching(g).ilp);
     }
-    let report = solve_many(&b.build(), &runtime(jobs));
+    let report = solve_many(&b.build(), rt);
     for g in &report.groups {
         assert!(g.feasible, "{}: infeasible seed", g.instance);
         // Matching variables are edges; report the graph's vertex count.
@@ -232,7 +228,7 @@ pub fn e4(seeds: u64, jobs: usize) -> String {
 
 /// E5 (Theorem 1.3): (1 + ε)-approximate covering (VC, DS, k-DS, set
 /// cover).
-pub fn e5(seeds: u64, jobs: usize) -> String {
+pub fn e5(seeds: u64, rt: &RuntimeConfig) -> String {
     let mut t = Table::new(
         "E5 — Theorem 1.3: (1 + ε)-approximate covering problems",
         &[
@@ -285,7 +281,7 @@ pub fn e5(seeds: u64, jobs: usize) -> String {
         .seeds(0..seeds)
         .build();
     let names = corpus.instance_names();
-    let report = solve_many(&corpus, &runtime(jobs));
+    let report = solve_many(&corpus, rt);
     // Legacy row order is ε-major.
     for eps in [0.2f64, 0.4] {
         for name in &names {
@@ -308,18 +304,18 @@ pub fn e5(seeds: u64, jobs: usize) -> String {
         .eps(0.3)
         .seeds(0..seeds)
         .build();
-    let report = solve_many(&corpus, &runtime(jobs));
+    let report = solve_many(&corpus, rt);
     for g in &report.groups {
         covering_row(&mut t, g);
     }
     let mut out = t.render();
-    out.push_str(&e5_large_scale(seeds.min(5), jobs));
+    out.push_str(&e5_large_scale(seeds.min(5), rt));
     out
 }
 
 /// E5 (large scale): vertex cover on long cycles with genuine carving
 /// (fixing + hyperedge deletion + isolated regions).
-fn e5_large_scale(seeds: u64, jobs: usize) -> String {
+fn e5_large_scale(seeds: u64, rt: &RuntimeConfig) -> String {
     let mut t = Table::new(
         "E5 (cont.) — large-scale carving: VC on long cycles (OPT = n/2)",
         &[
@@ -347,7 +343,7 @@ fn e5_large_scale(seeds: u64, jobs: usize) -> String {
             problems::min_vertex_cover_unweighted(&gen::cycle(n)),
         );
     }
-    let report = solve_many(&b.build(), &runtime(jobs).reference_optima(false));
+    let report = solve_many(&b.build(), &rt.clone().reference_optima(false));
     for g in &report.groups {
         assert!(g.feasible, "{}: infeasible seed", g.instance);
         let opt = (g.vars / 2) as f64;
@@ -385,7 +381,7 @@ fn e5_large_scale(seeds: u64, jobs: usize) -> String {
 /// it *shrinks* — ours pays the extra `log³(1/ε)` factor while both share
 /// the `1/ε`, exactly the trade Theorem 1.2 makes to win the `log² n`.
 /// Both backends' round bills are averaged over the same three seeds.
-pub fn e6(jobs: usize) -> String {
+pub fn e6(rt: &RuntimeConfig) -> String {
     let mut t = Table::new(
         "E6 — round complexity: Theorem 1.2 (Õ(log n/ε)) vs GKM17 (O(log³ n/ε))",
         &["sweep", "n", "eps", "ours rounds", "GKM rounds", "GKM/ours"],
@@ -416,7 +412,7 @@ pub fn e6(jobs: usize) -> String {
             problems::max_independent_set_unweighted(&gen::cycle(n)),
         );
     }
-    let report = solve_many(&b.build(), &runtime(jobs).reference_optima(false));
+    let report = solve_many(&b.build(), &rt.clone().reference_optima(false));
     for n in ns {
         row(&mut t, "n", &report, &format!("cycle{n}"), 0.3);
     }
@@ -430,7 +426,7 @@ pub fn e6(jobs: usize) -> String {
         .eps_grid([0.4, 0.2, 0.1, 0.05])
         .seeds(0..3)
         .build();
-    let report = solve_many(&corpus, &runtime(jobs).reference_optima(false));
+    let report = solve_many(&corpus, &rt.clone().reference_optima(false));
     for eps in [0.4f64, 0.2, 0.1, 0.05] {
         row(&mut t, "eps", &report, "cycle64", eps);
     }
@@ -439,7 +435,7 @@ pub fn e6(jobs: usize) -> String {
 
 /// E10 — ablations called out in DESIGN.md: preparation count, covering
 /// iteration budget, and the LDD Phase 2 toggle.
-pub fn e10(seeds: u64, jobs: usize) -> String {
+pub fn e10(seeds: u64, rt: &RuntimeConfig) -> String {
     let mut t = Table::new(
         "E10 — ablations (prep count, covering t, LDD Phase 2)",
         &[
@@ -465,7 +461,7 @@ pub fn e10(seeds: u64, jobs: usize) -> String {
             .seeds(0..seeds)
             .base_config(SolveConfig::new().prep_count(prep))
             .build();
-        let report = solve_many_with_cache(&corpus, &runtime(jobs), &cache);
+        let report = solve_many_with_cache(&corpus, rt, &cache);
         let g = &report.groups[0];
         t.row(vec![
             "packing prep_count".into(),
@@ -493,7 +489,7 @@ pub fn e10(seeds: u64, jobs: usize) -> String {
             .seeds(0..seeds)
             .base_config(cfg)
             .build();
-        let report = solve_many_with_cache(&corpus, &runtime(jobs), &cache);
+        let report = solve_many_with_cache(&corpus, rt, &cache);
         let g = &report.groups[0];
         t.row(vec![
             "covering t_slack".into(),

@@ -8,13 +8,16 @@
 //! cargo run -p dapc-bench --release --bin tables             # all
 //! cargo run -p dapc-bench --release --bin tables -- e1 e6    # selected
 //! cargo run -p dapc-bench --release --bin tables -- --quick  # reduced trials
-//! cargo run -p dapc-bench --release --bin tables -- --jobs 4 # 4 workers
+//! cargo run -p dapc-bench --release --bin tables -- --jobs 4 # 4 concurrent jobs
+//! cargo run -p dapc-bench --release --bin tables -- --prep-workers 4 # shard preps
 //! ```
 //!
 //! The ILP experiments (E3–E6, E10) batch through `dapc-runtime`, so
-//! `--jobs N` fans their corpora out over `N` workers with shared prep
-//! caching. Criterion wall-clock benches for the substrate live in
-//! `benches/`.
+//! `--jobs N` runs up to `N` of their jobs concurrently (shared prep
+//! caching included) and `--prep-workers M` additionally shards each
+//! job's preparation step — both on the one process-wide executor, in
+//! `--quick` mode and `--full` mode alike. Criterion wall-clock benches
+//! for the substrate live in `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,8 @@ pub mod exp_ilp;
 pub mod exp_ldd;
 pub mod exp_lower;
 pub mod table;
+
+use dapc_runtime::RuntimeConfig;
 
 /// Trial-count profile for the experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,20 +74,23 @@ impl Profile {
 
 /// Runs one experiment by id (`"e1"`…`"e10"`), returning its table(s).
 ///
-/// `jobs` is the worker count for the experiments that batch through
-/// `dapc-runtime` (E3–E6, E10); the remaining experiments run inline.
+/// `rt` configures the experiments that batch through `dapc-runtime`
+/// (E3–E6, E10): its `jobs` caps across-corpus concurrency and its
+/// `prep_workers` shards each job's preparation step, both on the shared
+/// executor. The remaining experiments run inline. No `rt` choice changes
+/// a table — batching is byte-identical to sequential execution.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id.
-pub fn run_experiment(id: &str, profile: Profile, jobs: usize) -> String {
+pub fn run_experiment(id: &str, profile: Profile, rt: &RuntimeConfig) -> String {
     match id {
         "e1" => exp_ldd::e1(profile.quality_trials()),
         "e2" => exp_ldd::e2(profile.tail_trials()),
-        "e3" => exp_ilp::e3(profile.solver_seeds(), jobs),
-        "e4" => exp_ilp::e4(profile.solver_seeds(), jobs),
-        "e5" => exp_ilp::e5(profile.solver_seeds(), jobs),
-        "e6" => exp_ilp::e6(jobs),
+        "e3" => exp_ilp::e3(profile.solver_seeds(), rt),
+        "e4" => exp_ilp::e4(profile.solver_seeds(), rt),
+        "e5" => exp_ilp::e5(profile.solver_seeds(), rt),
+        "e6" => exp_ilp::e6(rt),
         "e7" => {
             let mut s = exp_lower::e7_lps_structure();
             s.push_str(&exp_lower::e7_indistinguishability(
@@ -96,7 +104,7 @@ pub fn run_experiment(id: &str, profile: Profile, jobs: usize) -> String {
         }
         "e8" => exp_ldd::e8(profile.quality_trials()),
         "e9" => exp_ldd::e9(profile.quality_trials()),
-        "e10" => exp_ilp::e10(profile.solver_seeds(), jobs),
+        "e10" => exp_ilp::e10(profile.solver_seeds(), rt),
         other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
     }
 }

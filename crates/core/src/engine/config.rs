@@ -49,12 +49,15 @@ pub struct SolveConfig {
     /// (attached by `dapc-runtime`'s `PrepCache`; solver outputs are
     /// identical with or without it).
     pub prep_cache: Option<SharedSubsetCache>,
-    /// Worker threads for the preparation step's exact subset solves
-    /// inside *one* solve (default `1`). Purely an execution knob:
-    /// reports are byte-identical at every worker count, because subset
-    /// solves are deterministic functions of their key and the RNG is
-    /// consumed only by the sequential decomposition pass (see
-    /// [`crate::prep::prepare`]).
+    /// Concurrency cap for the preparation step's exact subset solves
+    /// inside *one* solve (default `1` = sequential). Above one, the
+    /// distinct solves fan out over the process-wide `dapc_exec` pool —
+    /// at most `prep_workers` in flight, and never on a child pool, so
+    /// the setting composes gracefully with across-job parallelism.
+    /// Purely an execution knob: reports are byte-identical at every
+    /// worker count, because subset solves are deterministic functions
+    /// of their key and the RNG is consumed only by the sequential
+    /// decomposition pass (see [`crate::prep::prepare`]).
     pub prep_workers: usize,
 }
 
@@ -167,10 +170,11 @@ impl SolveConfig {
         self
     }
 
-    /// Shards the preparation step's exact subset solves across `workers`
-    /// threads inside one solve. Reports are bit-identical at every
-    /// worker count; only the wall-clock time of a large instance's
-    /// preparation changes.
+    /// Shards the preparation step's exact subset solves inside one
+    /// solve: at most `workers` of them run concurrently on the
+    /// process-wide executor. Reports are bit-identical at every worker
+    /// count; only the wall-clock time of a large instance's preparation
+    /// changes.
     ///
     /// # Panics
     ///

@@ -97,10 +97,11 @@ pub struct PcParams {
     pub final_lambda: f64,
     /// Budget for every exact local solve.
     pub budget: SolverBudget,
-    /// Worker threads for the preparation step's exact subset solves
-    /// (default `1` = fully sequential). An *execution* knob, not an
-    /// algorithm parameter: the preparation output is byte-identical at
-    /// every worker count (see [`crate::prep::prepare`]).
+    /// Concurrency cap for the preparation step's exact subset solves on
+    /// the process-wide executor (default `1` = fully sequential). An
+    /// *execution* knob, not an algorithm parameter: the preparation
+    /// output is byte-identical at every worker count (see
+    /// [`crate::prep::prepare`]).
     pub prep_workers: usize,
 }
 

@@ -9,10 +9,13 @@
 //! into a sequential RNG-driven decomposition pass and a deterministic
 //! annotation pass, and (when [`crate::params::PcParams::prep_workers`]
 //! exceeds one) shards the distinct exact subset solves of the annotation
-//! pass across the vendored thread pool. The output is byte-identical to
-//! sequential execution: subset solves are deterministic functions of
-//! their key, the RNG is consumed only by the decomposition pass, and
-//! clusters are re-emitted in canonical order.
+//! pass across the process-wide `dapc_exec` executor. A preparation that
+//! runs *inside* a batch job submits its shards to the same pool the job
+//! runs on — never a child pool — so `jobs × prep_workers` degrades
+//! gracefully instead of oversubscribing the machine. The output is
+//! byte-identical to sequential execution: subset solves are
+//! deterministic functions of their key, the RNG is consumed only by the
+//! decomposition pass, and clusters are re-emitted in canonical order.
 
 use crate::params::PcParams;
 use dapc_graph::{BallScratch, Hypergraph, Vertex};
@@ -22,9 +25,9 @@ use dapc_ilp::restrict::packing_restriction;
 use dapc_ilp::solvers::{self, SolverBudget};
 use rand::rngs::StdRng;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use threadpool::ThreadPool;
 
 /// One memoised exact subset solve: `(value, global assignment, exact)`.
 type SubsetEntry = (u64, Vec<bool>, bool);
@@ -285,6 +288,132 @@ impl SharedSubsetCache {
             self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
     }
+
+    /// Writes a snapshot of every memoised entry to `w` in the versioned
+    /// binary warm-start format (see the module docs of
+    /// [`SNAPSHOT_MAGIC`]): entries sorted by [`SubsetKey`], each as
+    /// `key · value · exact · assignment` with the assignment bit-packed.
+    /// The keys are stable 128-bit FNV-1a digests, so a snapshot is valid
+    /// across runs and platforms for the same `(instance, budget)`
+    /// family.
+    ///
+    /// Counters and capacity are *not* persisted — they describe a run,
+    /// not the memo.
+    pub fn save_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut entries: Vec<(SubsetKey, SubsetEntry)> = Vec::with_capacity(self.len());
+        for stripe in &self.inner.stripes {
+            let stripe = stripe.lock().expect("cache stripe lock");
+            entries.extend(stripe.map.iter().map(|(k, s)| (*k, s.entry.clone())));
+        }
+        // Canonical byte stream: identical caches serialise identically
+        // regardless of insertion order or stripe iteration order.
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        w.write_all(SNAPSHOT_MAGIC)?;
+        w.write_all(&(entries.len() as u64).to_le_bytes())?;
+        for (key, (value, assignment, exact)) in &entries {
+            w.write_all(&key.to_le_bytes())?;
+            w.write_all(&value.to_le_bytes())?;
+            w.write_all(&[u8::from(*exact)])?;
+            w.write_all(&(assignment.len() as u64).to_le_bytes())?;
+            for chunk in assignment.chunks(8) {
+                let mut byte = 0u8;
+                for (bit, &set) in chunk.iter().enumerate() {
+                    byte |= u8::from(set) << bit;
+                }
+                w.write_all(&[byte])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges a warm-start snapshot written by
+    /// [`SharedSubsetCache::save_to`] into this cache, returning the
+    /// number of entries read. Loading only seeds the memo: it touches no
+    /// hit/miss counter, and a capacity-bounded cache applies its normal
+    /// transparent LRU policy to the loaded entries — so a warm start can
+    /// change counters and work done, but never a solver report.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on a bad magic/version
+    /// or a truncated stream, besides propagating reader errors.
+    pub fn load_into<R: Read>(&self, mut r: R) -> io::Result<usize> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a dapc subset-cache snapshot (bad magic/version)",
+            ));
+        }
+        let count = read_u64(&mut r)? as usize;
+        for _ in 0..count {
+            let mut key = [0u8; 16];
+            r.read_exact(&mut key)?;
+            let key = SubsetKey::from_le_bytes(key);
+            let value = read_u64(&mut r)?;
+            let mut exact = [0u8; 1];
+            r.read_exact(&mut exact)?;
+            let exact = match exact[0] {
+                0 => false,
+                1 => true,
+                b => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad exactness flag {b}"),
+                    ))
+                }
+            };
+            let bits = read_u64(&mut r)? as usize;
+            // Never trust a length field with an up-front allocation: a
+            // corrupt header would otherwise drive a huge `Vec` request
+            // (aborting the process) before the read could fail. Reading
+            // to-end under `take` grows with the bytes actually present,
+            // so truncation surfaces as the documented error instead.
+            let byte_len = bits.div_ceil(8) as u64;
+            let mut packed = Vec::new();
+            r.by_ref().take(byte_len).read_to_end(&mut packed)?;
+            if packed.len() as u64 != byte_len {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("truncated assignment: {} of {byte_len} bytes", packed.len()),
+                ));
+            }
+            // `bits <= 8 * packed.len()` now, so this allocation is
+            // bounded by the snapshot's real size.
+            let mut assignment = Vec::with_capacity(bits);
+            for bit in 0..bits {
+                assignment.push(packed[bit / 8] >> (bit % 8) & 1 == 1);
+            }
+            self.insert(key, (value, assignment, exact));
+        }
+        Ok(count)
+    }
+
+    /// Reads a snapshot written by [`SharedSubsetCache::save_to`] into a
+    /// fresh unbounded cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedSubsetCache::load_into`].
+    pub fn load_from<R: Read>(r: R) -> io::Result<Self> {
+        let cache = SharedSubsetCache::new();
+        cache.load_into(r)?;
+        Ok(cache)
+    }
+}
+
+/// Magic + version prefix of the persisted warm-start format: seven
+/// identifying bytes and a format version byte. The body is
+/// `entry count: u64` followed by sorted entries of
+/// `key: u128 · value: u64 · exact: u8 · assignment bits: u64 · packed
+/// assignment bytes (LSB-first)`, all integers little-endian.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"DAPCSSC\x01";
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
 }
 
 impl PartialEq for SharedSubsetCache {
@@ -480,8 +609,9 @@ fn solve_subset(
 /// cluster with its two exact subset solves. With
 /// `params.prep_workers > 1` the *distinct* subset solves of pass 2 —
 /// exactly the set the sequential memo would compute — are fanned out
-/// over the vendored thread pool through the solver's family cache, then
-/// the clusters are re-emitted in canonical order from cache hits. Either
+/// over the ambient `dapc_exec` pool (at most `prep_workers` at a time)
+/// through the solver's family cache, then the clusters are re-emitted
+/// in canonical order from cache hits. Either
 /// way the output is byte-identical: solves are deterministic functions
 /// of their key, and the worker count changes only wall-clock time.
 pub fn prepare(
@@ -564,7 +694,7 @@ pub fn prepare(
 }
 
 /// Fans the distinct subset solves of the annotation pass out over the
-/// vendored thread pool, seeds the solver's per-run memo with the results
+/// process-wide executor, seeds the solver's per-run memo with the results
 /// (exactness flags feeding `all_exact` exactly as a sequential first
 /// compute would), and returns each cluster's `(local, S_C)` key pair so
 /// the caller's canonical re-emit is pure memo reads — no ball or key is
@@ -624,39 +754,59 @@ fn shard_subset_solves(
         }
         cluster_keys.push((local_key, sc_key));
     }
-    // The pool wants 'static jobs; one shallow instance clone per
-    // *prepare call* (not per lookup) buys owned job data.
+    // Tasks want 'static data; one shallow instance clone per *prepare
+    // call* (not per lookup) buys it. The fan-out runs `pumps` tasks on
+    // the ambient `dapc_exec` pool — the pool the enclosing batch job
+    // already runs on, or the process-wide one — each draining the next
+    // unclaimed work item, so concurrency is capped at `prep_workers`
+    // with dynamic load balancing and no child pool is ever spawned.
     let owned: Arc<IlpInstance> = Arc::new(ilp.clone());
     let budget = solver.budget;
     let shared = solver.shared.clone();
-    let keys: Vec<SubsetKey> = worklist.iter().map(|(k, _)| *k).collect();
+    let worklist = Arc::new(worklist);
     let slots: Arc<Mutex<Vec<ShardSlot>>> =
         Arc::new(Mutex::new((0..worklist.len()).map(|_| None).collect()));
-    let pool = ThreadPool::new(params.prep_workers.min(worklist.len().max(1)));
-    for (index, (key, vertices)) in worklist.into_iter().enumerate() {
-        let owned = Arc::clone(&owned);
-        let shared = shared.clone();
-        let slots = Arc::clone(&slots);
-        pool.execute(move || {
-            let result = match shared.and_then(|s| s.get_uncounted(key)) {
-                Some(entry) => (entry, true),
-                None => {
-                    let mut mask = vec![false; owned.n()];
-                    for &v in &vertices {
-                        mask[v as usize] = true;
-                    }
-                    (solve_subset(&owned, &budget, &mask, None), false)
+    let next = Arc::new(AtomicUsize::new(0));
+    let pumps = params.prep_workers.min(worklist.len()).max(1);
+    dapc_exec::scope(|s| {
+        for _ in 0..pumps {
+            let owned = Arc::clone(&owned);
+            let shared = shared.clone();
+            let worklist = Arc::clone(&worklist);
+            let slots = Arc::clone(&slots);
+            let next = Arc::clone(&next);
+            s.spawn(move || {
+                let mut mask: Vec<bool> = Vec::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((key, vertices)) = worklist.get(index) else {
+                        break;
+                    };
+                    let result = match shared.as_ref().and_then(|c| c.get_uncounted(*key)) {
+                        Some(entry) => (entry, true),
+                        None => {
+                            mask.clear();
+                            mask.resize(owned.n(), false);
+                            for &v in vertices {
+                                mask[v as usize] = true;
+                            }
+                            (solve_subset(&owned, &budget, &mask, None), false)
+                        }
+                    };
+                    slots.lock().expect("prep result slots")[index] = Some(result);
                 }
-            };
-            slots.lock().expect("prep result slots")[index] = Some(result);
-        });
-    }
-    pool.join();
+            });
+        }
+    });
+    let worklist = Arc::try_unwrap(worklist)
+        .expect("scope joined, no pump holds the worklist")
+        .into_iter()
+        .map(|(k, _)| k);
     let slots = Arc::try_unwrap(slots)
-        .expect("pool joined, no worker holds the slots")
+        .expect("scope joined, no pump holds the slots")
         .into_inner()
         .expect("prep result slots");
-    for (key, slot) in keys.into_iter().zip(slots) {
+    for (key, slot) in worklist.zip(slots) {
         let (entry, was_warm) = slot.expect("every work item filled its slot");
         if let Some(shared) = &solver.shared {
             if was_warm {
@@ -768,6 +918,101 @@ mod tests {
         assert_eq!(cache.len(), 9);
         assert_eq!(cache.capacity(), None);
         assert!(cache.bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_byte_for_byte() {
+        let g = gen::gnp(18, 0.15, &mut gen::seeded_rng(44));
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let cache = SharedSubsetCache::new();
+        for k in 1..=18usize {
+            let mask: Vec<bool> = (0..18).map(|v| v < k).collect();
+            let mut s = SubsetSolver::with_shared(&ilp, SolverBudget::default(), cache.clone());
+            s.solve_mask(&mask, None);
+        }
+        let mut bytes = Vec::new();
+        cache.save_to(&mut bytes).expect("write to a Vec");
+        let loaded = SharedSubsetCache::load_from(bytes.as_slice()).expect("read back");
+        assert_eq!(loaded.len(), cache.len());
+        assert_eq!(
+            (loaded.hits(), loaded.misses()),
+            (0, 0),
+            "loading counts nothing"
+        );
+        // Entry-for-entry equality, via the canonical serialisation.
+        let mut reserialised = Vec::new();
+        loaded.save_to(&mut reserialised).expect("write to a Vec");
+        assert_eq!(bytes, reserialised);
+    }
+
+    /// The satellite contract: warm-loading a persisted cache changes the
+    /// counters (cold misses become warm hits) but never a report — here
+    /// at the preparation level, where every weight comes from the cache.
+    #[test]
+    fn warm_loaded_cache_changes_counters_never_outputs() {
+        let ilp =
+            problems::max_independent_set_unweighted(&gen::gnp(26, 0.11, &mut gen::seeded_rng(13)));
+        let h = ilp.hypergraph().clone();
+        let primal = h.primal_graph();
+        let params = PcParams::packing_scaled(0.3, 26.0, 0.05, 0.5);
+        let run = |cache: &SharedSubsetCache| {
+            let mut rng = gen::seeded_rng(4);
+            let mut solver = SubsetSolver::with_shared(&ilp, params.budget, cache.clone());
+            let prep = prepare(&ilp, &h, &primal, &params, &mut rng, &mut solver);
+            prep.clusters
+                .iter()
+                .map(|c| (c.members.clone(), c.w_local, c.w_neighborhood))
+                .collect::<Vec<_>>()
+        };
+        let cold = SharedSubsetCache::new();
+        let cold_clusters = run(&cold);
+        assert!(cold.misses() > 0);
+        assert_eq!(cold.hits(), 0);
+
+        let mut snapshot = Vec::new();
+        cold.save_to(&mut snapshot).expect("write to a Vec");
+        let warm = SharedSubsetCache::load_from(snapshot.as_slice()).expect("read back");
+        let warm_clusters = run(&warm);
+        assert_eq!(warm_clusters, cold_clusters, "warm start moved an output");
+        assert_eq!(warm.misses(), 0, "every lookup is answered warm");
+        assert_eq!(warm.hits(), cold.misses(), "one hit per former miss");
+    }
+
+    #[test]
+    fn loading_garbage_is_an_invalid_data_error() {
+        let err = SharedSubsetCache::load_from(&b"not a snapshot!!"[..])
+            .expect_err("bad magic must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // A truncated but well-prefixed stream fails too (UnexpectedEof).
+        let mut bytes = Vec::new();
+        let cache = SharedSubsetCache::new();
+        let g = gen::cycle(6);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let mut s = SubsetSolver::with_shared(&ilp, SolverBudget::default(), cache.clone());
+        s.solve_mask(&[true; 6], None);
+        cache.save_to(&mut bytes).expect("write to a Vec");
+        bytes.truncate(bytes.len() - 3);
+        assert!(SharedSubsetCache::load_from(bytes.as_slice()).is_err());
+    }
+
+    /// A corrupt length field must surface as a read error, not as a
+    /// multi-exabyte allocation request: the loader only allocates in
+    /// proportion to bytes actually present in the stream.
+    #[test]
+    fn loading_rejects_absurd_length_fields() {
+        let cache = SharedSubsetCache::new();
+        let g = gen::cycle(6);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let mut s = SubsetSolver::with_shared(&ilp, SolverBudget::default(), cache.clone());
+        s.solve_mask(&[true; 6], None);
+        let mut bytes = Vec::new();
+        cache.save_to(&mut bytes).expect("write to a Vec");
+        // The assignment bit count of the single entry sits after
+        // magic(8) + count(8) + key(16) + value(8) + exact(1).
+        let bits_at = 8 + 8 + 16 + 8 + 1;
+        bytes[bits_at..bits_at + 8].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = SharedSubsetCache::load_from(bytes.as_slice()).expect_err("must not allocate");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

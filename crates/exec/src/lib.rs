@@ -1,0 +1,653 @@
+//! # dapc-exec
+//!
+//! The process-wide task executor every parallel path of the workspace
+//! runs on: one lazily-initialised worker pool sized to the host (the
+//! [`global`] executor), a scoped task-group API ([`scope`] /
+//! [`Executor::scope`]) with panic propagation, and **nested-task
+//! awareness** — a task that opens its own scope (e.g. a batch job whose
+//! preparation step shards its exact subset solves) submits the subtasks
+//! to the *same* pool it runs on instead of spawning a child pool, so
+//! `jobs × prep_workers` degrades gracefully instead of oversubscribing
+//! the machine.
+//!
+//! Three rules make the nesting deadlock-free at any pool size (including
+//! one worker):
+//!
+//! 1. **Owners help.** After the scope body returns, the scope-owning
+//!    thread drains *its own* still-queued tasks inline while waiting, so
+//!    a scope completes even when every pool worker is busy or blocked in
+//!    a deeper scope — this is the run-inline fallback.
+//! 2. **Depth first.** A task spawned from inside a pool task goes to the
+//!    *front* of the shared queue: finer-grained work that a coarser task
+//!    is waiting on runs before queued coarse work.
+//! 3. **No cross-scope waits.** A scope waits only for tasks it spawned;
+//!    group bookkeeping is per-scope, so independent scopes sharing the
+//!    pool cannot entangle.
+//!
+//! Determinism is untouched by construction: the executor decides only
+//! *where and when* a task runs, never what it computes — every caller in
+//! this workspace keeps its outputs byte-identical at any worker count.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let sum = Arc::new(AtomicUsize::new(0));
+//! dapc_exec::scope(|s| {
+//!     for i in 1..=10 {
+//!         let sum = Arc::clone(&sum);
+//!         s.spawn(move || {
+//!             sum.fetch_add(i, Ordering::Relaxed);
+//!         });
+//!     }
+//! });
+//! // `scope` returns only after every spawned task finished.
+//! assert_eq!(sum.load(Ordering::Relaxed), 55);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// One queued unit of work, tagged with the scope that owns it.
+struct Task {
+    group: Arc<Group>,
+    job: Box<dyn FnOnce() + Send + 'static>,
+}
+
+struct ExecState {
+    queue: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<ExecState>,
+    /// Signalled when a task is queued or the pool shuts down.
+    work: Condvar,
+    /// Worker threads owned by the pool.
+    workers: usize,
+}
+
+/// Per-scope bookkeeping: how many of the scope's tasks are still queued
+/// or running, and the first panic payload to re-raise at the scope exit.
+struct Group {
+    state: Mutex<GroupState>,
+    /// Signalled when `pending` drops to zero.
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct GroupState {
+    pending: usize,
+    payload: Option<Box<dyn Any + Send>>,
+}
+
+impl Group {
+    fn new() -> Self {
+        Group {
+            state: Mutex::new(GroupState::default()),
+            done: Condvar::new(),
+        }
+    }
+}
+
+thread_local! {
+    /// Pools whose tasks the current thread is executing, innermost last
+    /// (pool workers and inline helpers both push here around a task).
+    static TASK_POOL: RefCell<Vec<Arc<Shared>>> = const { RefCell::new(Vec::new()) };
+    /// Explicit [`with_executor`] overrides, innermost last.
+    static OVERRIDE: RefCell<Vec<Arc<Shared>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII pop for the thread-local pool stacks.
+struct StackGuard(&'static std::thread::LocalKey<RefCell<Vec<Arc<Shared>>>>);
+
+impl StackGuard {
+    fn push(
+        key: &'static std::thread::LocalKey<RefCell<Vec<Arc<Shared>>>>,
+        s: &Arc<Shared>,
+    ) -> Self {
+        key.with(|stack| stack.borrow_mut().push(Arc::clone(s)));
+        StackGuard(key)
+    }
+}
+
+impl Drop for StackGuard {
+    fn drop(&mut self) {
+        self.0.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// A fixed-size worker pool with scoped task groups.
+///
+/// Most code should not construct one: [`scope`] and [`current_workers`]
+/// resolve to the pool of the enclosing task (nested use), an explicit
+/// [`with_executor`] override, or the process-wide [`global`] pool, in
+/// that order. Building a private executor is for tests pinning a worker
+/// count (e.g. proving byte-identity under oversubscription) and for
+/// embedders that must isolate their pool.
+pub struct Executor {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns a pool with `workers` threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ExecState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dapc-exec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Runs `f` with a [`Scope`] bound to this pool, then blocks until
+    /// every task spawned on the scope has finished — helping inline with
+    /// the scope's own queued tasks while waiting.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic of the body or of any spawned task, but
+    /// only after every task of the scope has completed, so no work is
+    /// silently lost.
+    pub fn scope<T>(&self, f: impl FnOnce(&Scope<'_>) -> T) -> T {
+        scope_on(&self.shared, f)
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("executor lock");
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+/// A handle for spawning tasks into one task group (created by [`scope`]
+/// or [`Executor::scope`]). The owning `scope` call returns only after
+/// every task spawned here has finished.
+pub struct Scope<'a> {
+    shared: &'a Arc<Shared>,
+    group: Arc<Group>,
+}
+
+impl Scope<'_> {
+    /// Queues a task on the scope's pool.
+    ///
+    /// Tasks spawned from *inside* a pool task (a nested fan-out) go to
+    /// the front of the shared queue — they are finer-grained work an
+    /// enclosing task is waiting on; tasks spawned from outside go to the
+    /// back in FIFO order.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) {
+        {
+            let mut g = self.group.state.lock().expect("scope group lock");
+            g.pending += 1;
+        }
+        let nested = TASK_POOL.with(|stack| {
+            stack
+                .borrow()
+                .last()
+                .is_some_and(|s| Arc::ptr_eq(s, self.shared))
+        });
+        let task = Task {
+            group: Arc::clone(&self.group),
+            job: Box::new(f),
+        };
+        {
+            let mut st = self.shared.state.lock().expect("executor lock");
+            assert!(!st.shutdown, "spawn on a shut-down executor");
+            if nested {
+                st.queue.push_front(task);
+            } else {
+                st.queue.push_back(task);
+            }
+        }
+        self.shared.work.notify_one();
+    }
+
+    /// Worker threads of the pool this scope submits to.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+}
+
+/// Runs one task and settles its group bookkeeping. The pool is pushed
+/// onto the thread's task stack for the duration, so nested [`scope`]
+/// calls from inside the task land on the same pool — whether the task
+/// runs on a pool worker or inline in a helping scope owner.
+fn run_task(shared: &Arc<Shared>, task: Task) {
+    let outcome = {
+        let _ambient = StackGuard::push(&TASK_POOL, shared);
+        catch_unwind(AssertUnwindSafe(task.job))
+    };
+    let mut g = task.group.state.lock().expect("scope group lock");
+    g.pending -= 1;
+    if let Err(payload) = outcome {
+        g.payload.get_or_insert(payload);
+    }
+    let idle = g.pending == 0;
+    drop(g);
+    if idle {
+        task.group.done.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let task = {
+            let mut st = shared.state.lock().expect("executor lock");
+            loop {
+                if let Some(task) = st.queue.pop_front() {
+                    break task;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st).expect("executor lock");
+            }
+        };
+        run_task(shared, task);
+    }
+}
+
+/// The owner side of a scope: run the scope's own still-queued tasks
+/// inline, then wait for the ones running elsewhere. Tasks cannot be
+/// added to the group after the scope body returned (spawning needs the
+/// borrowed [`Scope`]), so "no queued task of ours and `pending > 0`"
+/// means every remaining task is mid-flight on another thread.
+fn help_until_done(shared: &Arc<Shared>, group: &Arc<Group>) {
+    loop {
+        let task = {
+            let mut st = shared.state.lock().expect("executor lock");
+            st.queue
+                .iter()
+                .position(|t| Arc::ptr_eq(&t.group, group))
+                .and_then(|i| st.queue.remove(i))
+        };
+        match task {
+            Some(task) => run_task(shared, task),
+            None => {
+                let g = group.state.lock().expect("scope group lock");
+                if g.pending == 0 {
+                    return;
+                }
+                let _g = group.done.wait(g).expect("scope group lock");
+            }
+        }
+    }
+}
+
+fn scope_on<T>(shared: &Arc<Shared>, f: impl FnOnce(&Scope<'_>) -> T) -> T {
+    let group = Arc::new(Group::new());
+    let s = Scope {
+        shared,
+        group: Arc::clone(&group),
+    };
+    let body = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    help_until_done(shared, &group);
+    let task_payload = group.state.lock().expect("scope group lock").payload.take();
+    match body {
+        // The body's own panic wins; either way every task has finished.
+        Err(payload) => resume_unwind(payload),
+        Ok(value) => match task_payload {
+            Some(payload) => resume_unwind(payload),
+            None => value,
+        },
+    }
+}
+
+static GLOBAL: OnceLock<Executor> = OnceLock::new();
+
+/// The process-wide executor, created on first use.
+///
+/// Sized to the host (`std::thread::available_parallelism`), overridable
+/// with the `DAPC_EXEC_WORKERS` environment variable *before* first use.
+pub fn global() -> &'static Executor {
+    GLOBAL.get_or_init(|| Executor::new(default_workers()))
+}
+
+fn default_workers() -> usize {
+    std::env::var("DAPC_EXEC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |c| c.get()))
+}
+
+fn current_shared() -> Arc<Shared> {
+    // The enclosing task's pool wins over a `with_executor` override:
+    // a nested fan-out must land on the pool its parent runs on, no
+    // matter whether the parent task executes on a pool worker (where no
+    // override is set) or inline in a helping scope owner (whose thread
+    // may hold an override for *entering* work, not for work passing
+    // through) — otherwise the same task would resolve differently
+    // depending on which thread happened to run it.
+    if let Some(s) = TASK_POOL.with(|stack| stack.borrow().last().cloned()) {
+        return s;
+    }
+    if let Some(s) = OVERRIDE.with(|stack| stack.borrow().last().cloned()) {
+        return s;
+    }
+    Arc::clone(&global().shared)
+}
+
+/// Runs `f` with a [`Scope`] on the ambient pool: the pool of the
+/// enclosing task when called from inside one (so nested fan-outs share
+/// their parent's pool instead of spawning a child pool), an enclosing
+/// [`with_executor`] override, or the [`global`] pool.
+///
+/// Blocks until every spawned task finished; panics are propagated like
+/// [`Executor::scope`].
+pub fn scope<T>(f: impl FnOnce(&Scope<'_>) -> T) -> T {
+    let shared = current_shared();
+    scope_on(&shared, f)
+}
+
+/// Worker-thread count of the pool [`scope`] would currently submit to.
+pub fn current_workers() -> usize {
+    current_shared().workers
+}
+
+/// Runs `f` with `exec` installed as the calling thread's ambient pool:
+/// [`scope`] calls inside `f` (not inside tasks spawned by them — those
+/// follow their own pool) submit to `exec` instead of the global pool.
+/// Mainly for tests pinning a worker count.
+pub fn with_executor<T>(exec: &Executor, f: impl FnOnce() -> T) -> T {
+    let _guard = StackGuard::push(&OVERRIDE, &exec.shared);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_task() {
+        let exec = Executor::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        exec.scope(|s| {
+            for _ in 0..100 {
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scope_returns_the_body_value() {
+        let exec = Executor::new(2);
+        let out = exec.scope(|s| {
+            s.spawn(|| {});
+            7usize
+        });
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn nested_scopes_share_the_pool() {
+        // Tasks open their own scopes; everything resolves onto the one
+        // 2-worker pool (depth-first via the queue front + owner help).
+        let exec = Executor::new(2);
+        let sum = Arc::new(AtomicUsize::new(0));
+        exec.scope(|s| {
+            for _ in 0..4 {
+                let sum = Arc::clone(&sum);
+                s.spawn(move || {
+                    assert_eq!(current_workers(), 2, "nested scope left the pool");
+                    scope(|inner| {
+                        for _ in 0..8 {
+                            let sum = Arc::clone(&sum);
+                            inner.spawn(move || {
+                                sum.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn deep_nesting_on_one_worker_terminates() {
+        // The no-deadlock guarantee at the smallest pool: a 1-worker pool
+        // with three levels of nested scopes still completes, because
+        // every scope owner helps with its own tasks inline.
+        let exec = Executor::new(1);
+        let sum = Arc::new(AtomicUsize::new(0));
+        exec.scope(|s| {
+            for _ in 0..3 {
+                let sum = Arc::clone(&sum);
+                s.spawn(move || {
+                    scope(|mid| {
+                        for _ in 0..3 {
+                            let sum = Arc::clone(&sum);
+                            mid.spawn(move || {
+                                scope(|inner| {
+                                    for _ in 0..3 {
+                                        let sum = Arc::clone(&sum);
+                                        inner.spawn(move || {
+                                            sum.fetch_add(1, Ordering::Relaxed);
+                                        });
+                                    }
+                                });
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 27);
+    }
+
+    #[test]
+    fn owner_helps_while_workers_are_blocked() {
+        // Block the only worker, then prove an unrelated scope still
+        // completes: the run-inline fallback in action.
+        let exec = Executor::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let entered = Arc::new((Mutex::new(false), Condvar::new()));
+        std::thread::scope(|threads| {
+            let blocker_gate = Arc::clone(&gate);
+            let blocker_entered = Arc::clone(&entered);
+            let exec_ref = &exec;
+            threads.spawn(move || {
+                exec_ref.scope(|s| {
+                    s.spawn(move || {
+                        {
+                            let (lock, cv) = &*blocker_entered;
+                            *lock.lock().unwrap() = true;
+                            cv.notify_all();
+                        }
+                        let (lock, cv) = &*blocker_gate;
+                        let mut open = lock.lock().unwrap();
+                        while !*open {
+                            open = cv.wait(open).unwrap();
+                        }
+                    });
+                });
+            });
+            {
+                // Wait until the worker is provably inside the blocker.
+                let (lock, cv) = &*entered;
+                let mut seen = lock.lock().unwrap();
+                while !*seen {
+                    seen = cv.wait(seen).unwrap();
+                }
+            }
+            let counter = Arc::new(AtomicUsize::new(0));
+            exec.scope(|s| {
+                for _ in 0..5 {
+                    let counter = Arc::clone(&counter);
+                    s.spawn(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 5);
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        });
+    }
+
+    #[test]
+    fn inline_helped_tasks_keep_their_pool_despite_an_override() {
+        // Block pool `b`'s only worker so the scope owner must run the
+        // task inline — on a thread holding a `with_executor(&a, ...)`
+        // override. The task's nested resolution must still see `b`
+        // (its own pool), not the override: the enclosing task's pool
+        // wins wherever the task happens to execute.
+        let a = Executor::new(3);
+        let b = Executor::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let entered = Arc::new((Mutex::new(false), Condvar::new()));
+        std::thread::scope(|threads| {
+            let blocker_gate = Arc::clone(&gate);
+            let blocker_entered = Arc::clone(&entered);
+            let b_ref = &b;
+            threads.spawn(move || {
+                b_ref.scope(|s| {
+                    s.spawn(move || {
+                        {
+                            let (lock, cv) = &*blocker_entered;
+                            *lock.lock().unwrap() = true;
+                            cv.notify_all();
+                        }
+                        let (lock, cv) = &*blocker_gate;
+                        let mut open = lock.lock().unwrap();
+                        while !*open {
+                            open = cv.wait(open).unwrap();
+                        }
+                    });
+                });
+            });
+            {
+                let (lock, cv) = &*entered;
+                let mut seen = lock.lock().unwrap();
+                while !*seen {
+                    seen = cv.wait(seen).unwrap();
+                }
+            }
+            let observed = Arc::new(AtomicUsize::new(0));
+            let report = Arc::clone(&observed);
+            with_executor(&a, || {
+                b.scope(|s| {
+                    s.spawn(move || {
+                        report.store(current_workers(), Ordering::Relaxed);
+                    });
+                });
+            });
+            assert_eq!(
+                observed.load(Ordering::Relaxed),
+                1,
+                "the inline-helped task resolved to the override pool"
+            );
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "task boom")]
+    fn task_panics_propagate_to_the_scope_owner() {
+        let exec = Executor::new(2);
+        exec.scope(|s| {
+            s.spawn(|| panic!("task boom"));
+        });
+    }
+
+    #[test]
+    fn panic_still_waits_for_sibling_tasks() {
+        let exec = Executor::new(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let observed = Arc::clone(&finished);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec.scope(|s| {
+                s.spawn(|| panic!("first"));
+                for _ in 0..10 {
+                    let finished = Arc::clone(&finished);
+                    s.spawn(move || {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "the panic must surface");
+        assert_eq!(
+            observed.load(Ordering::Relaxed),
+            10,
+            "siblings finish before the panic is re-raised"
+        );
+    }
+
+    #[test]
+    fn with_executor_overrides_the_global_pool() {
+        let exec = Executor::new(3);
+        let (inside, outside) = (with_executor(&exec, current_workers), global().workers());
+        assert_eq!(inside, 3);
+        // The override is scoped: back outside we see the global pool.
+        assert_eq!(current_workers(), outside);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let exec = Executor::new(0);
+        assert_eq!(exec.workers(), 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let observe = Arc::clone(&ran);
+        exec.scope(|s| {
+            s.spawn(move || {
+                observe.store(9, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 9);
+    }
+}

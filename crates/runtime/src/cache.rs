@@ -4,6 +4,7 @@
 use dapc_core::engine::SharedSubsetCache;
 use dapc_ilp::{IlpInstance, SolverBudget};
 use std::collections::HashMap;
+use std::io;
 use std::sync::{Arc, Mutex};
 
 /// Hoists the `dapc_core::prep` subset-solve memoisation from per-run to
@@ -56,6 +57,41 @@ impl PrepCache {
                 None => SharedSubsetCache::new(),
             })
             .clone()
+    }
+
+    /// Persists one family's memoised subset solves in the
+    /// `SharedSubsetCache` warm-start format (stable 128-bit subset
+    /// digests, so snapshots are valid across runs and platforms).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn save_family<W: io::Write>(
+        &self,
+        ilp: &IlpInstance,
+        budget: &SolverBudget,
+        w: W,
+    ) -> io::Result<()> {
+        self.family(ilp, budget).save_to(w)
+    }
+
+    /// Warm-starts one family from a snapshot written by
+    /// [`PrepCache::save_family`] (or `SharedSubsetCache::save_to`),
+    /// returning the number of entries loaded. Warm entries turn the
+    /// family's cold misses into hits — counters and work change, reports
+    /// never do.
+    ///
+    /// # Errors
+    ///
+    /// Fails like `SharedSubsetCache::load_into` on a bad or truncated
+    /// snapshot.
+    pub fn warm_family<R: io::Read>(
+        &self,
+        ilp: &IlpInstance,
+        budget: &SolverBudget,
+        r: R,
+    ) -> io::Result<usize> {
+        self.family(ilp, budget).load_into(r)
     }
 
     /// Aggregate counters across every family.

@@ -1,11 +1,14 @@
 //! # dapc-runtime
 //!
-//! The parallel batch-solve subsystem: sweep whole corpora of
-//! `(instance × backend × ε × seed)` jobs across a fixed-size worker pool
-//! (the vendored `threadpool` crate) with per-instance-family prep
-//! caching, and get back the aggregation the experiment tables need.
+//! The parallel batch-solve subsystem: stream whole corpora of
+//! `(instance × backend × ε × seed)` jobs across the process-wide
+//! `dapc_exec` executor with per-instance-family prep caching, and get
+//! back the aggregation the experiment tables need — either with the full
+//! per-job result vector ([`solve_many`] → [`BatchReport`]) or purely
+//! online ([`solve_many_streaming`] → [`StreamReport`] plus an
+//! `on_result` hook), for corpora that do not fit one process.
 //!
-//! Three guarantees shape the design:
+//! Four guarantees shape the design:
 //!
 //! 1. **Order-independence.** Every job derives its `StdRng` from its own
 //!    [`JobKey`], so results are byte-identical to sequential execution at
@@ -15,10 +18,16 @@
 //!    reports with the cache on and off are equal, the cache only skips
 //!    repeated local computation (the memoised-subproblem-reuse idea of
 //!    Chekuri & Quanrud 2018 applied across runs).
-//! 3. **One instance model, pluggable strategies.** Jobs go through the
+//! 3. **One pool, graceful nesting.** Across-corpus fan-out (`jobs`) and
+//!    intra-solve prep sharding (`prep_workers`) both run on the shared
+//!    executor, so oversubscribed `jobs × prep_workers` combinations
+//!    queue instead of spawning threads; a [`BatchAggregator`] behind a
+//!    bounded reorder buffer restores canonical delivery order (the
+//!    streaming-computation framing of Koufogiannakis & Young 2011
+//!    applied to the sweep itself).
+//! 4. **One instance model, pluggable strategies.** Jobs go through the
 //!    `dapc_core::engine` registry, so any registered backend — current or
-//!    future — batches without new code here (Koufogiannakis & Young
-//!    2011's framing).
+//!    future — batches without new code here.
 //!
 //! # Examples
 //!
@@ -61,5 +70,10 @@ mod run;
 
 pub use cache::{CacheStats, PrepCache};
 pub use corpus::{Corpus, CorpusBuilder, Job, JobKey};
-pub use report::{BackendSummary, BatchReport, GroupSummary, JobResult};
-pub use run::{solve_many, solve_many_with_cache, RuntimeConfig};
+pub use report::{
+    BackendSummary, BatchAggregator, BatchReport, GroupSummary, JobResult, StreamReport,
+};
+pub use run::{
+    solve_many, solve_many_streaming, solve_many_streaming_with_cache, solve_many_with_cache,
+    RuntimeConfig,
+};

@@ -1,11 +1,20 @@
 //! Batch results: per-job reports plus the per-group and per-backend
 //! aggregation that used to be hand-rolled in `dapc-bench`.
+//!
+//! Aggregation is *online* since the streaming refactor: a
+//! [`BatchAggregator`] consumes [`JobResult`]s one at a time in the
+//! corpus's canonical order and folds the per-`(instance, backend, ε)`
+//! and per-backend summaries incrementally, so
+//! [`crate::solve_many_streaming`] never has to hold the full result
+//! vector — [`crate::solve_many`] is a thin wrapper that still collects
+//! one.
 
 use crate::cache::CacheStats;
 use crate::corpus::JobKey;
 use dapc_core::engine::SolveReport;
 use dapc_ilp::Sense;
 use dapc_local::RoundCost;
+use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 /// One job's outcome: its key, the engine report, and how long the job
@@ -26,7 +35,7 @@ pub struct JobResult {
 }
 
 /// Aggregation over the seed sweep of one `(instance, backend, ε)` cell.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GroupSummary {
     /// Instance name.
     pub instance: String,
@@ -79,7 +88,7 @@ impl GroupSummary {
 }
 
 /// Roll-up of every group of one backend.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BackendSummary {
     /// Backend registry key.
     pub backend: String,
@@ -111,7 +120,8 @@ pub struct BatchReport {
     pub backends: Vec<BackendSummary>,
     /// Aggregate prep-cache counters for the run.
     pub cache: CacheStats,
-    /// Worker threads used.
+    /// Concurrent jobs (pump tasks) the batch actually ran with:
+    /// `min(RuntimeConfig::jobs, corpus length)`.
     pub workers: usize,
     /// End-to-end wall-clock time of the batch.
     pub wall: Duration,
@@ -179,57 +189,140 @@ impl BatchReport {
         ));
         out
     }
+}
 
-    pub(crate) fn summarise(
-        results: &[JobResult],
-        optima: impl Fn(&str) -> Option<(u64, bool)>,
-    ) -> (Vec<GroupSummary>, Vec<BackendSummary>) {
-        let mut groups: Vec<GroupSummary> = Vec::new();
-        for r in results {
-            let cell = (&r.key.instance, &r.key.backend, r.key.eps.to_bits());
-            let matches = |g: &GroupSummary| (&g.instance, &g.backend, g.eps.to_bits()) == cell;
-            if !groups.last().is_some_and(matches) {
-                let (opt, opt_exact) = match optima(&r.key.instance) {
-                    Some((o, e)) => (Some(o), e),
-                    None => (None, false),
-                };
-                groups.push(GroupSummary {
-                    instance: r.key.instance.clone(),
-                    backend: r.key.backend.clone(),
-                    eps: r.key.eps,
-                    sense: r.report.sense,
-                    vars: r.report.assignment.len(),
-                    jobs: 0,
-                    feasible: true,
-                    opt,
-                    opt_exact,
-                    min_value: u64::MAX,
-                    max_value: 0,
-                    mean_value: 0.0,
-                    min_ratio: None,
-                    max_ratio: None,
-                    mean_ratio: None,
-                    rounds_last: 0,
-                    mean_rounds: 0.0,
-                    micros: 0,
-                });
-            }
-            let g = groups.last_mut().expect("group just ensured");
-            g.jobs += 1;
-            g.feasible &= r.report.feasible();
-            g.min_value = g.min_value.min(r.report.value);
-            g.max_value = g.max_value.max(r.report.value);
-            g.mean_value += r.report.value as f64;
-            if let Some(opt) = g.opt {
-                let ratio = r.report.value as f64 / opt.max(1) as f64;
-                g.min_ratio = Some(g.min_ratio.map_or(ratio, |m: f64| m.min(ratio)));
-                g.max_ratio = Some(g.max_ratio.map_or(ratio, |m: f64| m.max(ratio)));
-                g.mean_ratio = Some(g.mean_ratio.unwrap_or(0.0) + ratio);
-            }
-            g.rounds_last = r.report.rounds();
-            g.mean_rounds += r.report.rounds() as f64;
-            g.micros += r.micros;
+/// Everything [`crate::solve_many_streaming`] returns: the aggregation of
+/// a batch *without* its per-job result vector — jobs were handed to the
+/// `on_result` hook in canonical order and dropped, so a corpus no longer
+/// has to fit its full report vector in memory.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// Number of jobs solved (and delivered to the hook).
+    pub jobs: usize,
+    /// One summary per `(instance, backend, ε)` cell, in job order.
+    pub groups: Vec<GroupSummary>,
+    /// One roll-up per backend, in corpus backend order.
+    pub backends: Vec<BackendSummary>,
+    /// Aggregate prep-cache counters for the run.
+    pub cache: CacheStats,
+    /// Concurrent jobs (pump tasks) the batch actually ran with:
+    /// `min(RuntimeConfig::jobs, corpus length)`.
+    pub workers: usize,
+    /// High-water mark of the reorder buffer: the most out-of-order
+    /// results parked at once while waiting for an earlier job. Bounded
+    /// by the runtime's reorder capacity; `0` on the sequential path.
+    pub peak_buffered: usize,
+    /// End-to-end wall-clock time of the batch.
+    pub wall: Duration,
+}
+
+/// Online aggregation of [`JobResult`]s in canonical corpus order: the
+/// incremental form of the summary tables [`BatchReport`] carries.
+///
+/// Feed every result exactly once via [`BatchAggregator::push`] —
+/// **in canonical order** (the order [`crate::Corpus::jobs`] defines;
+/// [`crate::solve_many_streaming`]'s reorder buffer guarantees it) — then
+/// call [`BatchAggregator::finish`]. Because each cell's reference
+/// optimum is fixed up front, every per-job fold matches the legacy
+/// collect-then-aggregate arithmetic bit for bit.
+#[derive(Debug, Default)]
+pub struct BatchAggregator {
+    optima: HashMap<String, (u64, bool)>,
+    groups: Vec<GroupSummary>,
+    /// Cells already opened, for the out-of-order guard — a set lookup
+    /// per new cell, so huge streamed corpora stay O(cells), not
+    /// O(cells²).
+    seen_cells: HashSet<(String, String, u64)>,
+    jobs: usize,
+}
+
+impl BatchAggregator {
+    /// An aggregator with no reference optima (all ratio columns stay
+    /// `None`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An aggregator with per-instance reference optima
+    /// (`name → (optimum, proven exact)`), enabling the ratio columns.
+    pub fn with_optima(optima: HashMap<String, (u64, bool)>) -> Self {
+        BatchAggregator {
+            optima,
+            ..Self::default()
         }
+    }
+
+    /// Results consumed so far.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Folds one result into its `(instance, backend, ε)` group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` re-opens a cell that was already closed — the
+    /// telltale of out-of-order delivery.
+    pub fn push(&mut self, r: &JobResult) {
+        self.jobs += 1;
+        let cell = (&r.key.instance, &r.key.backend, r.key.eps.to_bits());
+        let matches = |g: &GroupSummary| (&g.instance, &g.backend, g.eps.to_bits()) == cell;
+        if !self.groups.last().is_some_and(matches) {
+            assert!(
+                self.seen_cells.insert((
+                    r.key.instance.clone(),
+                    r.key.backend.clone(),
+                    r.key.eps.to_bits()
+                )),
+                "result for {} delivered out of canonical order",
+                r.key
+            );
+            let (opt, opt_exact) = match self.optima.get(&r.key.instance) {
+                Some(&(o, e)) => (Some(o), e),
+                None => (None, false),
+            };
+            self.groups.push(GroupSummary {
+                instance: r.key.instance.clone(),
+                backend: r.key.backend.clone(),
+                eps: r.key.eps,
+                sense: r.report.sense,
+                vars: r.report.assignment.len(),
+                jobs: 0,
+                feasible: true,
+                opt,
+                opt_exact,
+                min_value: u64::MAX,
+                max_value: 0,
+                mean_value: 0.0,
+                min_ratio: None,
+                max_ratio: None,
+                mean_ratio: None,
+                rounds_last: 0,
+                mean_rounds: 0.0,
+                micros: 0,
+            });
+        }
+        let g = self.groups.last_mut().expect("group just ensured");
+        g.jobs += 1;
+        g.feasible &= r.report.feasible();
+        g.min_value = g.min_value.min(r.report.value);
+        g.max_value = g.max_value.max(r.report.value);
+        g.mean_value += r.report.value as f64;
+        if let Some(opt) = g.opt {
+            let ratio = r.report.value as f64 / opt.max(1) as f64;
+            g.min_ratio = Some(g.min_ratio.map_or(ratio, |m: f64| m.min(ratio)));
+            g.max_ratio = Some(g.max_ratio.map_or(ratio, |m: f64| m.max(ratio)));
+            g.mean_ratio = Some(g.mean_ratio.unwrap_or(0.0) + ratio);
+        }
+        g.rounds_last = r.report.rounds();
+        g.mean_rounds += r.report.rounds() as f64;
+        g.micros += r.micros;
+    }
+
+    /// Finalises the running sums into means and rolls the groups up per
+    /// backend.
+    pub fn finish(self) -> (Vec<GroupSummary>, Vec<BackendSummary>) {
+        let mut groups = self.groups;
         for g in &mut groups {
             let jobs = g.jobs as f64;
             g.mean_value /= jobs;

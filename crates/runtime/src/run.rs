@@ -1,20 +1,38 @@
-//! The batch driver: fan a corpus out across a worker pool.
+//! The batch driver: stream a corpus through the process-wide executor.
+//!
+//! [`solve_many_streaming`] is the core pipeline: `min(jobs, |corpus|)`
+//! pump tasks on the shared `dapc_exec` pool claim jobs from an atomic
+//! cursor, and finished results flow through a **bounded reorder buffer**
+//! that restores the corpus's canonical order before feeding an online
+//! [`BatchAggregator`] and the caller's `on_result` hook — so a corpus
+//! never has to fit its full report vector in one process.
+//! [`solve_many`] is a thin wrapper that collects the per-job results
+//! into the familiar [`BatchReport`].
+//!
+//! When a job's own preparation step shards (`prep_workers > 1`), its
+//! subset solves are submitted to the *same* executor pool the job runs
+//! on — never a child pool — so `jobs × prep_workers` beyond the pool
+//! size degrades into queueing (with the scope owner helping inline)
+//! instead of oversubscribing the machine.
 
 use crate::cache::PrepCache;
 use crate::corpus::{Corpus, Job};
-use crate::report::{BatchReport, JobResult};
+use crate::report::{BatchAggregator, BatchReport, JobResult, StreamReport};
 use dapc_core::engine;
 use dapc_core::prep::SubsetSolver;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
-use threadpool::ThreadPool;
 
 /// How a batch is executed. Orthogonal to *what* is solved: no
 /// [`RuntimeConfig`] choice changes any job's `(key, report)` outcome.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RuntimeConfig {
-    /// Worker threads (default 1 = run jobs inline on the caller).
+    /// Maximum concurrently running jobs (default 1 = run jobs inline on
+    /// the caller). Above 1, that many pump tasks share the process-wide
+    /// `dapc_exec` pool — no private pool is spawned.
     pub jobs: usize,
     /// Whether to share prep caches across jobs of one instance family
     /// (default `true`).
@@ -22,14 +40,14 @@ pub struct RuntimeConfig {
     /// Whether to compute a reference optimum per instance so the report
     /// can aggregate approximation ratios (default `true`).
     pub reference_optima: bool,
-    /// Worker threads for the preparation step *inside each job*.
+    /// Concurrency cap for the preparation step *inside each job*.
     /// Orthogonal to `jobs`: `jobs` parallelises across the corpus,
-    /// `prep_workers` shards one large instance's exact subset solves.
-    /// Values above 1 override each job's `SolveConfig::prep_workers`;
-    /// the default (1) leaves whatever the corpus's `base_config` set.
-    /// Like every other runtime knob it never changes a job's
-    /// `(key, report)` outcome — preparation output is byte-identical at
-    /// any worker count.
+    /// `prep_workers` shards one large instance's exact subset solves —
+    /// both on the same shared executor. Values above 1 override each
+    /// job's `SolveConfig::prep_workers`; the default (1) leaves whatever
+    /// the corpus's `base_config` set. Like every other runtime knob it
+    /// never changes a job's `(key, report)` outcome — preparation output
+    /// is byte-identical at any worker count.
     pub prep_workers: usize,
 }
 
@@ -51,7 +69,7 @@ impl RuntimeConfig {
         Self::default()
     }
 
-    /// Sets the worker count (clamped to at least 1 at execution).
+    /// Sets the concurrent-job cap (clamped to at least 1 at execution).
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
         self
@@ -70,10 +88,10 @@ impl RuntimeConfig {
         self
     }
 
-    /// Shards each job's preparation step across `workers` threads
-    /// (clamped to at least 1 at execution). Most useful for corpora of
-    /// few, large instances, where across-job parallelism alone cannot
-    /// fill the machine.
+    /// Shards each job's preparation step across up to `workers`
+    /// executor slots (clamped to at least 1 at execution). Most useful
+    /// for corpora of few, large instances, where across-job parallelism
+    /// alone cannot fill the machine.
     pub fn prep_workers(mut self, workers: usize) -> Self {
         self.prep_workers = workers;
         self
@@ -92,70 +110,343 @@ pub fn solve_many(corpus: &Corpus, rt: &RuntimeConfig) -> BatchReport {
 
 /// [`solve_many`] against a caller-owned [`PrepCache`], so the memo stays
 /// warm across successive batches over the same instance families.
+///
+/// A thin wrapper over [`solve_many_streaming_with_cache`] whose
+/// `on_result` hook collects every job into the returned
+/// [`BatchReport`]'s result vector.
 pub fn solve_many_with_cache(
     corpus: &Corpus,
     rt: &RuntimeConfig,
     cache: &PrepCache,
 ) -> BatchReport {
-    let start = Instant::now();
-    let jobs = corpus.jobs();
-    let workers = rt.jobs.max(1);
-    let use_cache = rt.prep_cache;
-
-    let prep_workers = rt.prep_workers.max(1);
-
-    let results: Vec<JobResult> = if workers == 1 {
-        jobs.into_iter()
-            .map(|job| run_job(job, use_cache, cache, prep_workers))
-            .collect()
-    } else {
-        let pool = ThreadPool::new(workers);
-        let slots: Arc<Mutex<Vec<Option<JobResult>>>> =
-            Arc::new(Mutex::new((0..jobs.len()).map(|_| None).collect()));
-        for job in jobs {
-            let slots = Arc::clone(&slots);
-            let cache = cache.clone();
-            pool.execute(move || {
-                let index = job.index;
-                let result = run_job(job, use_cache, &cache, prep_workers);
-                slots.lock().expect("result slots")[index] = Some(result);
-            });
-        }
-        pool.join();
-        Arc::try_unwrap(slots)
-            .expect("pool joined, no worker holds the slots")
-            .into_inner()
-            .expect("result slots")
-            .into_iter()
-            .map(|slot| slot.expect("every job filled its slot"))
-            .collect()
-    };
-
-    // Reference optima, one exact solve per instance. Routed through the
-    // family cache so a batch that already ran `bnb` gets them for free.
-    let mut optima: HashMap<String, (u64, bool)> = HashMap::new();
-    if rt.reference_optima {
-        for inst in &corpus.instances {
-            let full = vec![true; inst.ilp.n()];
-            let budget = corpus.base.budget;
-            let mut solver = if use_cache {
-                SubsetSolver::with_shared(&inst.ilp, budget, cache.family(&inst.ilp, &budget))
-            } else {
-                SubsetSolver::new(&inst.ilp, budget)
-            };
-            let (opt, _, exact) = solver.solve_mask(&full, None);
-            optima.insert(inst.name.clone(), (opt, exact));
-        }
-    }
-
-    let (groups, backends) = BatchReport::summarise(&results, |name| optima.get(name).copied());
+    let results = Arc::new(Mutex::new(Vec::with_capacity(corpus.len())));
+    let sink = Arc::clone(&results);
+    let stream = solve_many_streaming_with_cache(corpus, rt, cache, move |r: JobResult| {
+        sink.lock().expect("batch result sink").push(r);
+    });
+    let results = Arc::try_unwrap(results)
+        .expect("streaming returned, the hook was dropped")
+        .into_inner()
+        .expect("batch result sink");
     BatchReport {
         results,
+        groups: stream.groups,
+        backends: stream.backends,
+        cache: stream.cache,
+        workers: stream.workers,
+        wall: stream.wall,
+    }
+}
+
+/// Streams every job of `corpus` through `on_result` with a fresh
+/// [`PrepCache`], keeping only the online aggregation in memory.
+///
+/// The hook receives each [`JobResult`] by value exactly once, **in the
+/// corpus's canonical order** (a bounded reorder buffer restores it
+/// under parallel execution); nothing is retained after the call, so
+/// memory stays proportional to the reorder window, not the corpus. The
+/// hook runs on whichever thread finished the delivering job, one call
+/// at a time. A panicking job (or hook) fails the batch — the panic is
+/// re-raised on the caller after every in-flight job winds down.
+///
+/// Every `(key, report)` the hook sees is byte-identical to what
+/// sequential execution produces, at any `jobs`/`prep_workers` setting.
+///
+/// # Examples
+///
+/// ```
+/// use dapc_graph::gen;
+/// use dapc_ilp::problems;
+/// use dapc_runtime::{solve_many_streaming, Corpus, RuntimeConfig};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let corpus = Corpus::builder()
+///     .instance(
+///         "MIS/cycle16",
+///         problems::max_independent_set_unweighted(&gen::cycle(16)),
+///     )
+///     .backend("three-phase")
+///     .eps(0.3)
+///     .seeds(0..4)
+///     .build();
+/// // Stream at 4 concurrent jobs; count feasible seeds without ever
+/// // holding the per-job reports.
+/// let feasible = Arc::new(AtomicUsize::new(0));
+/// let seen = Arc::clone(&feasible);
+/// let stream = solve_many_streaming(&corpus, &RuntimeConfig::new().jobs(4), move |r| {
+///     if r.report.feasible() {
+///         seen.fetch_add(1, Ordering::Relaxed);
+///     }
+/// });
+/// assert_eq!(stream.jobs, 4);
+/// assert_eq!(feasible.load(Ordering::Relaxed), 4);
+/// // The aggregation still came back — without the result vector.
+/// assert_eq!(stream.groups.len(), 1);
+/// assert!(stream.groups[0].meets_guarantee());
+/// ```
+pub fn solve_many_streaming<F>(corpus: &Corpus, rt: &RuntimeConfig, on_result: F) -> StreamReport
+where
+    F: FnMut(JobResult) + Send + 'static,
+{
+    solve_many_streaming_with_cache(corpus, rt, &PrepCache::new(), on_result)
+}
+
+/// [`solve_many_streaming`] against a caller-owned [`PrepCache`].
+pub fn solve_many_streaming_with_cache<F>(
+    corpus: &Corpus,
+    rt: &RuntimeConfig,
+    cache: &PrepCache,
+    on_result: F,
+) -> StreamReport
+where
+    F: FnMut(JobResult) + Send + 'static,
+{
+    let start = Instant::now();
+    let jobs = corpus.jobs();
+    let n = jobs.len();
+    let workers = rt.jobs.max(1);
+    let use_cache = rt.prep_cache;
+    let prep_workers = rt.prep_workers.max(1);
+
+    // Reference optima come first: the online aggregator folds each
+    // job's ratio as it is delivered, which needs the cell's optimum up
+    // front. The lookups route through the family cache exactly like job
+    // lookups, so for an unbounded cache the hit/miss totals match the
+    // legacy collect-then-aggregate path (which solved them last) — only
+    // the order of the counter events moves.
+    let optima = if rt.reference_optima {
+        reference_optima(corpus, use_cache, cache)
+    } else {
+        HashMap::new()
+    };
+    let aggregator = BatchAggregator::with_optima(optima);
+
+    let pumps = workers.min(n).max(1);
+    let (aggregator, peak_buffered) = if pumps == 1 {
+        let mut aggregator = aggregator;
+        let mut on_result = on_result;
+        for job in jobs {
+            let result = run_job(job, use_cache, cache, prep_workers);
+            aggregator.push(&result);
+            on_result(result);
+        }
+        (aggregator, 0)
+    } else {
+        let delivery = Arc::new(Delivery::new(
+            aggregator,
+            on_result,
+            reorder_capacity(pumps),
+        ));
+        let jobs = Arc::new(jobs);
+        let cursor = Arc::new(AtomicUsize::new(0));
+        dapc_exec::scope(|s| {
+            for _ in 0..pumps {
+                let delivery = Arc::clone(&delivery);
+                let jobs = Arc::clone(&jobs);
+                let cursor = Arc::clone(&cursor);
+                let cache = cache.clone();
+                s.spawn(move || {
+                    loop {
+                        if delivery.is_poisoned() {
+                            break;
+                        }
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(index) else {
+                            break;
+                        };
+                        let job = job.clone();
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            run_job(job, use_cache, &cache, prep_workers)
+                        })) {
+                            Ok(result) => delivery.submit(index, result),
+                            Err(payload) => {
+                                // A job died: its index will never be
+                                // delivered, so in-order delivery can no
+                                // longer advance. Poison the pipeline so
+                                // every pump (parked or not) winds down,
+                                // then let the scope re-raise the panic.
+                                delivery.poison();
+                                resume_unwind(payload);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        Arc::try_unwrap(delivery)
+            .ok()
+            .expect("scope joined, no pump holds the delivery")
+            .into_parts()
+    };
+
+    let (groups, backends) = aggregator.finish();
+    StreamReport {
+        jobs: n,
         groups,
         backends,
         cache: cache.stats(),
-        workers,
+        workers: pumps,
+        peak_buffered,
         wall: start.elapsed(),
+    }
+}
+
+/// Reference optima, one exact solve per instance, routed through the
+/// family cache so a batch that already ran `bnb` gets them for free.
+fn reference_optima(
+    corpus: &Corpus,
+    use_cache: bool,
+    cache: &PrepCache,
+) -> HashMap<String, (u64, bool)> {
+    let mut optima = HashMap::new();
+    for inst in &corpus.instances {
+        let full = vec![true; inst.ilp.n()];
+        let budget = corpus.base.budget;
+        let mut solver = if use_cache {
+            SubsetSolver::with_shared(&inst.ilp, budget, cache.family(&inst.ilp, &budget))
+        } else {
+            SubsetSolver::new(&inst.ilp, budget)
+        };
+        let (opt, _, exact) = solver.solve_mask(&full, None);
+        optima.insert(inst.name.clone(), (opt, exact));
+    }
+    optima
+}
+
+/// How many out-of-order results may be parked at once: enough that the
+/// pumps rarely stall, small enough that streaming memory stays
+/// proportional to the worker count, never the corpus.
+fn reorder_capacity(pumps: usize) -> usize {
+    (2 * pumps).max(16)
+}
+
+/// The in-order delivery stage: a bounded reorder buffer in front of the
+/// aggregator and the caller's hook.
+///
+/// `submit` never blocks for the next-expected index, and a blocked
+/// submitter holds no executor resources besides its pump slot; since
+/// pumps claim job indices in increasing order, the pump owning the
+/// next-expected job is never the one blocked — so the pipeline cannot
+/// deadlock, at any pool size.
+///
+/// When a job panics its index can never be delivered, so the pump
+/// [`Delivery::poison`]s the pipeline first: parked submitters wake and
+/// bail out, the other pumps stop claiming, and the executor scope
+/// re-raises the original panic — a dead job fails the batch instead of
+/// hanging it.
+struct Delivery<F> {
+    state: Mutex<DeliveryState<F>>,
+    /// Signalled whenever in-order delivery advances (or the pipeline is
+    /// poisoned).
+    advanced: Condvar,
+    capacity: usize,
+}
+
+struct DeliveryState<F> {
+    /// Index the canonical order expects next.
+    next: usize,
+    /// Finished results waiting for an earlier job, keyed by job index.
+    parked: BTreeMap<usize, JobResult>,
+    peak: usize,
+    /// A job panicked: in-order delivery can never complete, results are
+    /// discarded and every pump winds down.
+    poisoned: bool,
+    aggregator: BatchAggregator,
+    on_result: F,
+}
+
+impl<F: FnMut(JobResult)> Delivery<F> {
+    fn new(aggregator: BatchAggregator, on_result: F, capacity: usize) -> Self {
+        Delivery {
+            state: Mutex::new(DeliveryState {
+                next: 0,
+                parked: BTreeMap::new(),
+                peak: 0,
+                poisoned: false,
+                aggregator,
+                on_result,
+            }),
+            advanced: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Hands the finished `result` of job `index` over: delivered
+    /// immediately when it is the next expected (draining any parked
+    /// successors), parked while there is room, otherwise the submitter
+    /// waits for the in-order frontier to advance. On a poisoned
+    /// pipeline the result is discarded and the call returns at once.
+    fn submit(&self, index: usize, result: JobResult) {
+        let mut st = self.state.lock().expect("delivery lock");
+        let mut slot = Some(result);
+        loop {
+            if st.poisoned {
+                return;
+            }
+            if index == st.next {
+                let result = slot.take().expect("result still in hand");
+                // The aggregator or the caller's hook may panic; that
+                // still has to poison the pipeline (and wake parked
+                // submitters) or the batch would hang instead of
+                // failing. Catching here also keeps the mutex itself
+                // unpoisoned, so the wound-down pumps exit cleanly.
+                let delivered = catch_unwind(AssertUnwindSafe(|| {
+                    st.emit(result);
+                    loop {
+                        let next = st.next;
+                        match st.parked.remove(&next) {
+                            Some(parked) => st.emit(parked),
+                            None => break,
+                        }
+                    }
+                }));
+                if let Err(payload) = delivered {
+                    st.poisoned = true;
+                    drop(st);
+                    self.advanced.notify_all();
+                    resume_unwind(payload);
+                }
+                drop(st);
+                self.advanced.notify_all();
+                return;
+            }
+            if st.parked.len() < self.capacity {
+                st.parked
+                    .insert(index, slot.take().expect("result still in hand"));
+                st.peak = st.peak.max(st.parked.len());
+                return;
+            }
+            st = self.advanced.wait(st).expect("delivery lock");
+        }
+    }
+
+    /// Marks the pipeline dead after a job panic and wakes every parked
+    /// submitter so the batch fails fast instead of hanging.
+    fn poison(&self) {
+        self.state.lock().expect("delivery lock").poisoned = true;
+        self.advanced.notify_all();
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.state.lock().expect("delivery lock").poisoned
+    }
+
+    fn into_parts(self) -> (BatchAggregator, usize) {
+        let st = self.state.into_inner().expect("delivery lock");
+        debug_assert!(
+            st.poisoned || st.parked.is_empty(),
+            "undelivered results left parked"
+        );
+        (st.aggregator, st.peak)
+    }
+}
+
+impl<F: FnMut(JobResult)> DeliveryState<F> {
+    fn emit(&mut self, result: JobResult) {
+        self.aggregator.push(&result);
+        (self.on_result)(result);
+        self.next += 1;
     }
 }
 
@@ -179,5 +470,80 @@ fn run_job(job: Job, use_cache: bool, cache: &PrepCache, prep_workers: usize) ->
         key,
         report,
         micros: timer.elapsed().as_micros() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::JobKey;
+
+    fn sample_result() -> JobResult {
+        let ilp = dapc_ilp::problems::max_independent_set_unweighted(&dapc_graph::gen::cycle(6));
+        let report = engine::solve("greedy", &ilp, &dapc_core::engine::SolveConfig::new())
+            .expect("greedy is registered");
+        JobResult {
+            key: JobKey {
+                instance: "i".into(),
+                backend: "greedy".into(),
+                eps: 0.3,
+                seed: 0,
+            },
+            report,
+            micros: 0,
+        }
+    }
+
+    /// The job-panic path: a submitter blocked on a full reorder buffer
+    /// (its index cannot be delivered because an earlier one is missing)
+    /// must wake and bail out when the pipeline is poisoned — before the
+    /// poison flag existed, it waited on `advanced` forever and the batch
+    /// hung instead of failing.
+    #[test]
+    fn poison_releases_parked_submitters() {
+        let delivery = Arc::new(Delivery::new(BatchAggregator::new(), |_r: JobResult| {}, 1));
+        let submitter = Arc::clone(&delivery);
+        let blocked = std::thread::spawn(move || {
+            submitter.submit(1, sample_result()); // parks (capacity 1)
+            submitter.submit(2, sample_result()); // full buffer: blocks
+        });
+        // Whether the poison lands before, between or after the submits,
+        // the submitter thread must wind down instead of hanging.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        delivery.poison();
+        blocked.join().expect("parked submitter winds down");
+        assert!(delivery.is_poisoned());
+        let (aggregator, _) = Arc::try_unwrap(delivery)
+            .ok()
+            .expect("submitter done")
+            .into_parts();
+        assert_eq!(aggregator.jobs(), 0, "nothing was ever deliverable");
+    }
+
+    /// The hook-panic path: a panic inside `on_result` (or the
+    /// aggregator) must poison the pipeline and wake parked submitters
+    /// just like a job panic — before the delivering `emit` was wrapped,
+    /// the panic left the flag unset and blocked pumps slept forever.
+    #[test]
+    fn hook_panic_poisons_and_releases_parked_submitters() {
+        let delivery = Arc::new(Delivery::new(
+            BatchAggregator::new(),
+            |_r: JobResult| panic!("hook boom"),
+            1,
+        ));
+        delivery.submit(1, sample_result()); // parks (capacity 1)
+        let submitter = Arc::clone(&delivery);
+        let blocked = std::thread::spawn(move || {
+            submitter.submit(2, sample_result()); // full buffer: blocks
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Delivering the next-expected index runs the panicking hook.
+        let delivering = Arc::clone(&delivery);
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            delivering.submit(0, sample_result());
+        }));
+        assert!(outcome.is_err(), "the hook panic must re-raise");
+        blocked.join().expect("parked submitter winds down");
+        assert!(delivery.is_poisoned());
     }
 }

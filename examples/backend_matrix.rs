@@ -7,18 +7,29 @@
 //! quality, and the cache line at the bottom shows the batch machinery
 //! earning its keep.
 //!
+//! Both fan-out levels share the one process-wide executor: `JOBS` caps
+//! how many cells run concurrently and `PREP_WORKERS` shards each cell's
+//! preparation step — any combination is byte-identical to sequential
+//! execution.
+//!
 //! ```sh
 //! cargo run --release --example backend_matrix
 //! JOBS=4 cargo run --release --example backend_matrix
+//! JOBS=4 PREP_WORKERS=2 cargo run --release --example backend_matrix
 //! ```
 
 use dapc::prelude::*;
 
-fn main() {
-    let jobs = std::env::var("JOBS")
+fn env_count(name: &str, default: usize) -> usize {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(2usize);
+        .unwrap_or(default)
+}
+
+fn main() {
+    let jobs = env_count("JOBS", 2);
+    let prep_workers = env_count("PREP_WORKERS", 1);
     let corpus = Corpus::builder()
         .instance(
             "MIS/cycle30",
@@ -49,7 +60,10 @@ fn main() {
         .seeds(0..1)
         .base_config(SolveConfig::new().ensemble_runs(8))
         .build();
-    let report = solve_many(&corpus, &RuntimeConfig::new().jobs(jobs));
+    let report = solve_many(
+        &corpus,
+        &RuntimeConfig::new().jobs(jobs).prep_workers(prep_workers),
+    );
 
     println!(
         "{:<13} {:>5} | {:>18} {:>14} {:>18} {:>14} {:>14}",
@@ -78,9 +92,11 @@ fn main() {
         "\nvalues annotated with their charged LOCAL rounds; all cells feasible by construction"
     );
     println!(
-        "{} jobs on {} workers in {:.1?} | prep cache: {} hits / {} misses (rate {:.2}) across {} families",
+        "{} jobs ({} concurrent, prep x{prep_workers}) on the {}-worker shared executor in {:.1?} | \
+         prep cache: {} hits / {} misses (rate {:.2}) across {} families",
         report.results.len(),
         report.workers,
+        exec::current_workers(),
         report.wall,
         report.cache.hits,
         report.cache.misses,

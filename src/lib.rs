@@ -77,6 +77,7 @@
 pub use dapc_conc as conc;
 pub use dapc_core as core;
 pub use dapc_decomp as decomp;
+pub use dapc_exec as exec;
 pub use dapc_graph as graph;
 pub use dapc_ilp as ilp;
 pub use dapc_local as local;
@@ -101,9 +102,12 @@ pub use dapc_runtime as runtime;
 ///
 /// Sweeps go through `dapc-runtime`: build a [`prelude::Corpus`] of
 /// `(instance × backend × ε × seed)` jobs and fan it out with
-/// [`prelude::solve_many`]. Results are byte-identical to sequential
-/// execution at any worker count, and seeds of one instance family share
-/// their preparation work through the prep cache:
+/// [`prelude::solve_many`] — or stream arbitrarily large corpora through
+/// [`prelude::solve_many_streaming`]'s `on_result` hook without holding
+/// the result vector. Across-job and intra-prep parallelism share one
+/// process-wide executor ([`exec`]); results are byte-identical to
+/// sequential execution at any worker count, and seeds of one instance
+/// family share their preparation work through the prep cache:
 ///
 /// ```
 /// use dapc::prelude::*;
@@ -132,10 +136,14 @@ pub mod prelude {
         SolveReport, Solver, ThreePhase,
     };
     pub use dapc_core::params::{PcParams, ScaleKnobs};
+    pub use dapc_exec as exec;
+    pub use dapc_exec::Executor;
     pub use dapc_graph::{gen, Graph, GraphBuilder, Hypergraph, Vertex};
     pub use dapc_ilp::{problems, verify, IlpInstance, Sense, SolverBudget};
     pub use dapc_local::{RoundCost, RoundLedger};
     pub use dapc_runtime::{
-        solve_many, solve_many_with_cache, BatchReport, Corpus, JobKey, PrepCache, RuntimeConfig,
+        solve_many, solve_many_streaming, solve_many_streaming_with_cache, solve_many_with_cache,
+        BatchAggregator, BatchReport, Corpus, JobKey, JobResult, PrepCache, RuntimeConfig,
+        StreamReport,
     };
 }
