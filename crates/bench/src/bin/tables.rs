@@ -6,9 +6,30 @@
 //! backwards compatibility.) `--jobs` and `--prep-workers` are honoured
 //! in both profiles; neither changes a table — batching is byte-identical
 //! to sequential execution.
+//!
+//! Multi-process sharding splits the batch experiments (E3–E6, E10)
+//! across N cooperating invocations, byte-identically to one process:
+//!
+//! ```sh
+//! tables --quick --shard 0/2 --emit-shard shard0.bin   # process 0
+//! tables --quick --shard 1/2 --emit-shard shard1.bin   # process 1
+//! tables --quick --merge-shards shard0.bin shard1.bin  # render tables
+//! ```
+//!
+//! `--shard i/n --emit-shard PATH` solves only shard `i`'s contiguous
+//! slice of every batch corpus and writes the mergeable aggregation
+//! snapshots to `PATH` (non-batch experiments are skipped — they run
+//! inline at merge time). `--merge-shards PATHS..` (every following
+//! argument is a path) runs no batch jobs: it merges the recorded
+//! snapshots, verifies they all belong to the same profile/experiment
+//! selection and that every shard 0..n is present exactly once, and
+//! prints the same tables the unsharded invocation would.
 
-use dapc_bench::{run_experiment, Profile, ALL_EXPERIMENTS};
+use dapc_bench::shard::{read_shard_file, write_shard_file, Runner};
+use dapc_bench::{run_experiment, Profile, ALL_EXPERIMENTS, BATCH_EXPERIMENTS};
 use dapc_runtime::RuntimeConfig;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 
 fn parse_count(flag: &str, value: &str) -> usize {
     value
@@ -16,11 +37,25 @@ fn parse_count(flag: &str, value: &str) -> usize {
         .unwrap_or_else(|_| panic!("bad {flag} value {value:?}"))
 }
 
+/// Parses `i/n` (e.g. `0/2`) into `(shard, shards)`.
+fn parse_shard(value: &str) -> (usize, usize) {
+    let parse = || {
+        let (i, n) = value.split_once('/')?;
+        let i = i.parse::<usize>().ok()?;
+        let n = n.parse::<usize>().ok()?;
+        (n > 0 && i < n).then_some((i, n))
+    };
+    parse().unwrap_or_else(|| panic!("bad --shard value {value:?} (expected i/n with i < n)"))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = Profile::Full;
     let mut rt = RuntimeConfig::new();
     let mut ids: Vec<String> = Vec::new();
+    let mut shard: Option<(usize, usize)> = None;
+    let mut emit_path: Option<String> = None;
+    let mut merge_paths: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -34,11 +69,35 @@ fn main() {
                 let n = it.next().expect("--prep-workers needs a worker count");
                 rt.prep_workers = parse_count("--prep-workers", &n);
             }
+            "--shard" => {
+                let v = it.next().expect("--shard needs i/n");
+                shard = Some(parse_shard(&v));
+            }
+            "--emit-shard" => {
+                emit_path = Some(it.next().expect("--emit-shard needs a path"));
+            }
+            "--merge-shards" => {
+                // Everything after --merge-shards is a shard file path.
+                merge_paths.extend(it.by_ref());
+                assert!(
+                    !merge_paths.is_empty(),
+                    "--merge-shards needs at least one path"
+                );
+            }
             other => {
                 if let Some(n) = other.strip_prefix("--jobs=") {
                     rt.jobs = parse_count("--jobs", n);
                 } else if let Some(n) = other.strip_prefix("--prep-workers=") {
                     rt.prep_workers = parse_count("--prep-workers", n);
+                } else if let Some(v) = other.strip_prefix("--shard=") {
+                    shard = Some(parse_shard(v));
+                } else if let Some(p) = other.strip_prefix("--emit-shard=") {
+                    emit_path = Some(p.to_string());
+                } else if let Some(p) = other.strip_prefix("--merge-shards=") {
+                    // Equals-form: comma-separated paths.
+                    merge_paths.extend(p.split(',').map(str::to_string));
+                } else if other.starts_with("--") {
+                    panic!("unknown flag {other:?}");
                 } else {
                     ids.push(other.to_string());
                 }
@@ -48,10 +107,118 @@ fn main() {
     if ids.is_empty() {
         ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
-    for id in &ids {
+    assert!(
+        shard.is_some() == emit_path.is_some(),
+        "--shard and --emit-shard go together"
+    );
+    assert!(
+        merge_paths.is_empty() || shard.is_none(),
+        "--merge-shards conflicts with --shard/--emit-shard"
+    );
+
+    if let (Some((shard, shards)), Some(path)) = (shard, emit_path) {
+        emit(profile, rt, &ids, shard, shards, &path);
+    } else if !merge_paths.is_empty() {
+        merge(profile, rt, &ids, &merge_paths);
+    } else {
+        let runner = Runner::single(rt);
+        render(profile, &ids, &runner);
+        runner.assert_drained();
+    }
+}
+
+/// Renders every selected experiment to stdout.
+fn render(profile: Profile, ids: &[String], runner: &Runner) {
+    for id in ids {
         let start = std::time::Instant::now();
-        let table = run_experiment(id, profile, &rt);
+        let table = run_experiment(id, profile, runner);
         println!("{table}");
         eprintln!("[{id} finished in {:.1?}]", start.elapsed());
     }
+}
+
+/// `--shard i/n --emit-shard PATH`: solve this shard's slice of every
+/// selected batch experiment and write the snapshots.
+fn emit(
+    profile: Profile,
+    rt: RuntimeConfig,
+    ids: &[String],
+    shard: usize,
+    shards: usize,
+    path: &str,
+) {
+    let runner = Runner::emit(rt, shard, shards);
+    for id in ids {
+        if !BATCH_EXPERIMENTS.contains(&id.as_str()) {
+            eprintln!("[{id} does not batch; it runs inline at merge time]");
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let table = run_experiment(id, profile, &runner);
+        assert!(table.is_empty(), "emit mode must not render");
+        eprintln!(
+            "[{id} shard {shard}/{shards} solved in {:.1?}]",
+            start.elapsed()
+        );
+    }
+    let reports = runner.into_emitted();
+    let file = File::create(path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+    write_shard_file(
+        BufWriter::new(file),
+        profile,
+        &ids.join(","),
+        shard,
+        shards,
+        &reports,
+    )
+    .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    eprintln!(
+        "[shard {shard}/{shards}: {} batch snapshots written to {path}]",
+        reports.len()
+    );
+}
+
+/// `--merge-shards PATHS..`: verify the shard files belong together,
+/// merge their snapshots, and render every selected experiment.
+fn merge(profile: Profile, rt: RuntimeConfig, ids: &[String], paths: &[String]) {
+    let expected_ids = ids.join(",");
+    let mut queues = Vec::new();
+    let mut seen_shards = Vec::new();
+    let mut split = None;
+    for path in paths {
+        let file = File::open(path).unwrap_or_else(|e| panic!("open {path:?}: {e}"));
+        let shard_file =
+            read_shard_file(BufReader::new(file)).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+        assert!(
+            shard_file.profile == profile,
+            "{path}: emitted with a different profile"
+        );
+        assert!(
+            shard_file.ids == expected_ids,
+            "{path}: emitted with experiments [{}], merging [{expected_ids}]",
+            shard_file.ids
+        );
+        let shards = *split.get_or_insert(shard_file.shards);
+        assert!(
+            shard_file.shards == shards,
+            "{path}: a {}-shard file in a {shards}-shard merge",
+            shard_file.shards
+        );
+        assert!(
+            !seen_shards.contains(&shard_file.shard),
+            "{path}: shard {} supplied twice",
+            shard_file.shard
+        );
+        seen_shards.push(shard_file.shard);
+        queues.push(shard_file.reports);
+    }
+    let shards = split.expect("at least one shard file");
+    assert!(
+        seen_shards.len() == shards,
+        "merge needs all {shards} shards, got {:?}",
+        seen_shards
+    );
+    let runner = Runner::merge(rt, queues);
+    render(profile, ids, &runner);
+    runner.assert_drained();
 }

@@ -2,19 +2,24 @@
 //! round-complexity comparison, and the ablations.
 //!
 //! Since PR 2 every table is produced by `dapc-runtime`: each experiment
-//! builds a [`Corpus`] (instances × backends × ε grid × seed range), fans
-//! it out with [`solve_many`], and renders rows from the returned
-//! [`GroupSummary`] aggregation — the hand-rolled per-seed loops are gone,
-//! and `--jobs N` parallelises every table.
+//! builds a [`Corpus`] (instances × backends × ε grid × seed range), runs
+//! it through the shard-aware [`Runner`], and renders rows from the
+//! returned [`GroupSummary`] aggregation — including the worst-seed phase
+//! counters ([`dapc_runtime::GroupStats`]), so no table needs the per-job
+//! result vector and every table can equally be produced by N cooperating
+//! shard processes (`tables --shard i/n` / `--merge-shards`).
+//!
+//! Structural rule for shard alignment: every experiment issues **all**
+//! of its `Runner::solve` calls first and renders after — in emit mode
+//! the calls record shard reports and rendering is skipped.
 
+use crate::shard::Runner;
 use crate::table::{f3, Table};
-use dapc_core::engine::{BackendStats, SolveConfig};
+use dapc_core::engine::SolveConfig;
 use dapc_core::params::ScaleKnobs;
 use dapc_graph::{gen, Graph};
 use dapc_ilp::problems;
-use dapc_runtime::{
-    solve_many, solve_many_with_cache, BatchReport, Corpus, GroupSummary, PrepCache, RuntimeConfig,
-};
+use dapc_runtime::{Corpus, GroupSummary, PrepCache, StreamReport};
 
 fn opt_cell(g: &GroupSummary) -> String {
     match g.opt {
@@ -41,20 +46,7 @@ fn packing_row(t: &mut Table, g: &GroupSummary) {
 }
 
 /// E3 (Theorem 1.2): (1 − ε)-approximate MIS across families and ε.
-pub fn e3(seeds: u64, rt: &RuntimeConfig) -> String {
-    let mut t = Table::new(
-        "E3 — Theorem 1.2: (1 − ε)-approximate maximum independent set",
-        &[
-            "family",
-            "n",
-            "eps",
-            "OPT",
-            "min ratio",
-            "mean ratio",
-            "≥1−ε",
-            "rounds",
-        ],
-    );
+pub fn e3(seeds: u64, run: &Runner) -> String {
     let families: Vec<(&str, Graph)> = vec![
         ("cycle", gen::cycle(40)),
         ("grid", gen::grid(6, 7)),
@@ -69,10 +61,7 @@ pub fn e3(seeds: u64, rt: &RuntimeConfig) -> String {
     for (name, g) in &families {
         b = b.instance(*name, problems::max_independent_set_unweighted(g));
     }
-    let report = solve_many(&b.build(), rt);
-    for g in &report.groups {
-        packing_row(&mut t, g);
-    }
+    let main = run.solve(&b.build());
     // A weighted and a general instance.
     let g = gen::gnp(36, 0.08, &mut gen::seeded_rng(4));
     let w: Vec<u64> = (0..36).map(|i| 1 + (i as u64 % 5)).collect();
@@ -86,32 +75,38 @@ pub fn e3(seeds: u64, rt: &RuntimeConfig) -> String {
         .eps(0.2)
         .seeds(0..seeds)
         .build();
-    let report = solve_many(&corpus, rt);
-    for g in &report.groups {
+    let extra = run.solve(&corpus);
+    let large = run.solve_without_optima(&e3_large_corpus(seeds.min(5)));
+    let (Some(main), Some(extra), Some(large)) = (main, extra, large) else {
+        return String::new();
+    };
+
+    let mut t = Table::new(
+        "E3 — Theorem 1.2: (1 − ε)-approximate maximum independent set",
+        &[
+            "family",
+            "n",
+            "eps",
+            "OPT",
+            "min ratio",
+            "mean ratio",
+            "≥1−ε",
+            "rounds",
+        ],
+    );
+    for g in main.groups.iter().chain(&extra.groups) {
         packing_row(&mut t, g);
     }
     let mut out = t.render();
-    out.push_str(&e3_large_scale(seeds.min(5), rt));
+    out.push_str(&e3_large_render(&large));
     out
 }
 
 /// E3 (large scale): cycles long enough that the carve radius sits *below*
 /// the diameter, so Phases 1–3 genuinely delete and the (1 − ε) guarantee
 /// is earned rather than inherited from a single whole-graph solve.
-fn e3_large_scale(seeds: u64, rt: &RuntimeConfig) -> String {
-    let mut t = Table::new(
-        "E3 (cont.) — large-scale carving: MIS on long cycles (OPT = n/2)",
-        &[
-            "n",
-            "eps",
-            "min ratio",
-            "mean ratio",
-            "≥1−ε",
-            "deleted",
-            "components",
-            "rounds",
-        ],
-    );
+/// OPT = n/2 is known analytically; the reference solve is skipped.
+fn e3_large_corpus(seeds: u64) -> Corpus {
     let mut b = Corpus::builder()
         .backend("three-phase")
         .eps_grid([0.2, 0.3])
@@ -126,58 +121,43 @@ fn e3_large_scale(seeds: u64, rt: &RuntimeConfig) -> String {
             problems::max_independent_set_unweighted(&gen::cycle(n)),
         );
     }
-    // OPT = n/2 is known analytically; skip the (large) reference solve.
-    let report = solve_many(&b.build(), &rt.clone().reference_optima(false));
+    b.build()
+}
+
+fn e3_large_render(report: &StreamReport) -> String {
+    let mut t = Table::new(
+        "E3 (cont.) — large-scale carving: MIS on long cycles (OPT = n/2)",
+        &[
+            "n",
+            "eps",
+            "min ratio",
+            "mean ratio",
+            "≥1−ε",
+            "deleted",
+            "components",
+            "rounds",
+        ],
+    );
     for g in &report.groups {
         assert!(g.feasible, "{}: infeasible seed", g.instance);
         let opt = (g.vars / 2) as f64;
         let min_ratio = g.min_value as f64 / opt;
-        let (deleted, components) = packing_stat_maxima(&report, g);
         t.row(vec![
             g.vars.to_string(),
             format!("{}", g.eps),
             f3(min_ratio),
             f3(g.mean_value / opt),
             (min_ratio + 1e-9 >= 1.0 - g.eps).to_string(),
-            deleted.to_string(),
-            components.to_string(),
+            g.stats.deleted.to_string(),
+            g.stats.components.to_string(),
             g.rounds_last.to_string(),
         ]);
     }
     t.render()
 }
 
-/// Worst-seed deletion/component counters of one group's packing runs.
-fn packing_stat_maxima(report: &BatchReport, g: &GroupSummary) -> (usize, usize) {
-    let mut deleted = 0usize;
-    let mut components = 0usize;
-    for r in &report.results {
-        if r.key.instance != g.instance || r.key.eps.to_bits() != g.eps.to_bits() {
-            continue;
-        }
-        if let BackendStats::Packing(s) = &r.report.stats {
-            deleted = deleted.max(s.deleted_carving + s.deleted_phase3);
-            components = components.max(s.components);
-        }
-    }
-    (deleted, components)
-}
-
 /// E4 (Theorem 1.2): (1 − ε)-approximate maximum matching vs blossom.
-pub fn e4(seeds: u64, rt: &RuntimeConfig) -> String {
-    let mut t = Table::new(
-        "E4 — Theorem 1.2: (1 − ε)-approximate maximum matching (OPT by blossom)",
-        &[
-            "family",
-            "n",
-            "eps",
-            "OPT",
-            "min ratio",
-            "mean ratio",
-            "≥1−ε",
-            "rounds",
-        ],
-    );
+pub fn e4(seeds: u64, run: &Runner) -> String {
     let families: Vec<(&str, Graph)> = vec![
         ("cycle", gen::cycle(36)),
         ("path", gen::path(40)),
@@ -201,7 +181,23 @@ pub fn e4(seeds: u64, rt: &RuntimeConfig) -> String {
         ));
         b = b.instance(*name, problems::max_matching(g).ilp);
     }
-    let report = solve_many(&b.build(), rt);
+    let Some(report) = run.solve(&b.build()) else {
+        return String::new();
+    };
+
+    let mut t = Table::new(
+        "E4 — Theorem 1.2: (1 − ε)-approximate maximum matching (OPT by blossom)",
+        &[
+            "family",
+            "n",
+            "eps",
+            "OPT",
+            "min ratio",
+            "mean ratio",
+            "≥1−ε",
+            "rounds",
+        ],
+    );
     for g in &report.groups {
         assert!(g.feasible, "{}: infeasible seed", g.instance);
         // Matching variables are edges; report the graph's vertex count.
@@ -228,7 +224,57 @@ pub fn e4(seeds: u64, rt: &RuntimeConfig) -> String {
 
 /// E5 (Theorem 1.3): (1 + ε)-approximate covering (VC, DS, k-DS, set
 /// cover).
-pub fn e5(seeds: u64, rt: &RuntimeConfig) -> String {
+pub fn e5(seeds: u64, run: &Runner) -> String {
+    let corpus = Corpus::builder()
+        .instance(
+            "VC/cycle",
+            problems::min_vertex_cover_unweighted(&gen::cycle(36)),
+        )
+        .instance(
+            "VC/gnp",
+            problems::min_vertex_cover_unweighted(&gen::gnp(32, 0.1, &mut gen::seeded_rng(8))),
+        )
+        .instance(
+            "DS/cycle",
+            problems::min_dominating_set_unweighted(&gen::cycle(33)),
+        )
+        .instance(
+            "DS/grid",
+            problems::min_dominating_set_unweighted(&gen::grid(5, 6)),
+        )
+        .instance(
+            "2-DS/cycle",
+            problems::k_dominating_set(&gen::cycle(30), 2, vec![1; 30]),
+        )
+        .backend("three-phase")
+        .eps_grid([0.2, 0.4])
+        .seeds(0..seeds)
+        .build();
+    let names: Vec<String> = corpus
+        .instance_names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let main = run.solve(&corpus);
+    // Weighted VC and a general covering ILP.
+    let g = gen::gnp(28, 0.11, &mut gen::seeded_rng(9));
+    let w: Vec<u64> = (0..28).map(|i| 1 + (i as u64 % 4) * 2).collect();
+    let corpus = Corpus::builder()
+        .instance("weighted-VC", problems::min_vertex_cover(&g, w))
+        .instance(
+            "general-ILP",
+            problems::random_covering(24, 16, 3, &mut gen::seeded_rng(10)),
+        )
+        .backend("three-phase")
+        .eps(0.3)
+        .seeds(0..seeds)
+        .build();
+    let extra = run.solve(&corpus);
+    let large = run.solve_without_optima(&e5_large_corpus(seeds.min(5)));
+    let (Some(main), Some(extra), Some(large)) = (main, extra, large) else {
+        return String::new();
+    };
+
     let mut t = Table::new(
         "E5 — Theorem 1.3: (1 + ε)-approximate covering problems",
         &[
@@ -255,80 +301,27 @@ pub fn e5(seeds: u64, rt: &RuntimeConfig) -> String {
             g.rounds_last.to_string(),
         ]);
     };
-    let corpus = Corpus::builder()
-        .instance(
-            "VC/cycle",
-            problems::min_vertex_cover_unweighted(&gen::cycle(36)),
-        )
-        .instance(
-            "VC/gnp",
-            problems::min_vertex_cover_unweighted(&gen::gnp(32, 0.1, &mut gen::seeded_rng(8))),
-        )
-        .instance(
-            "DS/cycle",
-            problems::min_dominating_set_unweighted(&gen::cycle(33)),
-        )
-        .instance(
-            "DS/grid",
-            problems::min_dominating_set_unweighted(&gen::grid(5, 6)),
-        )
-        .instance(
-            "2-DS/cycle",
-            problems::k_dominating_set(&gen::cycle(30), 2, vec![1; 30]),
-        )
-        .backend("three-phase")
-        .eps_grid([0.2, 0.4])
-        .seeds(0..seeds)
-        .build();
-    let names = corpus.instance_names();
-    let report = solve_many(&corpus, rt);
     // Legacy row order is ε-major.
     for eps in [0.2f64, 0.4] {
         for name in &names {
-            let g = report
+            let g = main
                 .group(name, "three-phase", eps)
                 .expect("group for every cell");
             covering_row(&mut t, g);
         }
     }
-    // Weighted VC and a general covering ILP.
-    let g = gen::gnp(28, 0.11, &mut gen::seeded_rng(9));
-    let w: Vec<u64> = (0..28).map(|i| 1 + (i as u64 % 4) * 2).collect();
-    let corpus = Corpus::builder()
-        .instance("weighted-VC", problems::min_vertex_cover(&g, w))
-        .instance(
-            "general-ILP",
-            problems::random_covering(24, 16, 3, &mut gen::seeded_rng(10)),
-        )
-        .backend("three-phase")
-        .eps(0.3)
-        .seeds(0..seeds)
-        .build();
-    let report = solve_many(&corpus, rt);
-    for g in &report.groups {
+    for g in &extra.groups {
         covering_row(&mut t, g);
     }
     let mut out = t.render();
-    out.push_str(&e5_large_scale(seeds.min(5), rt));
+    out.push_str(&e5_large_render(&large));
     out
 }
 
 /// E5 (large scale): vertex cover on long cycles with genuine carving
-/// (fixing + hyperedge deletion + isolated regions).
-fn e5_large_scale(seeds: u64, rt: &RuntimeConfig) -> String {
-    let mut t = Table::new(
-        "E5 (cont.) — large-scale carving: VC on long cycles (OPT = n/2)",
-        &[
-            "n",
-            "eps",
-            "max ratio",
-            "mean ratio",
-            "≤1+ε",
-            "fixed w",
-            "edges cut",
-            "rounds",
-        ],
-    );
+/// (fixing + hyperedge deletion + isolated regions). OPT = n/2 is known
+/// analytically.
+fn e5_large_corpus(seeds: u64) -> Corpus {
     let mut b = Corpus::builder()
         .backend("three-phase")
         .eps_grid([0.3, 0.4])
@@ -343,30 +336,35 @@ fn e5_large_scale(seeds: u64, rt: &RuntimeConfig) -> String {
             problems::min_vertex_cover_unweighted(&gen::cycle(n)),
         );
     }
-    let report = solve_many(&b.build(), &rt.clone().reference_optima(false));
+    b.build()
+}
+
+fn e5_large_render(report: &StreamReport) -> String {
+    let mut t = Table::new(
+        "E5 (cont.) — large-scale carving: VC on long cycles (OPT = n/2)",
+        &[
+            "n",
+            "eps",
+            "max ratio",
+            "mean ratio",
+            "≤1+ε",
+            "fixed w",
+            "edges cut",
+            "rounds",
+        ],
+    );
     for g in &report.groups {
         assert!(g.feasible, "{}: infeasible seed", g.instance);
         let opt = (g.vars / 2) as f64;
         let max_ratio = g.max_value as f64 / opt;
-        let mut fixed = 0u64;
-        let mut cut = 0usize;
-        for r in &report.results {
-            if r.key.instance != g.instance || r.key.eps.to_bits() != g.eps.to_bits() {
-                continue;
-            }
-            if let BackendStats::Covering(s) = &r.report.stats {
-                fixed = fixed.max(s.fixed_weight);
-                cut = cut.max(s.deleted_edges);
-            }
-        }
         t.row(vec![
             g.vars.to_string(),
             format!("{}", g.eps),
             f3(max_ratio),
             f3(g.mean_value / opt),
             (max_ratio <= 1.0 + g.eps + 1e-9).to_string(),
-            fixed.to_string(),
-            cut.to_string(),
+            g.stats.fixed_weight.to_string(),
+            g.stats.deleted_edges.to_string(),
             g.rounds_last.to_string(),
         ]);
     }
@@ -381,12 +379,40 @@ fn e5_large_scale(seeds: u64, rt: &RuntimeConfig) -> String {
 /// it *shrinks* — ours pays the extra `log³(1/ε)` factor while both share
 /// the `1/ε`, exactly the trade Theorem 1.2 makes to win the `log² n`.
 /// Both backends' round bills are averaged over the same three seeds.
-pub fn e6(rt: &RuntimeConfig) -> String {
+pub fn e6(run: &Runner) -> String {
+    let mut b = Corpus::builder()
+        .backend("three-phase")
+        .backend("gkm")
+        .eps(0.3)
+        .seeds(0..3);
+    let ns = [32usize, 64, 128, 256, 512];
+    for n in ns {
+        b = b.instance(
+            format!("cycle{n}"),
+            problems::max_independent_set_unweighted(&gen::cycle(n)),
+        );
+    }
+    let n_sweep = run.solve_without_optima(&b.build());
+    let corpus = Corpus::builder()
+        .instance(
+            "cycle64",
+            problems::max_independent_set_unweighted(&gen::cycle(64)),
+        )
+        .backend("three-phase")
+        .backend("gkm")
+        .eps_grid([0.4, 0.2, 0.1, 0.05])
+        .seeds(0..3)
+        .build();
+    let eps_sweep = run.solve_without_optima(&corpus);
+    let (Some(n_sweep), Some(eps_sweep)) = (n_sweep, eps_sweep) else {
+        return String::new();
+    };
+
     let mut t = Table::new(
         "E6 — round complexity: Theorem 1.2 (Õ(log n/ε)) vs GKM17 (O(log³ n/ε))",
         &["sweep", "n", "eps", "ours rounds", "GKM rounds", "GKM/ours"],
     );
-    let row = |t: &mut Table, sweep: &str, report: &BatchReport, name: &str, eps: f64| {
+    let row = |t: &mut Table, sweep: &str, report: &StreamReport, name: &str, eps: f64| {
         let ours = report
             .group(name, "three-phase", eps)
             .expect("three-phase group");
@@ -400,60 +426,27 @@ pub fn e6(rt: &RuntimeConfig) -> String {
             f3(gkm.mean_rounds / ours.mean_rounds),
         ]);
     };
-    let mut b = Corpus::builder()
-        .backend("three-phase")
-        .backend("gkm")
-        .eps(0.3)
-        .seeds(0..3);
-    let ns = [32usize, 64, 128, 256, 512];
     for n in ns {
-        b = b.instance(
-            format!("cycle{n}"),
-            problems::max_independent_set_unweighted(&gen::cycle(n)),
-        );
+        row(&mut t, "n", &n_sweep, &format!("cycle{n}"), 0.3);
     }
-    let report = solve_many(&b.build(), &rt.clone().reference_optima(false));
-    for n in ns {
-        row(&mut t, "n", &report, &format!("cycle{n}"), 0.3);
-    }
-    let corpus = Corpus::builder()
-        .instance(
-            "cycle64",
-            problems::max_independent_set_unweighted(&gen::cycle(64)),
-        )
-        .backend("three-phase")
-        .backend("gkm")
-        .eps_grid([0.4, 0.2, 0.1, 0.05])
-        .seeds(0..3)
-        .build();
-    let report = solve_many(&corpus, &rt.clone().reference_optima(false));
     for eps in [0.4f64, 0.2, 0.1, 0.05] {
-        row(&mut t, "eps", &report, "cycle64", eps);
+        row(&mut t, "eps", &eps_sweep, "cycle64", eps);
     }
     t.render()
 }
 
 /// E10 — ablations called out in DESIGN.md: preparation count, covering
 /// iteration budget, and the LDD Phase 2 toggle.
-pub fn e10(seeds: u64, rt: &RuntimeConfig) -> String {
-    let mut t = Table::new(
-        "E10 — ablations (prep count, covering t, LDD Phase 2)",
-        &[
-            "ablation",
-            "setting",
-            "min/max ratio",
-            "mean ratio",
-            "rounds",
-            "note",
-        ],
-    );
+pub fn e10(seeds: u64, run: &Runner) -> String {
     // (a) Packing preparation count, via the engine's prep_count override.
     // The ablation rows all sweep the same (instance, budget) family, so
     // one warm PrepCache serves every row.
+    let prep_settings = [1usize, 2, 4, 8];
     let cache = PrepCache::new();
     let g = gen::gnp(36, 0.08, &mut gen::seeded_rng(11));
     let ilp = problems::max_independent_set_unweighted(&g);
-    for prep in [1usize, 2, 4, 8] {
+    let mut prep_reports = Vec::new();
+    for prep in prep_settings {
         let corpus = Corpus::builder()
             .instance("gnp36", ilp.clone())
             .backend("three-phase")
@@ -461,22 +454,15 @@ pub fn e10(seeds: u64, rt: &RuntimeConfig) -> String {
             .seeds(0..seeds)
             .base_config(SolveConfig::new().prep_count(prep))
             .build();
-        let report = solve_many_with_cache(&corpus, rt, &cache);
-        let g = &report.groups[0];
-        t.row(vec![
-            "packing prep_count".into(),
-            prep.to_string(),
-            f3(g.min_ratio.unwrap_or(f64::NAN)),
-            f3(g.mean_ratio.unwrap_or(f64::NAN)),
-            g.rounds_last.to_string(),
-            "paper: 16·ln ñ".into(),
-        ]);
+        prep_reports.push(run.solve_with_cache(&corpus, &cache));
     }
     // (b) Covering iteration budget t (the §1.4.3 "skip Phase 2" design).
+    let t_settings = [0.0f64, 1.0, 3.0];
     let cache = PrepCache::new();
     let g = gen::cycle(33);
     let ilp = problems::min_dominating_set_unweighted(&g);
-    for t_slack in [0.0f64, 1.0, 3.0] {
+    let mut t_reports = Vec::new();
+    for &t_slack in &t_settings {
         let cfg = SolveConfig::new().knobs(ScaleKnobs {
             covering_t_slack: t_slack.max(0.01),
             ..ScaleKnobs::default()
@@ -489,7 +475,42 @@ pub fn e10(seeds: u64, rt: &RuntimeConfig) -> String {
             .seeds(0..seeds)
             .base_config(cfg)
             .build();
-        let report = solve_many_with_cache(&corpus, rt, &cache);
+        t_reports.push((t_value, run.solve_with_cache(&corpus, &cache)));
+    }
+    let Some(prep_reports) = prep_reports.into_iter().collect::<Option<Vec<_>>>() else {
+        return String::new();
+    };
+    let Some(t_reports) = t_reports
+        .into_iter()
+        .map(|(t, r)| r.map(|r| (t, r)))
+        .collect::<Option<Vec<_>>>()
+    else {
+        return String::new();
+    };
+
+    let mut t = Table::new(
+        "E10 — ablations (prep count, covering t, LDD Phase 2)",
+        &[
+            "ablation",
+            "setting",
+            "min/max ratio",
+            "mean ratio",
+            "rounds",
+            "note",
+        ],
+    );
+    for (prep, report) in prep_settings.iter().zip(&prep_reports) {
+        let g = &report.groups[0];
+        t.row(vec![
+            "packing prep_count".into(),
+            prep.to_string(),
+            f3(g.min_ratio.unwrap_or(f64::NAN)),
+            f3(g.mean_ratio.unwrap_or(f64::NAN)),
+            g.rounds_last.to_string(),
+            "paper: 16·ln ñ".into(),
+        ]);
+    }
+    for (t_slack, (t_value, report)) in t_settings.iter().zip(&t_reports) {
         let g = &report.groups[0];
         t.row(vec![
             "covering t_slack".into(),
@@ -501,7 +522,8 @@ pub fn e10(seeds: u64, rt: &RuntimeConfig) -> String {
         ]);
     }
     // (c) LDD Phase 2 on/off — a decomposition-level ablation below the
-    // ILP engine, so it keeps driving the LDD directly.
+    // ILP engine, so it keeps driving the LDD directly (and runs inline
+    // in every Runner mode that renders).
     use dapc_decomp::three_phase::{three_phase_ldd, LddParams};
     use dapc_local::RoundCost;
     let g = gen::gnp(600, 0.01, &mut gen::seeded_rng(12));

@@ -333,20 +333,40 @@ impl SharedSubsetCache {
     /// transparent LRU policy to the loaded entries — so a warm start can
     /// change counters and work done, but never a solver report.
     ///
+    /// Loading is **all-or-nothing**: the stream is fully parsed and
+    /// validated before the first entry is inserted, so a snapshot that
+    /// turns out to be truncated or corrupt partway through leaves the
+    /// cache exactly as it was — an `Err` never half-loads.
+    ///
     /// # Errors
     ///
-    /// Fails with [`io::ErrorKind::InvalidData`] on a bad magic/version
-    /// or a truncated stream, besides propagating reader errors.
+    /// Fails with [`io::ErrorKind::InvalidData`] on a bad magic, an
+    /// unsupported format version or a corrupt field, and with
+    /// [`io::ErrorKind::UnexpectedEof`] on a stream truncated at any
+    /// field boundary, besides propagating reader errors.
     pub fn load_into<R: Read>(&self, mut r: R) -> io::Result<usize> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != SNAPSHOT_MAGIC {
+        if magic[..7] != SNAPSHOT_MAGIC[..7] {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "not a dapc subset-cache snapshot (bad magic/version)",
+                "not a dapc subset-cache snapshot (bad magic)",
+            ));
+        }
+        if magic[7] != SNAPSHOT_MAGIC[7] {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "unsupported subset-cache snapshot version {} (expected {})",
+                    magic[7], SNAPSHOT_MAGIC[7]
+                ),
             ));
         }
         let count = read_u64(&mut r)? as usize;
+        // Parse everything before touching the cache, so a stream that
+        // dies at entry k of n cannot leave entries 0..k silently loaded
+        // behind the returned error.
+        let mut entries: Vec<(SubsetKey, SubsetEntry)> = Vec::new();
         for _ in 0..count {
             let mut key = [0u8; 16];
             r.read_exact(&mut key)?;
@@ -385,7 +405,10 @@ impl SharedSubsetCache {
             for bit in 0..bits {
                 assignment.push(packed[bit / 8] >> (bit % 8) & 1 == 1);
             }
-            self.insert(key, (value, assignment, exact));
+            entries.push((key, (value, assignment, exact)));
+        }
+        for (key, entry) in entries {
+            self.insert(key, entry);
         }
         Ok(count)
     }
@@ -993,6 +1016,91 @@ mod tests {
         cache.save_to(&mut bytes).expect("write to a Vec");
         bytes.truncate(bytes.len() - 3);
         assert!(SharedSubsetCache::load_from(bytes.as_slice()).is_err());
+    }
+
+    /// A snapshot with ≥ 2 entries, plus the byte offset of every field
+    /// boundary in its layout (`magic · count · (key · value · exact ·
+    /// bits · packed)*`), for the truncation sweep below.
+    fn two_entry_snapshot() -> (Vec<u8>, Vec<usize>, usize) {
+        let cache = SharedSubsetCache::new();
+        let g = gen::cycle(6);
+        let ilp = problems::max_independent_set_unweighted(&g);
+        let mut s = SubsetSolver::with_shared(&ilp, SolverBudget::default(), cache.clone());
+        s.solve_mask(&[true; 6], None);
+        s.solve_mask(&[true, true, true, false, false, false], None);
+        assert!(cache.len() >= 2, "need at least two entries");
+        let mut bytes = Vec::new();
+        cache.save_to(&mut bytes).expect("write to a Vec");
+        let mut boundaries = vec![8, 16]; // after magic, after count
+        let mut at = 16;
+        for _ in 0..cache.len() {
+            for field in [16usize, 8, 1, 8] {
+                at += field;
+                boundaries.push(at);
+            }
+            at += 1; // one packed byte per 6-bit assignment
+            boundaries.push(at);
+        }
+        assert_eq!(at, bytes.len(), "layout walk must cover the snapshot");
+        let count = cache.len();
+        (bytes, boundaries, count)
+    }
+
+    /// Hardened loading: truncating the stream at (and inside) every
+    /// field boundary is an `Err`, and — the half-load guard — a failed
+    /// `load_into` leaves the target cache untouched, even when the
+    /// stream dies *between* two well-formed entries.
+    #[test]
+    fn truncation_at_every_field_boundary_errors_without_half_loading() {
+        let (bytes, boundaries, count) = two_entry_snapshot();
+        for cut in boundaries.into_iter().filter(|&c| c < bytes.len()) {
+            for cut in [cut.saturating_sub(1), cut] {
+                let target = SharedSubsetCache::new();
+                let err = target
+                    .load_into(&bytes[..cut])
+                    .expect_err("truncated snapshot must fail");
+                assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut {cut}");
+                assert_eq!(
+                    target.len(),
+                    0,
+                    "a failed load at byte {cut} half-loaded entries"
+                );
+            }
+        }
+        // The untruncated stream still loads in full.
+        let target = SharedSubsetCache::new();
+        assert_eq!(target.load_into(bytes.as_slice()).expect("intact"), count);
+        assert_eq!(target.len(), count);
+    }
+
+    /// A wrong version byte after the right magic prefix is rejected
+    /// with a version-specific message, and a corrupt exactness flag is
+    /// `InvalidData` — in both cases without half-loading.
+    #[test]
+    fn wrong_version_and_corrupt_flags_are_rejected_atomically() {
+        let (bytes, _, _) = two_entry_snapshot();
+        let mut wrong_version = bytes.clone();
+        wrong_version[7] = 0x7f;
+        let target = SharedSubsetCache::new();
+        let err = target
+            .load_into(wrong_version.as_slice())
+            .expect_err("future version must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version"), "{err}");
+        assert_eq!(target.len(), 0);
+
+        // Corrupt the *second* entry's exactness flag: the first entry is
+        // perfectly well-formed, and must still not be loaded.
+        let mut bad_flag = bytes;
+        let second_exact_at = 16 + (16 + 8) + 1 + 8 + 1 + (16 + 8);
+        assert!(matches!(bad_flag[second_exact_at], 0 | 1));
+        bad_flag[second_exact_at] = 9;
+        let target = SharedSubsetCache::new();
+        let err = target
+            .load_into(bad_flag.as_slice())
+            .expect_err("corrupt flag must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(target.len(), 0, "the well-formed first entry leaked in");
     }
 
     /// A corrupt length field must surface as a read error, not as a

@@ -349,11 +349,17 @@ pub fn global() -> &'static Executor {
 }
 
 fn default_workers() -> usize {
-    std::env::var("DAPC_EXEC_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
+    override_workers(std::env::var("DAPC_EXEC_WORKERS").ok().as_deref())
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |c| c.get()))
+}
+
+/// Parses the `DAPC_EXEC_WORKERS` override, clamping any parseable value
+/// to at least one worker: `0` (or anything that parses to 0, like `00`)
+/// pins the smallest pool instead of configuring a zero-worker pool that
+/// would strand tasks queued by non-scope submitters. Unparseable values
+/// are ignored (`None`), falling back to the host size.
+fn override_workers(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse::<usize>().ok().map(|n| n.max(1))
 }
 
 fn current_shared() -> Arc<Shared> {
@@ -635,6 +641,26 @@ mod tests {
         assert_eq!(inside, 3);
         // The override is scoped: back outside we see the global pool.
         assert_eq!(current_workers(), outside);
+    }
+
+    /// The `DAPC_EXEC_WORKERS` sizing rules, exhaustively: a parsed `0`
+    /// must clamp to a 1-worker pool (the old code let it fall through to
+    /// the host default, and a hypothetical zero-worker pool would strand
+    /// tasks queued by submitters that never help-run — non-scope owners
+    /// have no inline fallback), garbage falls back to the host size, and
+    /// surrounding whitespace is tolerated.
+    #[test]
+    fn env_override_clamps_zero_to_one_worker() {
+        assert_eq!(override_workers(Some("0")), Some(1));
+        assert_eq!(override_workers(Some("00")), Some(1));
+        assert_eq!(override_workers(Some(" 0 ")), Some(1));
+        assert_eq!(override_workers(Some("1")), Some(1));
+        assert_eq!(override_workers(Some("6")), Some(6));
+        assert_eq!(override_workers(Some(" 4\n")), Some(4));
+        assert_eq!(override_workers(Some("")), None, "empty: host default");
+        assert_eq!(override_workers(Some("-2")), None, "signed: host default");
+        assert_eq!(override_workers(Some("two")), None, "garbage: host default");
+        assert_eq!(override_workers(None), None, "unset: host default");
     }
 
     #[test]

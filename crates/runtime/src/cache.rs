@@ -1,11 +1,19 @@
 //! The cross-job preparation cache: one [`SharedSubsetCache`] per
 //! instance family.
 
+use crate::snap;
 use dapc_core::engine::SharedSubsetCache;
 use dapc_ilp::{IlpInstance, SolverBudget};
 use std::collections::HashMap;
 use std::io;
 use std::sync::{Arc, Mutex};
+
+/// Magic + version prefix of the whole-cache warm-start format: seven
+/// identifying bytes and a format version byte. The body is
+/// `family count: u64` followed by families sorted by key, each as
+/// `instance fingerprint: u64 · budget: u64 · length-prefixed
+/// SharedSubsetCache snapshot`, all integers little-endian.
+pub const PREP_CACHE_MAGIC: &[u8; 8] = b"DAPCPPC\x01";
 
 /// Hoists the `dapc_core::prep` subset-solve memoisation from per-run to
 /// per-instance-family: families are keyed by
@@ -94,6 +102,105 @@ impl PrepCache {
         self.family(ilp, budget).load_into(r)
     }
 
+    /// Persists **every** family's memoised subset solves in one
+    /// versioned snapshot (see [`PREP_CACHE_MAGIC`]) — the whole-cache
+    /// form of [`PrepCache::save_family`], used to ship prep work between
+    /// shard processes ([`crate::ShardReport::with_prep`]). The byte
+    /// stream is canonical: families are written sorted by key, each in
+    /// the `SharedSubsetCache` canonical entry order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn save_to<W: io::Write>(&self, mut w: W) -> io::Result<()> {
+        let families = self.families.lock().expect("prep cache lock");
+        let mut keys: Vec<(u64, u64)> = families.keys().copied().collect();
+        keys.sort_unstable();
+        w.write_all(PREP_CACHE_MAGIC)?;
+        snap::write_u64(&mut w, keys.len() as u64)?;
+        for key in keys {
+            snap::write_u64(&mut w, key.0)?;
+            snap::write_u64(&mut w, key.1)?;
+            let mut blob = Vec::new();
+            families[&key].save_to(&mut blob)?;
+            snap::write_bytes(&mut w, &blob)?;
+        }
+        Ok(())
+    }
+
+    /// Warm-starts every family found in a snapshot written by
+    /// [`PrepCache::save_to`], returning the total number of memoised
+    /// subset solves loaded. Families are created on demand (under this
+    /// cache's capacity policy) and merged into when they already exist.
+    /// Like every warm start, loading moves counters and work, never a
+    /// report.
+    ///
+    /// Loading is all-or-nothing: the snapshot is fully parsed and every
+    /// family blob validated before anything is inserted, so a truncated
+    /// or corrupt stream leaves the cache untouched.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on a bad magic, an
+    /// unsupported version, a duplicated family, a corrupt family blob,
+    /// or trailing bytes after the last family, and with
+    /// [`io::ErrorKind::UnexpectedEof`] on truncation at any field
+    /// boundary.
+    pub fn load_into<R: io::Read>(&self, mut r: R) -> io::Result<usize> {
+        snap::check_magic(&mut r, PREP_CACHE_MAGIC, "prep-cache")?;
+        let count = snap::read_u64(&mut r)?;
+        // Parse every family once, into caches built under this
+        // PrepCache's capacity policy, before any real family is
+        // touched — the single-parse fast path hands the parsed cache
+        // over wholesale when the family does not exist yet.
+        // (family key, policy-built cache, entry count, raw blob).
+        type ParsedFamily = ((u64, u64), SharedSubsetCache, usize, Vec<u8>);
+        let mut parsed: Vec<ParsedFamily> = Vec::new();
+        for _ in 0..count {
+            let fingerprint = snap::read_u64(&mut r)?;
+            let budget = snap::read_u64(&mut r)?;
+            let key = (fingerprint, budget);
+            let blob = snap::read_bytes(&mut r, "family snapshot")?;
+            let family = match self.family_capacity {
+                Some(bytes) => SharedSubsetCache::with_capacity(bytes),
+                None => SharedSubsetCache::new(),
+            };
+            let entries = family.load_into(blob.as_slice())?;
+            if parsed.iter().any(|(k, ..)| *k == key) {
+                return Err(snap::invalid(format!(
+                    "family {key:?} appears twice in the snapshot"
+                )));
+            }
+            parsed.push((key, family, entries, blob));
+        }
+        // Self-delimiting like every snapshot format here: bytes after
+        // the last family are corruption, not padding — rejecting them
+        // (before any insertion) keeps the all-or-nothing contract.
+        let mut trailing = [0u8; 1];
+        if r.read(&mut trailing)? != 0 {
+            return Err(snap::invalid("trailing bytes after the last family"));
+        }
+        let mut loaded = 0;
+        let mut families = self.families.lock().expect("prep cache lock");
+        for (key, fresh, entries, blob) in parsed {
+            match families.entry(key) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(fresh);
+                    loaded += entries;
+                }
+                // A family that already exists is merged into (the rare
+                // warm-on-warm path): replay the validated blob.
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    loaded += slot
+                        .get()
+                        .load_into(blob.as_slice())
+                        .expect("family blob validated above");
+                }
+            }
+        }
+        Ok(loaded)
+    }
+
     /// Aggregate counters across every family.
     pub fn stats(&self) -> CacheStats {
         let families = self.families.lock().expect("prep cache lock");
@@ -138,6 +245,20 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Fieldwise sum with another process's counters, used when merging
+    /// [`crate::ShardReport`]s: the work counters (`hits`, `misses`,
+    /// `evictions`) add exactly; `families`/`entries`/`bytes` become
+    /// totals *across per-process caches*, which may double-count a
+    /// family two shards both materialised.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.families += other.families;
+        self.entries += other.entries;
+        self.bytes += other.bytes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+
     /// `hits / (hits + misses)`, or `0` before any lookup.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

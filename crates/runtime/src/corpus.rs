@@ -103,34 +103,74 @@ impl Corpus {
         self.instances.iter().map(|i| i.name.as_str()).collect()
     }
 
+    /// The canonical index range shard `shard` of `shards` owns: the
+    /// balanced contiguous partition `[shard·len/shards,
+    /// (shard+1)·len/shards)`, so shard sizes differ by at most one and
+    /// the union over all shards covers every job exactly once. Shards
+    /// beyond the corpus length come back empty.
+    ///
+    /// The partition is a pure function of `(len, shard, shards)` —
+    /// **jobs keep their global [`JobKey`] (and with it their derived RNG
+    /// stream)**, so a job's `(key, report)` outcome is byte-identical
+    /// whether it runs in the unsharded sweep or in any shard of any
+    /// split.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is 0 or `shard >= shards`.
+    pub fn shard_range(&self, shard: usize, shards: usize) -> Range<usize> {
+        assert!(shards > 0, "a corpus splits into at least one shard");
+        assert!(
+            shard < shards,
+            "shard index {shard} out of range for {shards} shards"
+        );
+        let len = self.len();
+        (shard * len / shards)..((shard + 1) * len / shards)
+    }
+
+    /// Materialises the jobs of one shard (see
+    /// [`Corpus::shard_range`]), in canonical order, with their global
+    /// indices and keys intact. Builds only the shard's slice — a shard
+    /// process never pays for the whole corpus.
+    pub fn shard_jobs(&self, shard: usize, shards: usize) -> Vec<Job> {
+        self.shard_range(shard, shards)
+            .map(|i| self.job_at(i))
+            .collect()
+    }
+
     /// Materialises every job in canonical order: instance-major, then
     /// backend, then `ε`, then seed. This order is the definition of "the
     /// sequential path" — `solve_many` returns results in exactly this
     /// order at any worker count.
     pub fn jobs(&self) -> Vec<Job> {
-        let mut jobs = Vec::with_capacity(self.len());
-        for inst in &self.instances {
-            for backend in &self.backends {
-                for &eps in &self.eps_grid {
-                    for seed in self.seeds.clone() {
-                        let key = JobKey {
-                            instance: inst.name.clone(),
-                            backend: backend.clone(),
-                            eps,
-                            seed,
-                        };
-                        let cfg = self.base.clone().eps(eps).seed(key.rng_seed());
-                        jobs.push(Job {
-                            index: jobs.len(),
-                            key,
-                            ilp: Arc::clone(&inst.ilp),
-                            cfg,
-                        });
-                    }
-                }
-            }
+        (0..self.len()).map(|i| self.job_at(i)).collect()
+    }
+
+    /// The job at canonical index `index`: the inverse of the
+    /// instance-major, then backend, then `ε`, then seed ordering.
+    fn job_at(&self, index: usize) -> Job {
+        let seeds = (self.seeds.end - self.seeds.start) as usize;
+        let mut rest = index;
+        let seed = self.seeds.start + (rest % seeds) as u64;
+        rest /= seeds;
+        let eps = self.eps_grid[rest % self.eps_grid.len()];
+        rest /= self.eps_grid.len();
+        let backend = &self.backends[rest % self.backends.len()];
+        rest /= self.backends.len();
+        let inst = &self.instances[rest];
+        let key = JobKey {
+            instance: inst.name.clone(),
+            backend: backend.clone(),
+            eps,
+            seed,
+        };
+        let cfg = self.base.clone().eps(eps).seed(key.rng_seed());
+        Job {
+            index,
+            key,
+            ilp: Arc::clone(&inst.ilp),
+            cfg,
         }
-        jobs
     }
 }
 
@@ -311,6 +351,51 @@ mod tests {
         for (i, j) in jobs.iter().enumerate() {
             assert_eq!(j.index, i);
         }
+    }
+
+    #[test]
+    fn shards_partition_the_canonical_order() {
+        let corpus = Corpus::builder()
+            .instance("a", mis(6))
+            .instance("b", mis(8))
+            .backend("greedy")
+            .eps_grid([0.2, 0.4])
+            .seeds(0..2)
+            .build();
+        let all = corpus.jobs();
+        for shards in 1..=all.len() + 2 {
+            let mut seen = Vec::new();
+            for shard in 0..shards {
+                let range = corpus.shard_range(shard, shards);
+                let jobs = corpus.shard_jobs(shard, shards);
+                assert_eq!(jobs.len(), range.len());
+                for (job, index) in jobs.iter().zip(range.clone()) {
+                    assert_eq!(job.index, index, "shards must keep global indices");
+                    assert_eq!(job.key, all[index].key, "shards must keep global keys");
+                }
+                seen.extend(range);
+            }
+            assert_eq!(
+                seen,
+                (0..all.len()).collect::<Vec<_>>(),
+                "{shards} shards must partition the corpus"
+            );
+        }
+        // Balanced: sizes differ by at most one.
+        for shards in 1..=4 {
+            let sizes: Vec<usize> = (0..shards)
+                .map(|s| corpus.shard_range(s, shards).len())
+                .collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced split {sizes:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        let corpus = Corpus::builder().instance("a", mis(6)).build();
+        let _ = corpus.shard_range(2, 2);
     }
 
     #[test]

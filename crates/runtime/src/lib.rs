@@ -4,9 +4,11 @@
 //! `(instance × backend × ε × seed)` jobs across the process-wide
 //! `dapc_exec` executor with per-instance-family prep caching, and get
 //! back the aggregation the experiment tables need — either with the full
-//! per-job result vector ([`solve_many`] → [`BatchReport`]) or purely
+//! per-job result vector ([`solve_many`] → [`BatchReport`]), purely
 //! online ([`solve_many_streaming`] → [`StreamReport`] plus an
-//! `on_result` hook), for corpora that do not fit one process.
+//! `on_result` hook) for corpora that do not fit one process's memory, or
+//! **sharded across processes** ([`solve_shard`] → mergeable
+//! [`ShardReport`] snapshots) for corpora that do not fit one machine.
 //!
 //! Four guarantees shape the design:
 //!
@@ -67,13 +69,17 @@ mod cache;
 mod corpus;
 mod report;
 mod run;
+mod shard;
+pub mod snap;
 
-pub use cache::{CacheStats, PrepCache};
+pub use cache::{CacheStats, PrepCache, PREP_CACHE_MAGIC};
 pub use corpus::{Corpus, CorpusBuilder, Job, JobKey};
 pub use report::{
-    BackendSummary, BatchAggregator, BatchReport, GroupSummary, JobResult, StreamReport,
+    BackendSummary, BatchAggregator, BatchReport, GroupStats, GroupSummary, JobResult,
+    StreamReport, AGGREGATOR_MAGIC,
 };
 pub use run::{
     solve_many, solve_many_streaming, solve_many_streaming_with_cache, solve_many_with_cache,
     RuntimeConfig,
 };
+pub use shard::{solve_shard, solve_shard_with_cache, ShardReport, SHARD_MAGIC};

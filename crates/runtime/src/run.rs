@@ -205,9 +205,6 @@ where
     let start = Instant::now();
     let jobs = corpus.jobs();
     let n = jobs.len();
-    let workers = rt.jobs.max(1);
-    let use_cache = rt.prep_cache;
-    let prep_workers = rt.prep_workers.max(1);
 
     // Reference optima come first: the online aggregator folds each
     // job's ratio as it is delivered, which needs the cell's optimum up
@@ -216,69 +213,12 @@ where
     // legacy collect-then-aggregate path (which solved them last) — only
     // the order of the counter events moves.
     let optima = if rt.reference_optima {
-        reference_optima(corpus, use_cache, cache)
+        reference_optima(corpus, None, rt.prep_cache, cache)
     } else {
         HashMap::new()
     };
     let aggregator = BatchAggregator::with_optima(optima);
-
-    let pumps = workers.min(n).max(1);
-    let (aggregator, peak_buffered) = if pumps == 1 {
-        let mut aggregator = aggregator;
-        let mut on_result = on_result;
-        for job in jobs {
-            let result = run_job(job, use_cache, cache, prep_workers);
-            aggregator.push(&result);
-            on_result(result);
-        }
-        (aggregator, 0)
-    } else {
-        let delivery = Arc::new(Delivery::new(
-            aggregator,
-            on_result,
-            reorder_capacity(pumps),
-        ));
-        let jobs = Arc::new(jobs);
-        let cursor = Arc::new(AtomicUsize::new(0));
-        dapc_exec::scope(|s| {
-            for _ in 0..pumps {
-                let delivery = Arc::clone(&delivery);
-                let jobs = Arc::clone(&jobs);
-                let cursor = Arc::clone(&cursor);
-                let cache = cache.clone();
-                s.spawn(move || {
-                    loop {
-                        if delivery.is_poisoned() {
-                            break;
-                        }
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs.get(index) else {
-                            break;
-                        };
-                        let job = job.clone();
-                        match catch_unwind(AssertUnwindSafe(|| {
-                            run_job(job, use_cache, &cache, prep_workers)
-                        })) {
-                            Ok(result) => delivery.submit(index, result),
-                            Err(payload) => {
-                                // A job died: its index will never be
-                                // delivered, so in-order delivery can no
-                                // longer advance. Poison the pipeline so
-                                // every pump (parked or not) winds down,
-                                // then let the scope re-raise the panic.
-                                delivery.poison();
-                                resume_unwind(payload);
-                            }
-                        }
-                    }
-                });
-            }
-        });
-        Arc::try_unwrap(delivery)
-            .ok()
-            .expect("scope joined, no pump holds the delivery")
-            .into_parts()
-    };
+    let (aggregator, pumps, peak_buffered) = stream_jobs(jobs, aggregator, rt, cache, on_result);
 
     let (groups, backends) = aggregator.finish();
     StreamReport {
@@ -292,15 +232,99 @@ where
     }
 }
 
+/// The shared pump pipeline behind [`solve_many_streaming_with_cache`]
+/// and [`crate::solve_shard`]: runs `jobs` (any contiguous slice of a
+/// corpus, in canonical order) through `min(rt.jobs, |jobs|)` pump tasks
+/// and the reorder buffer, feeding `aggregator` and `on_result` in
+/// order. Returns the fed aggregator, the pump count, and the reorder
+/// buffer's high-water mark.
+pub(crate) fn stream_jobs<F>(
+    jobs: Vec<Job>,
+    aggregator: BatchAggregator,
+    rt: &RuntimeConfig,
+    cache: &PrepCache,
+    on_result: F,
+) -> (BatchAggregator, usize, usize)
+where
+    F: FnMut(JobResult) + Send + 'static,
+{
+    let n = jobs.len();
+    let use_cache = rt.prep_cache;
+    let prep_workers = rt.prep_workers.max(1);
+    let pumps = rt.jobs.max(1).min(n).max(1);
+    if pumps == 1 {
+        let mut aggregator = aggregator;
+        let mut on_result = on_result;
+        for job in jobs {
+            let result = run_job(job, use_cache, cache, prep_workers);
+            aggregator.push(&result);
+            on_result(result);
+        }
+        return (aggregator, 1, 0);
+    }
+    let delivery = Arc::new(Delivery::new(
+        aggregator,
+        on_result,
+        reorder_capacity(pumps),
+    ));
+    let jobs = Arc::new(jobs);
+    let cursor = Arc::new(AtomicUsize::new(0));
+    dapc_exec::scope(|s| {
+        for _ in 0..pumps {
+            let delivery = Arc::clone(&delivery);
+            let jobs = Arc::clone(&jobs);
+            let cursor = Arc::clone(&cursor);
+            let cache = cache.clone();
+            s.spawn(move || {
+                loop {
+                    if delivery.is_poisoned() {
+                        break;
+                    }
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else {
+                        break;
+                    };
+                    let job = job.clone();
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        run_job(job, use_cache, &cache, prep_workers)
+                    })) {
+                        Ok(result) => delivery.submit(index, result),
+                        Err(payload) => {
+                            // A job died: its index will never be
+                            // delivered, so in-order delivery can no
+                            // longer advance. Poison the pipeline so
+                            // every pump (parked or not) winds down,
+                            // then let the scope re-raise the panic.
+                            delivery.poison();
+                            resume_unwind(payload);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let (aggregator, peak) = Arc::try_unwrap(delivery)
+        .ok()
+        .expect("scope joined, no pump holds the delivery")
+        .into_parts();
+    (aggregator, pumps, peak)
+}
+
 /// Reference optima, one exact solve per instance, routed through the
 /// family cache so a batch that already ran `bnb` gets them for free.
-fn reference_optima(
+/// `only` restricts the solves to a subset of instance names (the
+/// instances a shard actually touches); `None` covers the whole corpus.
+pub(crate) fn reference_optima(
     corpus: &Corpus,
+    only: Option<&std::collections::HashSet<&str>>,
     use_cache: bool,
     cache: &PrepCache,
 ) -> HashMap<String, (u64, bool)> {
     let mut optima = HashMap::new();
     for inst in &corpus.instances {
+        if only.is_some_and(|names| !names.contains(inst.name.as_str())) {
+            continue;
+        }
         let full = vec![true; inst.ilp.n()];
         let budget = corpus.base.budget;
         let mut solver = if use_cache {
@@ -317,6 +341,15 @@ fn reference_optima(
 /// How many out-of-order results may be parked at once: enough that the
 /// pumps rarely stall, small enough that streaming memory stays
 /// proportional to the worker count, never the corpus.
+///
+/// The bound is **inclusive**: [`Delivery::submit`]'s admission check
+/// (`parked.len() < capacity`) parks a result only while the buffer is
+/// below capacity, so `peak_buffered` can *reach* `max(2·pumps, 16)` but
+/// never exceed it (audited; pinned by an assertion in the streaming
+/// tests). Parked results are not the whole streaming footprint, though:
+/// a submitter blocked on a full buffer keeps its own finished result in
+/// hand, so up to `capacity + pumps − 1` finished results can exist at
+/// once — still proportional to the worker count, never the corpus.
 fn reorder_capacity(pumps: usize) -> usize {
     (2 * pumps).max(16)
 }

@@ -1,0 +1,361 @@
+//! Multi-process sharding of one corpus: each cooperating process solves
+//! a contiguous slice of the canonical job order ([`solve_shard`]) and
+//! ships back a compact [`ShardReport`] — the shard's mergeable
+//! [`BatchAggregator`] plus its counters, optionally bundled with a
+//! prep-cache warm-start snapshot — instead of per-job results. Merging
+//! every shard's report ([`ShardReport::merge`] / [`ShardReport::finish`])
+//! reproduces the single-process [`StreamReport`] exactly, timings aside:
+//! this is the aggregate-by-compact-summaries shape of distributed
+//! covering/packing (Koufogiannakis & Young, Distributed Computing 2011)
+//! applied to the experiment sweep itself.
+//!
+//! Because every job derives its RNG from its own [`crate::JobKey`] and
+//! [`crate::Corpus::shard_range`] never renumbers jobs, a sharded sweep
+//! is byte-identical to the unsharded one job for job — sharding, like
+//! every other runtime knob, changes where work runs, never what it
+//! computes.
+
+use crate::cache::{CacheStats, PrepCache};
+use crate::corpus::Corpus;
+use crate::report::{BatchAggregator, StreamReport};
+use crate::run::{reference_optima, stream_jobs, RuntimeConfig};
+use crate::snap;
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Magic + version prefix of the shard-report snapshot format: seven
+/// identifying bytes and a format version byte. The body is the fixed
+/// header (`shard · shards · corpus_jobs · jobs · workers ·
+/// peak_buffered · wall_micros`), the six cache counters, the
+/// length-prefixed [`BatchAggregator`] snapshot, and the optional
+/// length-prefixed prep-cache snapshot behind a presence flag — all
+/// integers little-endian.
+pub const SHARD_MAGIC: &[u8; 8] = b"DAPCSHD\x01";
+
+/// What one shard of a corpus sends home: the mergeable aggregation of
+/// its job slice plus run counters — everything the merged experiment
+/// tables need, in size proportional to the number of summary cells, not
+/// jobs. Produced by [`solve_shard`], shipped with
+/// [`ShardReport::save_to`] / [`ShardReport::load_from`], recombined with
+/// [`ShardReport::merge`] and closed out with [`ShardReport::finish`].
+#[derive(Debug)]
+pub struct ShardReport {
+    /// Shard index this report was produced as (after merging: the
+    /// smallest merged index).
+    pub shard: usize,
+    /// Total shard count of the split.
+    pub shards: usize,
+    /// Total jobs of the corpus being split (validation that shards of
+    /// the *same* sweep are merged).
+    pub corpus_jobs: usize,
+    /// Jobs this report covers (after merging: the sum).
+    pub jobs: usize,
+    /// The shard's online aggregation, mergeable and snapshotable.
+    pub aggregator: BatchAggregator,
+    /// Prep-cache counters of the shard's process (after merging:
+    /// fieldwise sums over per-process caches).
+    pub cache: CacheStats,
+    /// Concurrent pump tasks the shard ran with (after merging: the
+    /// maximum).
+    pub workers: usize,
+    /// Reorder-buffer high-water mark (after merging: the maximum).
+    pub peak_buffered: usize,
+    /// Wall-clock time of the shard. Merging takes the per-shard
+    /// **maximum**: cooperating processes run concurrently, so the
+    /// merged wall models the slowest shard, not the sum.
+    pub wall: Duration,
+    /// Optional prep-cache warm-start snapshot (see
+    /// [`ShardReport::with_prep`]), for shipping memoised subset solves
+    /// to a cooperating process. Dropped by [`ShardReport::merge`] —
+    /// warm starts are for running shards, not for merged tables.
+    pub prep: Option<Vec<u8>>,
+}
+
+impl ShardReport {
+    /// Bundles a warm-start snapshot of `cache` (the
+    /// [`PrepCache::save_to`] format) into the report, so a cooperating
+    /// process can seed its own cache from it via
+    /// [`ShardReport::warm_start`] before solving a later shard of the
+    /// same families. Warm starts move counters and work, never a
+    /// report.
+    pub fn with_prep(mut self, cache: &PrepCache) -> Self {
+        let mut snapshot = Vec::new();
+        cache
+            .save_to(&mut snapshot)
+            .expect("writing to a Vec cannot fail");
+        self.prep = Some(snapshot);
+        self
+    }
+
+    /// Loads this report's bundled prep snapshot (if any) into `cache`,
+    /// returning the number of memoised subset solves seeded (0 when the
+    /// report carries no snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`PrepCache::load_into`] on a corrupt snapshot.
+    pub fn warm_start(&self, cache: &PrepCache) -> io::Result<usize> {
+        match &self.prep {
+            Some(snapshot) => cache.load_into(snapshot.as_slice()),
+            None => Ok(0),
+        }
+    }
+
+    /// Folds another shard of the same split into this report:
+    /// aggregators merge (associative and commutative over disjoint job
+    /// sets), cache counters sum, wall time and concurrency telemetry
+    /// take per-shard maxima.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the reports come from different splits (`shards` or
+    /// `corpus_jobs` differ) or cover overlapping job ranges (the same
+    /// shard merged twice).
+    pub fn merge(&mut self, other: ShardReport) {
+        assert_eq!(
+            self.shards, other.shards,
+            "cannot merge a {}-shard split with a {}-shard split",
+            self.shards, other.shards
+        );
+        assert_eq!(
+            self.corpus_jobs, other.corpus_jobs,
+            "shards of different corpora ({} vs {} jobs)",
+            self.corpus_jobs, other.corpus_jobs
+        );
+        self.shard = self.shard.min(other.shard);
+        self.jobs += other.jobs;
+        self.aggregator.merge(other.aggregator);
+        self.cache.absorb(&other.cache);
+        self.workers = self.workers.max(other.workers);
+        self.peak_buffered = self.peak_buffered.max(other.peak_buffered);
+        self.wall = self.wall.max(other.wall);
+        self.prep = None;
+    }
+
+    /// Finalises a fully merged report into the [`StreamReport`] the
+    /// single-process streaming path would have returned (timings and
+    /// per-process cache snapshots aside — groups and backends are equal
+    /// bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shards are missing: the merged report must cover
+    /// every job of the corpus.
+    pub fn finish(self) -> StreamReport {
+        assert_eq!(
+            self.jobs, self.corpus_jobs,
+            "merged report covers {} of {} corpus jobs — a shard is missing",
+            self.jobs, self.corpus_jobs
+        );
+        let (groups, backends) = self.aggregator.finish();
+        StreamReport {
+            jobs: self.jobs,
+            groups,
+            backends,
+            cache: self.cache,
+            workers: self.workers,
+            peak_buffered: self.peak_buffered,
+            wall: self.wall,
+        }
+    }
+
+    /// Writes this report in the versioned binary format (see
+    /// [`SHARD_MAGIC`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn save_to<W: io::Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(SHARD_MAGIC)?;
+        snap::write_u64(&mut w, self.shard as u64)?;
+        snap::write_u64(&mut w, self.shards as u64)?;
+        snap::write_u64(&mut w, self.corpus_jobs as u64)?;
+        snap::write_u64(&mut w, self.jobs as u64)?;
+        snap::write_u64(&mut w, self.workers as u64)?;
+        snap::write_u64(&mut w, self.peak_buffered as u64)?;
+        snap::write_u64(&mut w, self.wall.as_micros() as u64)?;
+        snap::write_u64(&mut w, self.cache.families as u64)?;
+        snap::write_u64(&mut w, self.cache.entries as u64)?;
+        snap::write_u64(&mut w, self.cache.bytes as u64)?;
+        snap::write_u64(&mut w, self.cache.hits)?;
+        snap::write_u64(&mut w, self.cache.misses)?;
+        snap::write_u64(&mut w, self.cache.evictions)?;
+        let mut aggregator = Vec::new();
+        self.aggregator.save_to(&mut aggregator)?;
+        snap::write_bytes(&mut w, &aggregator)?;
+        snap::write_bool(&mut w, self.prep.is_some())?;
+        if let Some(prep) = &self.prep {
+            snap::write_bytes(&mut w, prep)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a report written by [`ShardReport::save_to`]. Loading is
+    /// all-or-nothing and never panics on untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on a bad magic, an
+    /// unsupported version, an out-of-range shard header, a job count
+    /// disagreeing with the embedded aggregator, or trailing bytes (in
+    /// the aggregator block or after the report); with
+    /// [`io::ErrorKind::UnexpectedEof`] on
+    /// truncation at any field boundary; besides propagating reader
+    /// errors and the aggregator loader's own failures.
+    pub fn load_from<R: io::Read>(mut r: R) -> io::Result<Self> {
+        snap::check_magic(&mut r, SHARD_MAGIC, "shard-report")?;
+        let shard = snap::read_u64(&mut r)? as usize;
+        let shards = snap::read_u64(&mut r)? as usize;
+        let corpus_jobs = snap::read_u64(&mut r)? as usize;
+        let jobs = snap::read_u64(&mut r)? as usize;
+        if shards == 0 || shard >= shards {
+            return Err(snap::invalid(format!(
+                "shard header {shard}/{shards} out of range"
+            )));
+        }
+        if jobs > corpus_jobs {
+            return Err(snap::invalid(format!(
+                "shard claims {jobs} of {corpus_jobs} corpus jobs"
+            )));
+        }
+        let workers = snap::read_u64(&mut r)? as usize;
+        let peak_buffered = snap::read_u64(&mut r)? as usize;
+        let wall = Duration::from_micros(snap::read_u64(&mut r)?);
+        let cache = CacheStats {
+            families: snap::read_u64(&mut r)? as usize,
+            entries: snap::read_u64(&mut r)? as usize,
+            bytes: snap::read_u64(&mut r)? as usize,
+            hits: snap::read_u64(&mut r)?,
+            misses: snap::read_u64(&mut r)?,
+            evictions: snap::read_u64(&mut r)?,
+        };
+        let aggregator_bytes = snap::read_bytes(&mut r, "aggregator snapshot")?;
+        let mut aggregator_slice = aggregator_bytes.as_slice();
+        let aggregator = BatchAggregator::load_from(&mut aggregator_slice)?;
+        if !aggregator_slice.is_empty() {
+            return Err(snap::invalid("trailing bytes after the aggregator block"));
+        }
+        if aggregator.jobs() != jobs {
+            return Err(snap::invalid(format!(
+                "shard header claims {jobs} jobs but its aggregator folded {}",
+                aggregator.jobs()
+            )));
+        }
+        let prep = if snap::read_bool(&mut r, "prep-snapshot presence")? {
+            Some(snap::read_bytes(&mut r, "prep snapshot")?)
+        } else {
+            None
+        };
+        // The report is self-delimiting: like the aggregator sub-block,
+        // anything after the last field is corruption, not padding.
+        let mut trailing = [0u8; 1];
+        if r.read(&mut trailing)? != 0 {
+            return Err(snap::invalid("trailing bytes after the shard report"));
+        }
+        Ok(ShardReport {
+            shard,
+            shards,
+            corpus_jobs,
+            jobs,
+            aggregator,
+            cache,
+            workers,
+            peak_buffered,
+            wall,
+            prep,
+        })
+    }
+}
+
+/// Solves shard `shard` of `shards` of `corpus` (the contiguous slice
+/// [`Corpus::shard_range`] defines) with a fresh [`PrepCache`], returning
+/// the mergeable [`ShardReport`].
+///
+/// Every `(key, report)` outcome inside the shard is byte-identical to
+/// the same job in the unsharded sweep, at any `jobs`/`prep_workers`
+/// setting — jobs keep their global keys and key-derived RNG streams.
+/// Reference optima are solved only for the instances the shard actually
+/// touches; shards sharing an instance compute the same (deterministic)
+/// optimum, which the merge verifies.
+///
+/// # Examples
+///
+/// A two-shard split merged back together equals the single-process run:
+///
+/// ```
+/// use dapc_graph::gen;
+/// use dapc_ilp::problems;
+/// use dapc_runtime::{solve_many_streaming, solve_shard, Corpus, RuntimeConfig};
+///
+/// let corpus = Corpus::builder()
+///     .instance(
+///         "MIS/cycle14",
+///         problems::max_independent_set_unweighted(&gen::cycle(14)),
+///     )
+///     .backend("greedy")
+///     .backend("bnb")
+///     .eps(0.3)
+///     .seeds(0..3)
+///     .build();
+/// let rt = RuntimeConfig::new();
+///
+/// // Run the halves — in real use, in two separate processes, with the
+/// // reports shipped home via `save_to`/`load_from`.
+/// let mut merged = solve_shard(&corpus, 0, 2, &rt);
+/// merged.merge(solve_shard(&corpus, 1, 2, &rt));
+/// let sharded = merged.finish();
+///
+/// let single = solve_many_streaming(&corpus, &rt, |_r| {});
+/// assert_eq!(sharded.jobs, single.jobs);
+/// assert_eq!(sharded.groups.len(), single.groups.len());
+/// for (a, b) in sharded.groups.iter().zip(&single.groups) {
+///     let (mut a, mut b) = (a.clone(), b.clone());
+///     a.micros = 0; // wall-clock columns differ run to run,
+///     b.micros = 0; // everything else is equal bit for bit
+///     assert_eq!(a, b);
+/// }
+/// ```
+pub fn solve_shard(
+    corpus: &Corpus,
+    shard: usize,
+    shards: usize,
+    rt: &RuntimeConfig,
+) -> ShardReport {
+    solve_shard_with_cache(corpus, shard, shards, rt, &PrepCache::new())
+}
+
+/// [`solve_shard`] against a caller-owned [`PrepCache`] — warm it first
+/// (e.g. from an earlier shard's [`ShardReport::warm_start`] snapshot) to
+/// ship prep work between cooperating processes.
+pub fn solve_shard_with_cache(
+    corpus: &Corpus,
+    shard: usize,
+    shards: usize,
+    rt: &RuntimeConfig,
+    cache: &PrepCache,
+) -> ShardReport {
+    let start = Instant::now();
+    let range = corpus.shard_range(shard, shards);
+    let jobs = corpus.shard_jobs(shard, shards);
+    let optima = if rt.reference_optima && !jobs.is_empty() {
+        let touched: HashSet<&str> = jobs.iter().map(|j| j.key.instance.as_str()).collect();
+        reference_optima(corpus, Some(&touched), rt.prep_cache, cache)
+    } else {
+        HashMap::new()
+    };
+    let aggregator = BatchAggregator::with_optima_at(optima, range.start);
+    let (aggregator, pumps, peak_buffered) = stream_jobs(jobs, aggregator, rt, cache, |_r| {});
+    ShardReport {
+        shard,
+        shards,
+        corpus_jobs: corpus.len(),
+        jobs: range.len(),
+        aggregator,
+        cache: cache.stats(),
+        workers: pumps,
+        peak_buffered,
+        wall: start.elapsed(),
+        prep: None,
+    }
+}

@@ -212,6 +212,43 @@ fn group_summaries_aggregate_the_results() {
     assert!(report.backends.iter().all(|b| b.jobs == 2 * 3));
 }
 
+/// The online worst-seed phase counters ([`dapc_runtime::GroupStats`])
+/// match a hand computation over the per-job backend stats — this is
+/// what lets the experiment tables drop their dependency on the full
+/// result vector.
+#[test]
+fn group_stats_fold_the_worst_seed_counters() {
+    use dapc_core::engine::BackendStats;
+    let corpus = corpus(6, &["three-phase"], 3);
+    let report = solve_many(&corpus, &RuntimeConfig::new().jobs(2));
+    let mut packing_seen = false;
+    let mut covering_seen = false;
+    for g in &report.groups {
+        let mut expected = dapc_runtime::GroupStats::default();
+        for r in report.results.iter().filter(|r| {
+            r.key.instance == g.instance
+                && r.key.backend == g.backend
+                && r.key.eps.to_bits() == g.eps.to_bits()
+        }) {
+            match &r.report.stats {
+                BackendStats::Packing(s) => {
+                    packing_seen = true;
+                    expected.deleted = expected.deleted.max(s.deleted_carving + s.deleted_phase3);
+                    expected.components = expected.components.max(s.components);
+                }
+                BackendStats::Covering(s) => {
+                    covering_seen = true;
+                    expected.fixed_weight = expected.fixed_weight.max(s.fixed_weight);
+                    expected.deleted_edges = expected.deleted_edges.max(s.deleted_edges);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(g.stats, expected, "{}/{}", g.instance, g.backend);
+    }
+    assert!(packing_seen && covering_seen, "both senses exercised");
+}
+
 /// Disabling reference optima drops the ratio columns but nothing else.
 #[test]
 fn optima_are_optional() {

@@ -1,0 +1,494 @@
+//! Guarantees of the multi-process shard layer: any partition of a
+//! corpus into 1–4 shards merges back to the unsharded aggregation
+//! (timings aside), shard snapshots round-trip byte for byte and ship
+//! warm starts, and every loader rejects truncated or corrupt input with
+//! an `Err` — never a panic, never a half-load.
+
+use dapc_core::engine::SolveConfig;
+use dapc_graph::gen;
+use dapc_ilp::problems;
+use dapc_runtime::{
+    solve_many, solve_shard, solve_shard_with_cache, BackendSummary, BatchAggregator, Corpus,
+    GroupSummary, PrepCache, RuntimeConfig, ShardReport,
+};
+use proptest::prelude::*;
+
+fn small_corpus(instances: usize, backends: &[&str], seeds: u64) -> Corpus {
+    let pool = [
+        (
+            "MIS/cycle12",
+            problems::max_independent_set_unweighted(&gen::cycle(12)),
+        ),
+        (
+            "VC/cycle10",
+            problems::min_vertex_cover_unweighted(&gen::cycle(10)),
+        ),
+        (
+            "MIS/gnp12",
+            problems::max_independent_set_unweighted(&gen::gnp(12, 0.15, &mut gen::seeded_rng(1))),
+        ),
+        (
+            "DS/cycle9",
+            problems::min_dominating_set_unweighted(&gen::cycle(9)),
+        ),
+    ];
+    let mut b = Corpus::builder()
+        .backends(backends.iter().copied())
+        .eps(0.3)
+        .seeds(0..seeds)
+        .base_config(SolveConfig::new().ensemble_runs(2));
+    for (name, ilp) in pool.into_iter().take(instances) {
+        b = b.instance(name, ilp);
+    }
+    b.build()
+}
+
+fn sans_micros_groups(groups: &[GroupSummary]) -> Vec<GroupSummary> {
+    groups
+        .iter()
+        .cloned()
+        .map(|mut g| {
+            g.micros = 0;
+            g
+        })
+        .collect()
+}
+
+fn sans_micros_backends(backends: &[BackendSummary]) -> Vec<BackendSummary> {
+    backends
+        .iter()
+        .cloned()
+        .map(|mut b| {
+            b.micros = 0;
+            b
+        })
+        .collect()
+}
+
+/// Solves every shard of an `n`-way split and merges the reports in a
+/// configurable order (rotated start, optionally reversed) — merge must
+/// be commutative, so every order has to agree.
+fn solve_sharded(
+    corpus: &Corpus,
+    shards: usize,
+    rt: &RuntimeConfig,
+    rotate: usize,
+    reverse: bool,
+) -> ShardReport {
+    let mut order: Vec<usize> = (0..shards).map(|i| (i + rotate) % shards).collect();
+    if reverse {
+        order.reverse();
+    }
+    let mut reports = order
+        .into_iter()
+        .map(|i| solve_shard(corpus, i, shards, rt));
+    let mut merged = reports.next().expect("at least one shard");
+    for r in reports {
+        merged.merge(r);
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The ISSUE acceptance property: over random corpora, splitting
+    /// into 1–4 shards, solving each shard independently and merging the
+    /// reports (in a random order) equals the unsharded `BatchReport`
+    /// aggregation, modulo timings.
+    #[test]
+    fn shard_merge_equals_unsharded_batch_on_random_partitions(
+        instances in 1usize..=4,
+        backend_mask in 1usize..8,
+        seeds in 1u64..4,
+        shards in 1usize..=4,
+        jobs in 1usize..4,
+        rotate in 0usize..4,
+        reverse in 0usize..2,
+    ) {
+        let reverse = reverse == 1;
+        let all = ["three-phase", "greedy", "bnb"];
+        let backends: Vec<&str> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| backend_mask >> i & 1 == 1)
+            .map(|(_, b)| *b)
+            .collect();
+        let corpus = small_corpus(instances, &backends, seeds);
+        let rt = RuntimeConfig::new().jobs(jobs);
+        let reference = solve_many(&corpus, &rt);
+        let merged = solve_sharded(&corpus, shards, &rt, rotate % shards, reverse);
+        prop_assert_eq!(merged.jobs, corpus.len());
+        // The audited reorder-buffer bound holds inside every shard too.
+        prop_assert!(merged.peak_buffered <= (2 * jobs).max(16));
+        let stream = merged.finish();
+        prop_assert_eq!(stream.jobs, reference.results.len());
+        prop_assert_eq!(
+            sans_micros_groups(&reference.groups),
+            sans_micros_groups(&stream.groups)
+        );
+        prop_assert_eq!(
+            sans_micros_backends(&reference.backends),
+            sans_micros_backends(&stream.backends)
+        );
+    }
+}
+
+/// More shards than jobs: the surplus shards are empty, solve cleanly,
+/// and merge as no-ops.
+#[test]
+fn empty_shards_solve_and_merge_cleanly() {
+    let corpus = small_corpus(1, &["greedy"], 2); // 2 jobs
+    let shards = 4;
+    let empty_shard = (0..shards)
+        .find(|&i| corpus.shard_range(i, shards).is_empty())
+        .expect("4 shards of 2 jobs leave empty shards");
+    let empty = solve_shard(&corpus, empty_shard, shards, &RuntimeConfig::new());
+    assert_eq!(empty.jobs, 0);
+    assert_eq!(empty.aggregator.jobs(), 0);
+    let merged = solve_sharded(&corpus, shards, &RuntimeConfig::new(), 0, false);
+    let reference = solve_many(&corpus, &RuntimeConfig::new());
+    assert_eq!(
+        sans_micros_groups(&reference.groups),
+        sans_micros_groups(&merged.finish().groups)
+    );
+}
+
+/// The finest split: one job per shard still recombines exactly — every
+/// cell is reassembled purely from single-job fragments.
+#[test]
+fn single_job_shards_recombine_exactly() {
+    let corpus = small_corpus(2, &["greedy", "bnb"], 2);
+    let shards = corpus.len();
+    let reference = solve_many(&corpus, &RuntimeConfig::new());
+    let merged = solve_sharded(&corpus, shards, &RuntimeConfig::new(), 3, true);
+    let stream = merged.finish();
+    assert_eq!(
+        sans_micros_groups(&reference.groups),
+        sans_micros_groups(&stream.groups)
+    );
+    assert_eq!(
+        sans_micros_backends(&reference.backends),
+        sans_micros_backends(&stream.backends)
+    );
+}
+
+/// Snapshots are canonical: save → load → save reproduces the identical
+/// byte stream, for both the aggregator and the full shard report.
+#[test]
+fn shard_snapshots_round_trip_byte_for_byte() {
+    let corpus = small_corpus(2, &["three-phase"], 2);
+    let report = solve_shard(&corpus, 0, 2, &RuntimeConfig::new()).with_prep(&PrepCache::new());
+    let mut bytes = Vec::new();
+    report.save_to(&mut bytes).expect("write to a Vec");
+    let loaded = ShardReport::load_from(bytes.as_slice()).expect("read back");
+    assert_eq!(loaded.shard, report.shard);
+    assert_eq!(loaded.jobs, report.jobs);
+    assert_eq!(loaded.cache, report.cache);
+    // Wall time is persisted at microsecond precision.
+    assert_eq!(loaded.wall.as_micros(), report.wall.as_micros());
+    let mut reserialised = Vec::new();
+    loaded.save_to(&mut reserialised).expect("write to a Vec");
+    assert_eq!(bytes, reserialised, "snapshot is not canonical");
+
+    let mut agg_bytes = Vec::new();
+    report.aggregator.save_to(&mut agg_bytes).expect("to Vec");
+    let agg = BatchAggregator::load_from(agg_bytes.as_slice()).expect("read back");
+    assert_eq!(agg.jobs(), report.aggregator.jobs());
+    let mut agg_reserialised = Vec::new();
+    agg.save_to(&mut agg_reserialised).expect("to Vec");
+    assert_eq!(agg_bytes, agg_reserialised);
+}
+
+/// The full multi-process protocol through bytes: two shards serialised,
+/// re-loaded, merged and finished equal the single-process aggregation.
+#[test]
+fn merged_snapshots_equal_single_process_aggregation() {
+    let corpus = small_corpus(3, &["three-phase", "bnb"], 2);
+    let rt = RuntimeConfig::new().jobs(2);
+    let reference = solve_many(&corpus, &rt);
+    let mut shipped = Vec::new();
+    for shard in 0..2 {
+        let mut bytes = Vec::new();
+        solve_shard(&corpus, shard, 2, &rt)
+            .save_to(&mut bytes)
+            .expect("write to a Vec");
+        shipped.push(bytes);
+    }
+    let mut merged = ShardReport::load_from(shipped[1].as_slice()).expect("shard 1");
+    merged.merge(ShardReport::load_from(shipped[0].as_slice()).expect("shard 0"));
+    let stream = merged.finish();
+    assert_eq!(
+        sans_micros_groups(&reference.groups),
+        sans_micros_groups(&stream.groups)
+    );
+    assert_eq!(
+        sans_micros_backends(&reference.backends),
+        sans_micros_backends(&stream.backends)
+    );
+}
+
+/// Canonical bytes across histories: an aggregator that pushed a whole
+/// run and one merged from shard fragments of the *same* results (split
+/// mid-cell, so boundary fragments must coalesce) serialise to
+/// identical snapshots.
+#[test]
+fn merged_and_pushed_aggregators_serialise_identically() {
+    let corpus = small_corpus(2, &["greedy"], 2); // 4 jobs, 2 cells
+    let rt = RuntimeConfig::new().reference_optima(false);
+    let results = solve_many(&corpus, &rt).results;
+
+    let mut whole = BatchAggregator::new();
+    for r in &results {
+        whole.push(r);
+    }
+    // Split at index 1 — inside the first cell's seed run.
+    let mut left = BatchAggregator::new();
+    left.push(&results[0]);
+    let mut right = BatchAggregator::with_optima_at(std::collections::HashMap::new(), 1);
+    for r in &results[1..] {
+        right.push(r);
+    }
+    let mut merged = right;
+    merged.merge(left);
+
+    let bytes = |a: &BatchAggregator| {
+        let mut v = Vec::new();
+        a.save_to(&mut v).expect("write to a Vec");
+        v
+    };
+    assert_eq!(
+        bytes(&whole),
+        bytes(&merged),
+        "the same aggregation must serialise identically, whatever its history"
+    );
+}
+
+/// A checkpoint of a still-empty shard aggregator keeps its canonical
+/// start offset: resumed pushes land at the right indices, so the merge
+/// with the other shard neither overlaps nor gaps.
+#[test]
+fn empty_shard_checkpoint_resumes_at_its_offset() {
+    let corpus = small_corpus(2, &["greedy"], 2); // 4 jobs
+    let rt = RuntimeConfig::new().reference_optima(false);
+    let batch = solve_many(&corpus, &rt);
+
+    let fresh = BatchAggregator::with_optima_at(std::collections::HashMap::new(), 2);
+    let mut bytes = Vec::new();
+    fresh.save_to(&mut bytes).expect("write to a Vec");
+    let mut resumed = BatchAggregator::load_from(bytes.as_slice()).expect("read back");
+    assert_eq!(resumed.jobs(), 0);
+    for r in &batch.results[2..] {
+        resumed.push(r);
+    }
+    let mut shard0 = BatchAggregator::new();
+    for r in &batch.results[..2] {
+        shard0.push(r);
+    }
+    resumed.merge(shard0); // start 0 after a lost offset would overlap here
+    let (groups, _) = resumed.finish();
+    assert_eq!(groups, batch.groups);
+}
+
+/// Warm-start shipping between cooperating shards: shard 0's bundled
+/// prep snapshot seeds shard 1's cache, flipping cold misses into hits
+/// without moving a single aggregate.
+#[test]
+fn prep_snapshot_ships_warm_start_between_shards() {
+    // One instance family swept over seeds: both shards share all their
+    // subset solves, the best case for shipping prep work.
+    let corpus = Corpus::builder()
+        .instance(
+            "MIS/cycle12",
+            problems::max_independent_set_unweighted(&gen::cycle(12)),
+        )
+        .backend("three-phase")
+        .eps(0.3)
+        .seeds(0..6)
+        .build();
+    let rt = RuntimeConfig::new();
+    let reference = solve_many(&corpus, &rt);
+
+    let cold_cache = PrepCache::new();
+    let first = solve_shard_with_cache(&corpus, 0, 2, &rt, &cold_cache).with_prep(&cold_cache);
+    assert!(first.cache.misses > 0, "cold shard must solve something");
+
+    // A cold control run of shard 1, for the counter comparison.
+    let control = solve_shard(&corpus, 1, 2, &rt);
+
+    let warm_cache = PrepCache::new();
+    let seeded = first.warm_start(&warm_cache).expect("load the snapshot");
+    assert!(seeded > 0, "shard 0 shipped a non-empty memo");
+    let second = solve_shard_with_cache(&corpus, 1, 2, &rt, &warm_cache);
+    assert!(
+        second.cache.misses < control.cache.misses,
+        "warm start must save exact solves ({} vs {})",
+        second.cache.misses,
+        control.cache.misses
+    );
+
+    let mut merged = first;
+    merged.merge(second);
+    assert_eq!(
+        sans_micros_groups(&reference.groups),
+        sans_micros_groups(&merged.finish().groups),
+        "warm start moved an aggregate"
+    );
+}
+
+/// A report with no bundled snapshot warms nothing and is not an error.
+#[test]
+fn warm_start_without_a_snapshot_is_a_no_op() {
+    let corpus = small_corpus(1, &["greedy"], 1);
+    let report = solve_shard(&corpus, 0, 1, &RuntimeConfig::new());
+    assert!(report.prep.is_none());
+    let cache = PrepCache::new();
+    assert_eq!(report.warm_start(&cache).expect("no-op"), 0);
+    assert_eq!(cache.stats().entries, 0);
+}
+
+/// Loader hardening, exhaustively: truncating either snapshot format at
+/// *any* byte — which covers every field boundary — is an `Err`, never a
+/// panic. (Every field of both formats is mandatory, so no strict prefix
+/// is a valid stream.)
+#[test]
+fn truncated_snapshots_error_at_every_byte() {
+    let corpus = small_corpus(1, &["greedy"], 2);
+    let report = solve_shard(&corpus, 0, 2, &RuntimeConfig::new()).with_prep(&PrepCache::new());
+    let mut shard_bytes = Vec::new();
+    report.save_to(&mut shard_bytes).expect("write to a Vec");
+    for cut in 0..shard_bytes.len() {
+        assert!(
+            ShardReport::load_from(&shard_bytes[..cut]).is_err(),
+            "shard-report prefix of {cut} bytes must not load"
+        );
+    }
+    let mut agg_bytes = Vec::new();
+    report.aggregator.save_to(&mut agg_bytes).expect("to Vec");
+    for cut in 0..agg_bytes.len() {
+        assert!(
+            BatchAggregator::load_from(&agg_bytes[..cut]).is_err(),
+            "aggregator prefix of {cut} bytes must not load"
+        );
+    }
+}
+
+/// Wrong-version headers fail with a version-specific `InvalidData` (not
+/// a generic bad-magic error, and certainly not a silent
+/// misinterpretation), for all three runtime snapshot formats.
+#[test]
+fn wrong_version_headers_are_rejected() {
+    let corpus = small_corpus(1, &["greedy"], 1);
+    let cache = PrepCache::new();
+    let report = solve_shard_with_cache(&corpus, 0, 1, &RuntimeConfig::new(), &cache);
+
+    let mut shard_bytes = Vec::new();
+    report.save_to(&mut shard_bytes).expect("write to a Vec");
+    let mut agg_bytes = Vec::new();
+    report.aggregator.save_to(&mut agg_bytes).expect("to Vec");
+    let mut prep_bytes = Vec::new();
+    cache.save_to(&mut prep_bytes).expect("to Vec");
+
+    for bytes in [&mut shard_bytes, &mut agg_bytes, &mut prep_bytes] {
+        bytes[7] = 0x7f; // the version byte of every runtime format
+    }
+    for (what, err) in [
+        (
+            "shard",
+            ShardReport::load_from(shard_bytes.as_slice()).err(),
+        ),
+        (
+            "aggregator",
+            BatchAggregator::load_from(agg_bytes.as_slice()).err(),
+        ),
+        (
+            "prep cache",
+            PrepCache::new().load_into(prep_bytes.as_slice()).err(),
+        ),
+    ] {
+        let err = err.unwrap_or_else(|| panic!("{what}: future version must fail"));
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{what}");
+        assert!(err.to_string().contains("version"), "{what}: {err}");
+    }
+}
+
+/// A corrupt prep-cache snapshot must not half-warm the cache: the first
+/// family is well-formed, the stream dies inside the second, and nothing
+/// may be loaded.
+#[test]
+fn corrupt_prep_snapshot_never_half_loads() {
+    let corpus = small_corpus(2, &["three-phase"], 1);
+    let cache = PrepCache::new();
+    let _ = solve_shard_with_cache(&corpus, 0, 1, &RuntimeConfig::new(), &cache);
+    assert!(cache.stats().families >= 2, "need two families to corrupt");
+    let mut bytes = Vec::new();
+    cache.save_to(&mut bytes).expect("write to a Vec");
+    let truncated = &bytes[..bytes.len() - 3];
+    let target = PrepCache::new();
+    assert!(target.load_into(truncated).is_err());
+    assert_eq!(
+        target.stats().entries,
+        0,
+        "a failed load half-warmed the cache"
+    );
+    // The intact snapshot loads in full.
+    assert!(target.load_into(bytes.as_slice()).expect("intact") > 0);
+    assert_eq!(target.stats().entries, cache.stats().entries);
+}
+
+/// Every snapshot format is self-delimiting: appended garbage (e.g. a
+/// botched transfer or concatenated files) is `InvalidData`, not a
+/// silent partial load.
+#[test]
+fn trailing_bytes_are_rejected_by_every_loader() {
+    let corpus = small_corpus(1, &["greedy"], 1);
+    let cache = PrepCache::new();
+    let report = solve_shard_with_cache(&corpus, 0, 1, &RuntimeConfig::new(), &cache);
+    let mut shard_bytes = Vec::new();
+    report.save_to(&mut shard_bytes).expect("write to a Vec");
+    let mut prep_bytes = Vec::new();
+    cache.save_to(&mut prep_bytes).expect("write to a Vec");
+    for bytes in [&mut shard_bytes, &mut prep_bytes] {
+        bytes.push(0xAA);
+    }
+    let err = ShardReport::load_from(shard_bytes.as_slice()).expect_err("must reject");
+    assert!(err.to_string().contains("trailing"), "{err}");
+    let target = PrepCache::new();
+    let err = target
+        .load_into(prep_bytes.as_slice())
+        .expect_err("must reject");
+    assert!(err.to_string().contains("trailing"), "{err}");
+    assert_eq!(target.stats().entries, 0, "nothing may half-load");
+}
+
+/// Merging the same shard twice is caught by the overlap guard.
+#[test]
+#[should_panic(expected = "overlap")]
+fn merging_the_same_shard_twice_panics() {
+    let corpus = small_corpus(1, &["greedy"], 2);
+    let rt = RuntimeConfig::new();
+    let mut merged = solve_shard(&corpus, 0, 2, &rt);
+    merged.merge(solve_shard(&corpus, 0, 2, &rt));
+}
+
+/// Finishing a merge that never saw one of the shards is caught by the
+/// coverage check instead of producing a silently partial table.
+#[test]
+#[should_panic(expected = "a shard is missing")]
+fn finishing_with_a_missing_shard_panics() {
+    let corpus = small_corpus(2, &["greedy"], 2);
+    let rt = RuntimeConfig::new();
+    let mut merged = solve_shard(&corpus, 0, 3, &rt);
+    merged.merge(solve_shard(&corpus, 2, 3, &rt));
+    let _ = merged.finish();
+}
+
+/// Shards of different splits (or different corpora) refuse to merge.
+#[test]
+#[should_panic(expected = "cannot merge")]
+fn merging_across_splits_panics() {
+    let corpus = small_corpus(1, &["greedy"], 4);
+    let rt = RuntimeConfig::new();
+    let mut merged = solve_shard(&corpus, 0, 2, &rt);
+    merged.merge(solve_shard(&corpus, 2, 4, &rt));
+}

@@ -115,7 +115,11 @@ fn oversubscription_on_a_single_worker_pool_terminates() {
 }
 
 /// The hook observes every job exactly once, in canonical corpus order,
-/// and the reorder buffer honours its bound.
+/// and the reorder buffer honours its documented bound: `peak_buffered`
+/// may *reach* `max(2·pumps, 16)` (the admission check parks a result
+/// only while the buffer is strictly below capacity, so the bound is
+/// inclusive) but never exceed it. This assertion pins the audited
+/// off-by-one contract.
 #[test]
 fn streaming_delivery_is_canonical_and_bounded() {
     let corpus = small_corpus(3, &["greedy", "bnb"], 3);
