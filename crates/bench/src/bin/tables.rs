@@ -24,12 +24,28 @@
 //! snapshots, verifies they all belong to the same profile/experiment
 //! selection and that every shard 0..n is present exactly once, and
 //! prints the same tables the unsharded invocation would.
+//!
+//! `--orchestrate N` drives the whole protocol itself: it spawns the N
+//! shard workers as supervised child processes (the `dapc-serve`
+//! supervisor — crashed workers are re-spawned, a loadable shard file on
+//! disk is the ground truth of completion), then merges and renders.
+//! `--inject-kill` arms a fault drill: the first worker aborts mid-run
+//! and the supervisor's retry must still produce byte-identical tables.
+//! `--shard-dir DIR` pins where the shard files live (default: a
+//! process-unique directory under the system temp dir).
+//!
+//! Exit codes follow `dapc_serve::exit`: 0 ok, 3 transient I/O, 4 a
+//! corrupt or truncated shard file, 5 a panicking solve — so a
+//! supervising coordinator can tell retryable deaths from fatal ones.
 
 use dapc_bench::shard::{read_shard_file, write_shard_file, Runner};
 use dapc_bench::{run_experiment, Profile, ALL_EXPERIMENTS, BATCH_EXPERIMENTS};
 use dapc_runtime::RuntimeConfig;
+use dapc_serve::{exit, Supervisor, Verdict};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
 
 fn parse_count(flag: &str, value: &str) -> usize {
     value
@@ -48,6 +64,14 @@ fn parse_shard(value: &str) -> (usize, usize) {
     parse().unwrap_or_else(|| panic!("bad --shard value {value:?} (expected i/n with i < n)"))
 }
 
+/// Reports an I/O failure and exits with its triage code
+/// ([`exit::EXIT_BAD_SNAPSHOT`] for corrupt/truncated snapshot bytes,
+/// [`exit::EXIT_IO`] for transient filesystem trouble).
+fn die(e: &io::Error, ctx: &str) -> ! {
+    eprintln!("tables: {ctx}: {e}");
+    std::process::exit(exit::classify(e));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut profile = Profile::Full;
@@ -56,6 +80,10 @@ fn main() {
     let mut shard: Option<(usize, usize)> = None;
     let mut emit_path: Option<String> = None;
     let mut merge_paths: Vec<String> = Vec::new();
+    let mut orchestrate_workers: Option<usize> = None;
+    let mut inject_kill = false;
+    let mut self_destruct = false;
+    let mut shard_dir: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -84,6 +112,15 @@ fn main() {
                     "--merge-shards needs at least one path"
                 );
             }
+            "--orchestrate" => {
+                let n = it.next().expect("--orchestrate needs a worker count");
+                orchestrate_workers = Some(parse_count("--orchestrate", &n));
+            }
+            "--inject-kill" => inject_kill = true,
+            "--self-destruct" => self_destruct = true,
+            "--shard-dir" => {
+                shard_dir = Some(PathBuf::from(it.next().expect("--shard-dir needs a path")));
+            }
             other => {
                 if let Some(n) = other.strip_prefix("--jobs=") {
                     rt.jobs = parse_count("--jobs", n);
@@ -96,6 +133,10 @@ fn main() {
                 } else if let Some(p) = other.strip_prefix("--merge-shards=") {
                     // Equals-form: comma-separated paths.
                     merge_paths.extend(p.split(',').map(str::to_string));
+                } else if let Some(n) = other.strip_prefix("--orchestrate=") {
+                    orchestrate_workers = Some(parse_count("--orchestrate", n));
+                } else if let Some(p) = other.strip_prefix("--shard-dir=") {
+                    shard_dir = Some(PathBuf::from(p));
                 } else if other.starts_with("--") {
                     panic!("unknown flag {other:?}");
                 } else {
@@ -115,9 +156,15 @@ fn main() {
         merge_paths.is_empty() || shard.is_none(),
         "--merge-shards conflicts with --shard/--emit-shard"
     );
+    assert!(
+        orchestrate_workers.is_none() || (shard.is_none() && merge_paths.is_empty()),
+        "--orchestrate conflicts with --shard/--emit-shard/--merge-shards"
+    );
 
-    if let (Some((shard, shards)), Some(path)) = (shard, emit_path) {
-        emit(profile, rt, &ids, shard, shards, &path);
+    if let Some(workers) = orchestrate_workers {
+        orchestrate(profile, &rt, &ids, workers, inject_kill, shard_dir);
+    } else if let (Some((shard, shards)), Some(path)) = (shard, emit_path) {
+        emit(profile, rt, &ids, shard, shards, &path, self_destruct);
     } else if !merge_paths.is_empty() {
         merge(profile, rt, &ids, &merge_paths);
     } else {
@@ -146,23 +193,40 @@ fn emit(
     shard: usize,
     shards: usize,
     path: &str,
+    self_destruct: bool,
 ) {
     let runner = Runner::emit(rt, shard, shards);
+    let mut fuse = self_destruct;
     for id in ids {
         if !BATCH_EXPERIMENTS.contains(&id.as_str()) {
             eprintln!("[{id} does not batch; it runs inline at merge time]");
             continue;
         }
         let start = std::time::Instant::now();
-        let table = run_experiment(id, profile, &runner);
+        // A panicking solve is deterministic in its inputs — die with
+        // the code that tells the coordinator not to bother retrying.
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_experiment(id, profile, &runner)
+        }));
+        let table = solved.unwrap_or_else(|_| {
+            eprintln!("tables: solve of {id} panicked");
+            std::process::exit(exit::EXIT_SOLVE_PANIC);
+        });
         assert!(table.is_empty(), "emit mode must not render");
         eprintln!(
             "[{id} shard {shard}/{shards} solved in {:.1?}]",
             start.elapsed()
         );
+        if std::mem::take(&mut fuse) {
+            // The fault drill: die after real work but before anything
+            // reaches disk — no unwinding, no shard file, exactly like a
+            // SIGKILL mid-sweep. The supervisor must salvage.
+            eprintln!("[injected kill: aborting shard {shard}/{shards} after {id}]");
+            std::process::abort();
+        }
     }
     let reports = runner.into_emitted();
-    let file = File::create(path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+    let file = File::create(path).unwrap_or_else(|e| die(&e, &format!("create {path:?}")));
     write_shard_file(
         BufWriter::new(file),
         profile,
@@ -171,7 +235,7 @@ fn emit(
         shards,
         &reports,
     )
-    .unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    .unwrap_or_else(|e| die(&e, &format!("write {path:?}")));
     eprintln!(
         "[shard {shard}/{shards}: {} batch snapshots written to {path}]",
         reports.len()
@@ -186,9 +250,9 @@ fn merge(profile: Profile, rt: RuntimeConfig, ids: &[String], paths: &[String]) 
     let mut seen_shards = Vec::new();
     let mut split = None;
     for path in paths {
-        let file = File::open(path).unwrap_or_else(|e| panic!("open {path:?}: {e}"));
-        let shard_file =
-            read_shard_file(BufReader::new(file)).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+        let file = File::open(path).unwrap_or_else(|e| die(&e, &format!("open {path:?}")));
+        let shard_file = read_shard_file(BufReader::new(file))
+            .unwrap_or_else(|e| die(&e, &format!("read {path:?}")));
         assert!(
             shard_file.profile == profile,
             "{path}: emitted with a different profile"
@@ -221,4 +285,100 @@ fn merge(profile: Profile, rt: RuntimeConfig, ids: &[String], paths: &[String]) 
     let runner = Runner::merge(rt, queues);
     render(profile, ids, &runner);
     runner.assert_drained();
+}
+
+/// `--orchestrate N`: run the whole emit → supervise → merge protocol in
+/// one invocation. Shard workers are this same binary in `--shard i/n
+/// --emit-shard` mode, supervised by the `dapc-serve` process pool: a
+/// worker that crashes (or is killed by the `--inject-kill` drill)
+/// leaves no loadable shard file, so the judge re-spawns its shard;
+/// deterministic deaths (corrupt input, a panicking solve) abort the run
+/// instead of retrying into the same wall.
+fn orchestrate(
+    profile: Profile,
+    rt: &RuntimeConfig,
+    ids: &[String],
+    workers: usize,
+    inject_kill: bool,
+    shard_dir: Option<PathBuf>,
+) {
+    assert!(workers > 0, "--orchestrate needs at least one worker");
+    let dir = shard_dir.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("tables-orchestrate-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| die(&e, &format!("create {}", dir.display())));
+    let exe = std::env::current_exe().unwrap_or_else(|e| die(&e, "locate the tables binary"));
+    let profile_flag = match profile {
+        Profile::Quick => "--quick",
+        Profile::Full => "--full",
+    };
+    let shard_path = |i: usize| dir.join(format!("shard{i}.bin"));
+
+    // The drill arms exactly one spawn: the first worker aborts mid-run,
+    // every retry (and every other worker) runs clean.
+    let mut armed = inject_kill;
+    let supervisor = Supervisor {
+        slots: workers,
+        max_attempts: 3,
+        timeout: None,
+    };
+    let stats = supervisor
+        .run(
+            (0..workers).collect(),
+            |&i, _attempt| {
+                let mut cmd = Command::new(&exe);
+                cmd.arg(profile_flag)
+                    .arg("--jobs")
+                    .arg(rt.jobs.to_string())
+                    .arg("--prep-workers")
+                    .arg(rt.prep_workers.to_string())
+                    .arg("--shard")
+                    .arg(format!("{i}/{workers}"))
+                    .arg("--emit-shard")
+                    .arg(shard_path(i))
+                    .args(ids)
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::inherit());
+                if std::mem::take(&mut armed) {
+                    cmd.arg("--self-destruct");
+                }
+                cmd.spawn()
+            },
+            |&i, exit_status| {
+                // The shard file on disk is the ground truth of what the
+                // attempt achieved, whatever the exit status claims.
+                let loadable = File::open(shard_path(i))
+                    .map(BufReader::new)
+                    .and_then(read_shard_file)
+                    .map(|f| f.shard == i && f.shards == workers)
+                    .unwrap_or(false);
+                if loadable {
+                    return Ok(Verdict::Done);
+                }
+                // Torn or foreign: as if the worker never finished.
+                std::fs::remove_file(shard_path(i)).ok();
+                if !exit_status.timed_out
+                    && exit_status.code != Some(exit::EXIT_OK)
+                    && !exit::is_retryable(exit_status.code)
+                {
+                    return Ok(Verdict::Fatal(format!(
+                        "shard {i}/{workers} failed deterministically (exit {:?})",
+                        exit_status.code
+                    )));
+                }
+                Ok(Verdict::Requeue {
+                    tasks: vec![i],
+                    progress: false,
+                })
+            },
+        )
+        .unwrap_or_else(|e| die(&e, "supervising shard workers"));
+    eprintln!(
+        "[orchestrated {workers} shard workers: {} spawns, {} retries, {} timeouts]",
+        stats.spawns, stats.retries, stats.timeouts
+    );
+    let paths: Vec<String> = (0..workers)
+        .map(|i| shard_path(i).to_string_lossy().into_owned())
+        .collect();
+    merge(profile, rt.clone(), ids, &paths);
 }

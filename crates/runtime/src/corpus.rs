@@ -133,9 +133,27 @@ impl Corpus {
     /// indices and keys intact. Builds only the shard's slice — a shard
     /// process never pays for the whole corpus.
     pub fn shard_jobs(&self, shard: usize, shards: usize) -> Vec<Job> {
-        self.shard_range(shard, shards)
-            .map(|i| self.job_at(i))
-            .collect()
+        self.range_jobs(self.shard_range(shard, shards))
+    }
+
+    /// Materialises the jobs of an **arbitrary** contiguous slice of the
+    /// canonical order — the work unit of partial-shard scheduling: a
+    /// coordinator that reassigns a crashed worker's remaining jobs hands
+    /// the replacement exactly this range. Jobs keep their global indices
+    /// and [`JobKey`]s (and with them their derived RNG streams), so a
+    /// range job's `(key, report)` outcome is byte-identical to the same
+    /// job in the unsharded sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` reaches beyond the corpus.
+    pub fn range_jobs(&self, range: Range<usize>) -> Vec<Job> {
+        assert!(
+            range.end <= self.len(),
+            "job range {range:?} reaches beyond the {}-job corpus",
+            self.len()
+        );
+        range.map(|i| self.job_at(i)).collect()
     }
 
     /// Materialises every job in canonical order: instance-major, then

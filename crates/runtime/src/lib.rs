@@ -67,6 +67,7 @@
 
 mod cache;
 mod corpus;
+mod part;
 mod report;
 mod run;
 mod shard;
@@ -74,6 +75,9 @@ pub mod snap;
 
 pub use cache::{CacheStats, PrepCache, PREP_CACHE_MAGIC};
 pub use corpus::{Corpus, CorpusBuilder, Job, JobKey};
+pub use part::{
+    solve_range, solve_range_streaming_with_cache, solve_range_with_cache, PartReport, PART_MAGIC,
+};
 pub use report::{
     BackendSummary, BatchAggregator, BatchReport, GroupStats, GroupSummary, JobResult,
     StreamReport, AGGREGATOR_MAGIC,

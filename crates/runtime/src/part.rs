@@ -1,0 +1,347 @@
+//! Partial-sweep results over **arbitrary** contiguous job ranges — the
+//! checkpoint and work-stealing unit underneath `dapc-serve`'s
+//! fault-tolerant orchestration.
+//!
+//! [`crate::solve_shard`] fixes the unit of distribution at "one shard of
+//! a static i-of-n split". A fault-tolerant coordinator needs something
+//! finer: when a worker dies halfway through its slice, the *remaining*
+//! job range must be reassignable to any other worker, and the completed
+//! prefix must be salvageable from checkpoints. [`solve_range`] and
+//! [`PartReport`] provide exactly that: solve any contiguous canonical
+//! range, get back a snapshotable aggregation that merges with any other
+//! disjoint range of the same corpus — merging is associative and
+//! commutative (the mergeable-span [`BatchAggregator`] does the heavy
+//! lifting), so *any* disjoint cover of the corpus, however it was carved
+//! up by crashes and retries, finishes into the identical
+//! [`StreamReport`] the single-process run produces, timings aside.
+
+use crate::cache::{CacheStats, PrepCache};
+use crate::corpus::Corpus;
+use crate::report::{BatchAggregator, StreamReport};
+use crate::run::{reference_optima, stream_jobs, RuntimeConfig};
+use crate::snap;
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// Magic + version prefix of the part-report snapshot format: seven
+/// identifying bytes and a format version byte. The body is the fixed
+/// header (`corpus_jobs · start · jobs · workers · peak_buffered ·
+/// wall_micros`), the six cache counters, and the length-prefixed
+/// [`BatchAggregator`] snapshot — all integers little-endian, the stream
+/// self-delimiting (trailing bytes are corruption).
+pub const PART_MAGIC: &[u8; 8] = b"DAPCPRT\x01";
+
+/// The aggregation of one contiguous job range of a corpus (or, after
+/// merging, of any disjoint union of ranges): what a checkpoint file
+/// holds and what a coordinator stitches back together. Produced by
+/// [`solve_range`], shipped with [`PartReport::save_to`] /
+/// [`PartReport::load_from`], recombined with [`PartReport::merge`] and
+/// closed out with [`PartReport::finish`].
+///
+/// Unlike [`crate::ShardReport`] a part carries no `i`-of-`n` shard
+/// coordinates — its identity is the canonical ranges its aggregator
+/// covers ([`PartReport::covered`]), which is what makes crash-driven
+/// repartitions mergeable at all.
+#[derive(Debug)]
+pub struct PartReport {
+    /// Total jobs of the corpus being partially solved (validation that
+    /// parts of the *same* sweep are merged).
+    pub corpus_jobs: usize,
+    /// Canonical index of the earliest job covered (the range start even
+    /// while the part is empty).
+    pub start: usize,
+    /// Jobs this part covers (after merging: the sum).
+    pub jobs: usize,
+    /// The part's online aggregation, mergeable and snapshotable.
+    pub aggregator: BatchAggregator,
+    /// Prep-cache counters of the producing process (after merging:
+    /// fieldwise sums over per-process caches).
+    pub cache: CacheStats,
+    /// Concurrent pump tasks the part ran with (after merging: the
+    /// maximum).
+    pub workers: usize,
+    /// Reorder-buffer high-water mark (after merging: the maximum).
+    pub peak_buffered: usize,
+    /// Wall-clock time spent producing the part. Merging takes the
+    /// per-part **maximum**, like shard merging: cooperating processes
+    /// run concurrently.
+    pub wall: Duration,
+}
+
+impl PartReport {
+    /// The canonical job ranges this part covers, in normal form
+    /// (sorted, disjoint, adjacent runs coalesced) — one entry straight
+    /// from [`solve_range`], possibly several after merging
+    /// non-adjacent parts.
+    pub fn covered(&self) -> Vec<Range<usize>> {
+        self.aggregator.covered()
+    }
+
+    /// Folds another part of the same sweep into this one: aggregators
+    /// merge (associative and commutative over disjoint job sets), cache
+    /// counters sum, wall time and concurrency telemetry take per-part
+    /// maxima.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parts come from different corpora (`corpus_jobs`
+    /// differs) or cover overlapping job ranges (the same checkpoint
+    /// merged twice).
+    pub fn merge(&mut self, other: PartReport) {
+        assert_eq!(
+            self.corpus_jobs, other.corpus_jobs,
+            "parts of different corpora ({} vs {} jobs)",
+            self.corpus_jobs, other.corpus_jobs
+        );
+        self.start = self.start.min(other.start);
+        self.jobs += other.jobs;
+        self.aggregator.merge(other.aggregator);
+        self.cache.absorb(&other.cache);
+        self.workers = self.workers.max(other.workers);
+        self.peak_buffered = self.peak_buffered.max(other.peak_buffered);
+        self.wall = self.wall.max(other.wall);
+    }
+
+    /// Finalises a fully merged part into the [`StreamReport`] the
+    /// single-process streaming path would have returned (timings and
+    /// per-process cache counters aside — groups and backends are equal
+    /// bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the merged parts do not cover every job of the corpus
+    /// — a checkpoint is missing.
+    pub fn finish(self) -> StreamReport {
+        assert_eq!(
+            self.jobs, self.corpus_jobs,
+            "merged parts cover {} of {} corpus jobs — a range is missing",
+            self.jobs, self.corpus_jobs
+        );
+        let (groups, backends) = self.aggregator.finish();
+        StreamReport {
+            jobs: self.jobs,
+            groups,
+            backends,
+            cache: self.cache,
+            workers: self.workers,
+            peak_buffered: self.peak_buffered,
+            wall: self.wall,
+        }
+    }
+
+    /// Writes this part in the versioned binary format (see
+    /// [`PART_MAGIC`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn save_to<W: io::Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(PART_MAGIC)?;
+        snap::write_u64(&mut w, self.corpus_jobs as u64)?;
+        snap::write_u64(&mut w, self.start as u64)?;
+        snap::write_u64(&mut w, self.jobs as u64)?;
+        snap::write_u64(&mut w, self.workers as u64)?;
+        snap::write_u64(&mut w, self.peak_buffered as u64)?;
+        snap::write_u64(&mut w, self.wall.as_micros() as u64)?;
+        snap::write_u64(&mut w, self.cache.families as u64)?;
+        snap::write_u64(&mut w, self.cache.entries as u64)?;
+        snap::write_u64(&mut w, self.cache.bytes as u64)?;
+        snap::write_u64(&mut w, self.cache.hits)?;
+        snap::write_u64(&mut w, self.cache.misses)?;
+        snap::write_u64(&mut w, self.cache.evictions)?;
+        let mut aggregator = Vec::new();
+        self.aggregator.save_to(&mut aggregator)?;
+        snap::write_bytes(&mut w, &aggregator)?;
+        Ok(())
+    }
+
+    /// Reads a part written by [`PartReport::save_to`]. Loading is
+    /// all-or-nothing and never panics on untrusted input — a torn
+    /// checkpoint file surfaces as an `Err` the coordinator treats as
+    /// "this range was never completed".
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] on a bad magic, an
+    /// unsupported version, a header disagreeing with the embedded
+    /// aggregator (job count, start index, or coverage beyond the
+    /// corpus), or trailing bytes; with
+    /// [`io::ErrorKind::UnexpectedEof`] on truncation at any byte;
+    /// besides propagating reader errors and the aggregator loader's own
+    /// failures.
+    pub fn load_from<R: io::Read>(mut r: R) -> io::Result<Self> {
+        snap::check_magic(&mut r, PART_MAGIC, "part-report")?;
+        let corpus_jobs = snap::read_u64(&mut r)? as usize;
+        let start = snap::read_u64(&mut r)? as usize;
+        let jobs = snap::read_u64(&mut r)? as usize;
+        if jobs > corpus_jobs {
+            return Err(snap::invalid(format!(
+                "part claims {jobs} of {corpus_jobs} corpus jobs"
+            )));
+        }
+        let workers = snap::read_u64(&mut r)? as usize;
+        let peak_buffered = snap::read_u64(&mut r)? as usize;
+        let wall = Duration::from_micros(snap::read_u64(&mut r)?);
+        let cache = CacheStats {
+            families: snap::read_u64(&mut r)? as usize,
+            entries: snap::read_u64(&mut r)? as usize,
+            bytes: snap::read_u64(&mut r)? as usize,
+            hits: snap::read_u64(&mut r)?,
+            misses: snap::read_u64(&mut r)?,
+            evictions: snap::read_u64(&mut r)?,
+        };
+        let aggregator_bytes = snap::read_bytes(&mut r, "aggregator snapshot")?;
+        let mut aggregator_slice = aggregator_bytes.as_slice();
+        let aggregator = BatchAggregator::load_from(&mut aggregator_slice)?;
+        if !aggregator_slice.is_empty() {
+            return Err(snap::invalid("trailing bytes after the aggregator block"));
+        }
+        if aggregator.jobs() != jobs {
+            return Err(snap::invalid(format!(
+                "part header claims {jobs} jobs but its aggregator folded {}",
+                aggregator.jobs()
+            )));
+        }
+        let covered = aggregator.covered();
+        if let Some(first) = covered.first() {
+            if first.start != start {
+                return Err(snap::invalid(format!(
+                    "part header starts at {start} but its aggregation at {}",
+                    first.start
+                )));
+            }
+        }
+        if let Some(last) = covered.last() {
+            if last.end > corpus_jobs {
+                return Err(snap::invalid(format!(
+                    "part covers jobs up to {} of a {corpus_jobs}-job corpus",
+                    last.end
+                )));
+            }
+        }
+        // Self-delimiting like every snapshot format here: anything after
+        // the last field is corruption, not padding.
+        let mut trailing = [0u8; 1];
+        if r.read(&mut trailing)? != 0 {
+            return Err(snap::invalid("trailing bytes after the part report"));
+        }
+        Ok(PartReport {
+            corpus_jobs,
+            start,
+            jobs,
+            aggregator,
+            cache,
+            workers,
+            peak_buffered,
+            wall,
+        })
+    }
+}
+
+/// Solves the contiguous canonical job range `range` of `corpus` with a
+/// fresh [`PrepCache`], returning the mergeable [`PartReport`].
+///
+/// Every `(key, report)` outcome inside the range is byte-identical to
+/// the same job in the unsharded sweep, at any `jobs`/`prep_workers`
+/// setting — jobs keep their global keys and key-derived RNG streams.
+/// Reference optima are solved only for the instances the range actually
+/// touches; ranges sharing an instance compute the same (deterministic)
+/// optimum, which the merge verifies.
+///
+/// # Examples
+///
+/// A corpus carved into three uneven ranges — the shape a crashed
+/// worker's reassigned remainder produces — merges back to the
+/// single-process aggregation:
+///
+/// ```
+/// use dapc_graph::gen;
+/// use dapc_ilp::problems;
+/// use dapc_runtime::{solve_many_streaming, solve_range, Corpus, RuntimeConfig};
+///
+/// let corpus = Corpus::builder()
+///     .instance(
+///         "MIS/cycle12",
+///         problems::max_independent_set_unweighted(&gen::cycle(12)),
+///     )
+///     .backend("greedy")
+///     .backend("bnb")
+///     .eps(0.3)
+///     .seeds(0..3)
+///     .build();
+/// let rt = RuntimeConfig::new();
+///
+/// // Ranges may merge in any order and any grouping.
+/// let mut merged = solve_range(&corpus, 4..5, &rt);
+/// merged.merge(solve_range(&corpus, 0..4, &rt));
+/// merged.merge(solve_range(&corpus, 5..corpus.len(), &rt));
+/// let stitched = merged.finish();
+///
+/// let single = solve_many_streaming(&corpus, &rt, |_r| {});
+/// assert_eq!(stitched.jobs, single.jobs);
+/// for (a, b) in stitched.groups.iter().zip(&single.groups) {
+///     let (mut a, mut b) = (a.clone(), b.clone());
+///     a.micros = 0; // wall-clock columns differ run to run,
+///     b.micros = 0; // everything else is equal bit for bit
+///     assert_eq!(a, b);
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics when `range` reaches beyond the corpus.
+pub fn solve_range(corpus: &Corpus, range: Range<usize>, rt: &RuntimeConfig) -> PartReport {
+    solve_range_with_cache(corpus, range, rt, &PrepCache::new())
+}
+
+/// [`solve_range`] against a caller-owned [`PrepCache`] — warm it first
+/// (e.g. from an earlier worker's prep snapshot) to ship memoised prep
+/// work between cooperating processes.
+pub fn solve_range_with_cache(
+    corpus: &Corpus,
+    range: Range<usize>,
+    rt: &RuntimeConfig,
+    cache: &PrepCache,
+) -> PartReport {
+    solve_range_streaming_with_cache(corpus, range, rt, cache, |_r| {})
+}
+
+/// [`solve_range_with_cache`] with an `on_result` hook: every
+/// [`crate::JobResult`] of the range is handed over by value exactly
+/// once, in canonical order, before being dropped — the range-scoped
+/// sibling of [`crate::solve_many_streaming`], and what a solve service
+/// uses to stream per-job results to a client while the mergeable
+/// aggregation accrues.
+pub fn solve_range_streaming_with_cache<F>(
+    corpus: &Corpus,
+    range: Range<usize>,
+    rt: &RuntimeConfig,
+    cache: &PrepCache,
+    on_result: F,
+) -> PartReport
+where
+    F: FnMut(crate::JobResult) + Send + 'static,
+{
+    let start = Instant::now();
+    let jobs = corpus.range_jobs(range.clone());
+    let optima = if rt.reference_optima && !jobs.is_empty() {
+        let touched: HashSet<&str> = jobs.iter().map(|j| j.key.instance.as_str()).collect();
+        reference_optima(corpus, Some(&touched), rt.prep_cache, cache)
+    } else {
+        HashMap::new()
+    };
+    let aggregator = BatchAggregator::with_optima_at(optima, range.start);
+    let (aggregator, pumps, peak_buffered) = stream_jobs(jobs, aggregator, rt, cache, on_result);
+    PartReport {
+        corpus_jobs: corpus.len(),
+        start: range.start,
+        jobs: range.len(),
+        aggregator,
+        cache: cache.stats(),
+        workers: pumps,
+        peak_buffered,
+        wall: start.elapsed(),
+    }
+}

@@ -537,6 +537,18 @@ impl BatchAggregator {
         self.spans.iter().map(|s| s.len).sum()
     }
 
+    /// The canonical job ranges this aggregation covers, in normal form:
+    /// sorted, disjoint, non-empty, adjacent runs coalesced. One entry
+    /// per *gap-separated* run — a coordinator resuming a sweep from
+    /// checkpoints subtracts these from the corpus range to find the
+    /// jobs still owed.
+    pub fn covered(&self) -> Vec<std::ops::Range<usize>> {
+        Self::coalesced(self.spans.clone())
+            .into_iter()
+            .map(|s| s.start..s.end())
+            .collect()
+    }
+
     /// Folds one result into its `(instance, backend, ε)` group.
     ///
     /// # Panics

@@ -17,12 +17,12 @@
 
 use crate::cache::{CacheStats, PrepCache};
 use crate::corpus::Corpus;
+use crate::part::solve_range_with_cache;
 use crate::report::{BatchAggregator, StreamReport};
-use crate::run::{reference_optima, stream_jobs, RuntimeConfig};
+use crate::run::RuntimeConfig;
 use crate::snap;
-use std::collections::{HashMap, HashSet};
 use std::io;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Magic + version prefix of the shard-report snapshot format: seven
 /// identifying bytes and a format version byte. The body is the fixed
@@ -335,27 +335,19 @@ pub fn solve_shard_with_cache(
     rt: &RuntimeConfig,
     cache: &PrepCache,
 ) -> ShardReport {
-    let start = Instant::now();
-    let range = corpus.shard_range(shard, shards);
-    let jobs = corpus.shard_jobs(shard, shards);
-    let optima = if rt.reference_optima && !jobs.is_empty() {
-        let touched: HashSet<&str> = jobs.iter().map(|j| j.key.instance.as_str()).collect();
-        reference_optima(corpus, Some(&touched), rt.prep_cache, cache)
-    } else {
-        HashMap::new()
-    };
-    let aggregator = BatchAggregator::with_optima_at(optima, range.start);
-    let (aggregator, pumps, peak_buffered) = stream_jobs(jobs, aggregator, rt, cache, |_r| {});
+    // A shard is the special case of a partial solve whose range is the
+    // static i-of-n slice — the same pipeline serves both.
+    let part = solve_range_with_cache(corpus, corpus.shard_range(shard, shards), rt, cache);
     ShardReport {
         shard,
         shards,
-        corpus_jobs: corpus.len(),
-        jobs: range.len(),
-        aggregator,
-        cache: cache.stats(),
-        workers: pumps,
-        peak_buffered,
-        wall: start.elapsed(),
+        corpus_jobs: part.corpus_jobs,
+        jobs: part.jobs,
+        aggregator: part.aggregator,
+        cache: part.cache,
+        workers: part.workers,
+        peak_buffered: part.peak_buffered,
+        wall: part.wall,
         prep: None,
     }
 }

@@ -1,0 +1,391 @@
+//! The persistent solve daemon and its client.
+//!
+//! A [`Daemon`] listens on a Unix-domain socket and serves
+//! [`Request`]s framed by [`crate::proto`]. The point of keeping the
+//! process alive between requests is the resident [`PrepCache`]: corpora
+//! that revisit the same instance families (the common case in sweep
+//! workflows) skip their memoised exact subset solves on every request
+//! after the first, which is visible in the [`Response::Stats`] hit
+//! counters.
+//!
+//! The daemon trusts nothing it reads: frames and specs go through the
+//! hardened decoders, a bad message earns a [`Response::Error`] (or a
+//! dropped connection if even the frame layer is broken) and the server
+//! keeps serving. Requests are handled one connection at a time — the
+//! parallelism that matters runs *inside* a request via the runtime's
+//! executor, and a single-threaded accept loop keeps the resident cache
+//! free of cross-request races.
+
+use crate::proto::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use crate::spec::CorpusSpec;
+use dapc_local::RoundCost;
+use dapc_runtime::{solve_range_streaming_with_cache, JobResult, PrepCache, RuntimeConfig};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hard cap on the per-request `jobs` parallelism a client may ask for.
+pub const MAX_REQUEST_JOBS: u64 = 16;
+
+/// The persistent solve server. See the module docs.
+pub struct Daemon {
+    listener: UnixListener,
+    socket: PathBuf,
+    cache: PrepCache,
+    requests: u64,
+    jobs_solved: u64,
+}
+
+impl Daemon {
+    /// Binds the daemon to `socket`, replacing a stale socket file from
+    /// a dead predecessor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors (including a *live* predecessor still
+    /// holding the address on platforms that report it).
+    pub fn bind(socket: &Path) -> io::Result<Self> {
+        match std::fs::remove_file(socket) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Daemon {
+            listener: UnixListener::bind(socket)?,
+            socket: socket.to_path_buf(),
+            cache: PrepCache::new(),
+            requests: 0,
+            jobs_solved: 0,
+        })
+    }
+
+    /// The socket path this daemon serves on.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Serves connections until a [`Request::Shutdown`] arrives, then
+    /// removes the socket file and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors. Per-connection I/O and decode errors
+    /// are contained: the offending connection is dropped and the next
+    /// one served.
+    pub fn run(mut self) -> io::Result<()> {
+        loop {
+            let (stream, _addr) = self.listener.accept()?;
+            match self.serve_connection(stream) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(_torn_connection) => {} // that client's problem, not the daemon's
+            }
+        }
+        std::fs::remove_file(&self.socket).ok();
+        Ok(())
+    }
+
+    /// Serves one connection until the peer closes; `Ok(true)` means a
+    /// shutdown was requested.
+    fn serve_connection(&mut self, mut stream: UnixStream) -> io::Result<bool> {
+        while let Some(body) = read_frame(&mut stream)? {
+            self.requests += 1;
+            let request = match Request::from_bytes(&body) {
+                Ok(r) => r,
+                Err(e) => {
+                    // The frame layer is intact, so the error is
+                    // answerable in-band and the connection survives.
+                    let resp = Response::Error {
+                        message: format!("bad request: {e}"),
+                    };
+                    write_frame(&mut stream, &resp.to_bytes())?;
+                    continue;
+                }
+            };
+            match request {
+                Request::Ping => {
+                    let resp = Response::Pong {
+                        protocol: PROTOCOL_VERSION,
+                    };
+                    write_frame(&mut stream, &resp.to_bytes())?;
+                }
+                Request::Stats => {
+                    let c = self.cache.stats();
+                    let resp = Response::Stats {
+                        requests: self.requests,
+                        jobs_solved: self.jobs_solved,
+                        cache_families: c.families as u64,
+                        cache_entries: c.entries as u64,
+                        cache_hits: c.hits,
+                        cache_misses: c.misses,
+                    };
+                    write_frame(&mut stream, &resp.to_bytes())?;
+                }
+                Request::Shutdown => {
+                    write_frame(&mut stream, &Response::ShutdownAck.to_bytes())?;
+                    return Ok(true);
+                }
+                Request::Solve { spec, index } => {
+                    let len = spec.grid_len() as u64;
+                    if index >= len {
+                        let resp = Response::Error {
+                            message: format!("job index {index} out of range for {len} jobs"),
+                        };
+                        write_frame(&mut stream, &resp.to_bytes())?;
+                        continue;
+                    }
+                    let range = index as usize..index as usize + 1;
+                    self.stream_solve(&mut stream, &spec, range, 1)?;
+                }
+                Request::Sweep { spec, jobs } => {
+                    let jobs = jobs.clamp(1, MAX_REQUEST_JOBS) as usize;
+                    let range = 0..spec.grid_len();
+                    self.stream_solve(&mut stream, &spec, range, jobs)?;
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Solves `range` of `spec`'s corpus against the resident cache,
+    /// streaming one [`Response::Job`] per result and a closing
+    /// [`Response::Summary`].
+    fn stream_solve(
+        &mut self,
+        stream: &mut UnixStream,
+        spec: &CorpusSpec,
+        range: std::ops::Range<usize>,
+        jobs: usize,
+    ) -> io::Result<()> {
+        let corpus = spec.build(); // specs from the wire are pre-validated
+        let rt = RuntimeConfig::new().jobs(jobs);
+        // The hook runs on solver threads; the sink shares the socket
+        // with this frame writer and remembers the first write failure
+        // (solving finishes regardless — results also land in the part).
+        let sink = Arc::new(Mutex::new(stream.try_clone()?));
+        let failed = Arc::new(Mutex::new(None::<io::Error>));
+        let next_index = Arc::new(AtomicU64::new(range.start as u64));
+        let hook_sink = Arc::clone(&sink);
+        let hook_failed = Arc::clone(&failed);
+        let part = solve_range_streaming_with_cache(
+            &corpus,
+            range,
+            &rt,
+            &self.cache,
+            move |r: JobResult| {
+                // Results arrive in canonical order, so a counter
+                // recovers each job's global index.
+                let index = next_index.fetch_add(1, Ordering::SeqCst);
+                let frame = Response::Job {
+                    index,
+                    key: r.key.to_string(),
+                    value: r.report.value,
+                    feasible: r.report.feasible(),
+                    rounds: r.report.rounds() as u64,
+                    micros: r.micros,
+                }
+                .to_bytes();
+                let mut failed = hook_failed.lock().expect("daemon sink failure flag");
+                if failed.is_none() {
+                    let mut sink = hook_sink.lock().expect("daemon sink");
+                    if let Err(e) = write_frame(&mut *sink, &frame) {
+                        *failed = Some(e);
+                    }
+                }
+            },
+        );
+        self.jobs_solved += part.jobs as u64;
+        if let Some(e) = failed.lock().expect("daemon sink failure flag").take() {
+            return Err(e);
+        }
+        // A request range is one contiguous span, so the aggregator can
+        // finalise it without full-corpus coverage (no interior gap).
+        let jobs = part.jobs as u64;
+        let wall = part.wall;
+        let (groups, backends) = part.aggregator.finish();
+        let cache = self.cache.stats();
+        let resp = Response::Summary {
+            jobs,
+            groups: groups.len() as u64,
+            backends: backends.len() as u64,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            wall_micros: wall.as_micros() as u64,
+        };
+        write_frame(stream, &resp.to_bytes())
+    }
+}
+
+/// Synchronous client helpers for the daemon protocol.
+pub mod client {
+    use super::*;
+
+    /// One streamed job result (the client-side view of
+    /// [`Response::Job`]).
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct JobUpdate {
+        /// Canonical job index.
+        pub index: u64,
+        /// Display form of the job key.
+        pub key: String,
+        /// Objective value.
+        pub value: u64,
+        /// Whether the assignment was verified feasible.
+        pub feasible: bool,
+        /// LOCAL round bill.
+        pub rounds: u64,
+        /// Wall-clock microseconds.
+        pub micros: u64,
+    }
+
+    /// The closing summary of a solve/sweep stream.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct SweepSummary {
+        /// Jobs streamed.
+        pub jobs: u64,
+        /// Group summaries folded.
+        pub groups: u64,
+        /// Backend roll-ups folded.
+        pub backends: u64,
+        /// Daemon cache hits after the request.
+        pub cache_hits: u64,
+        /// Daemon cache misses after the request.
+        pub cache_misses: u64,
+        /// Request wall clock.
+        pub wall_micros: u64,
+    }
+
+    fn roundtrip(stream: &mut UnixStream, request: &Request) -> io::Result<Response> {
+        write_frame(stream, &request.to_bytes())?;
+        let body = read_frame(stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the stream")
+        })?;
+        Response::from_bytes(&body)
+    }
+
+    fn unexpected(resp: Response) -> io::Error {
+        match resp {
+            Response::Error { message } => io::Error::other(format!("daemon error: {message}")),
+            other => io::Error::other(format!("unexpected daemon response {other:?}")),
+        }
+    }
+
+    /// Pings the daemon at `socket`; returns its protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol errors.
+    pub fn ping(socket: &Path) -> io::Result<u64> {
+        let mut stream = UnixStream::connect(socket)?;
+        match roundtrip(&mut stream, &Request::Ping)? {
+            Response::Pong { protocol } => Ok(protocol),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches the daemon's counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol errors.
+    pub fn stats(socket: &Path) -> io::Result<Response> {
+        let mut stream = UnixStream::connect(socket)?;
+        match roundtrip(&mut stream, &Request::Stats)? {
+            r @ Response::Stats { .. } => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to exit; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol errors.
+    pub fn shutdown(socket: &Path) -> io::Result<()> {
+        let mut stream = UnixStream::connect(socket)?;
+        match roundtrip(&mut stream, &Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Runs a sweep (or, with `Request::Solve`, a single job) and
+    /// drains its stream: `on_job` sees every [`JobUpdate`] in canonical
+    /// order, the closing summary is returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol errors; an in-band
+    /// [`Response::Error`] becomes an error too.
+    pub fn run_streaming(
+        socket: &Path,
+        request: &Request,
+        mut on_job: impl FnMut(JobUpdate),
+    ) -> io::Result<SweepSummary> {
+        let mut stream = UnixStream::connect(socket)?;
+        write_frame(&mut stream, &request.to_bytes())?;
+        loop {
+            let body = read_frame(&mut stream)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed mid-stream")
+            })?;
+            match Response::from_bytes(&body)? {
+                Response::Job {
+                    index,
+                    key,
+                    value,
+                    feasible,
+                    rounds,
+                    micros,
+                } => on_job(JobUpdate {
+                    index,
+                    key,
+                    value,
+                    feasible,
+                    rounds,
+                    micros,
+                }),
+                Response::Summary {
+                    jobs,
+                    groups,
+                    backends,
+                    cache_hits,
+                    cache_misses,
+                    wall_micros,
+                } => {
+                    return Ok(SweepSummary {
+                        jobs,
+                        groups,
+                        backends,
+                        cache_hits,
+                        cache_misses,
+                        wall_micros,
+                    })
+                }
+                other => return Err(unexpected(other)),
+            }
+        }
+    }
+
+    /// Convenience wrapper: sweep `spec` with `jobs`-way parallelism.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_streaming`].
+    pub fn sweep(
+        socket: &Path,
+        spec: &CorpusSpec,
+        jobs: u64,
+        on_job: impl FnMut(JobUpdate),
+    ) -> io::Result<SweepSummary> {
+        run_streaming(
+            socket,
+            &Request::Sweep {
+                spec: spec.clone(),
+                jobs,
+            },
+            on_job,
+        )
+    }
+}

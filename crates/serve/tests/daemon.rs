@@ -1,0 +1,140 @@
+//! End-to-end exercise of the persistent solve daemon over a real Unix
+//! socket: streamed sweeps match the single-process solver job by job,
+//! the resident prep cache pays off across requests, malformed requests
+//! are answered in-band without killing the connection, and shutdown
+//! removes the socket.
+
+use dapc_runtime::{solve_many, RuntimeConfig};
+use dapc_serve::proto::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use dapc_serve::{client, CorpusSpec, Daemon};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+fn demo_spec() -> CorpusSpec {
+    CorpusSpec::parse_args([
+        "ring=mis:cycle:12",
+        "@backends=greedy,three-phase",
+        "@eps=0.3",
+        "@seeds=0..2",
+    ])
+    .expect("demo spec parses")
+}
+
+#[test]
+fn daemon_round_trip() {
+    let socket: PathBuf =
+        std::env::temp_dir().join(format!("dapc-serve-daemon-{}.sock", std::process::id()));
+    let daemon = Daemon::bind(&socket).expect("bind daemon socket");
+    let server = std::thread::spawn(move || daemon.run());
+
+    // Liveness + version agreement.
+    assert_eq!(client::ping(&socket).expect("ping"), PROTOCOL_VERSION);
+
+    let spec = demo_spec();
+    let jobs = spec.grid_len();
+    let reference = solve_many(&spec.build(), &RuntimeConfig::new());
+
+    // A streamed sweep delivers every job in canonical order, and each
+    // streamed result matches the single-process solver exactly.
+    let mut streamed = Vec::new();
+    let summary = client::sweep(&socket, &spec, 2, |job| streamed.push(job)).expect("sweep");
+    assert_eq!(streamed.len(), jobs);
+    assert_eq!(summary.jobs, jobs as u64);
+    assert!(summary.groups > 0 && summary.backends > 0);
+    for (i, (got, want)) in streamed.iter().zip(&reference.results).enumerate() {
+        assert_eq!(got.index, i as u64);
+        assert_eq!(got.key, want.key.to_string(), "job {i}");
+        assert_eq!(got.value, want.report.value, "job {i}");
+        assert_eq!(got.feasible, want.report.feasible(), "job {i}");
+    }
+    let first_hits = summary.cache_hits;
+
+    // The cache is resident across requests: re-sweeping the same spec
+    // hits the memoised preps it just filled.
+    let summary = client::sweep(&socket, &spec, 2, |_| {}).expect("second sweep");
+    assert!(
+        summary.cache_hits > first_hits,
+        "resident cache must accumulate hits across requests \
+         (first {first_hits}, second {})",
+        summary.cache_hits
+    );
+
+    // A single-job solve streams exactly that job.
+    let mut single = Vec::new();
+    let summary = client::run_streaming(
+        &socket,
+        &Request::Solve {
+            spec: spec.clone(),
+            index: 3,
+        },
+        |job| single.push(job),
+    )
+    .expect("single solve");
+    assert_eq!(summary.jobs, 1);
+    assert_eq!(single.len(), 1);
+    assert_eq!(single[0].index, 3);
+    assert_eq!(single[0].value, reference.results[3].report.value);
+
+    // An out-of-range index is an in-band error, not a dead connection.
+    let err = client::run_streaming(
+        &socket,
+        &Request::Solve {
+            spec: spec.clone(),
+            index: 10_000,
+        },
+        |_| {},
+    )
+    .expect_err("out-of-range index must fail");
+    assert!(err.to_string().contains("out of range"), "{err}");
+
+    // A garbage request body earns a Response::Error on the same
+    // connection, which then keeps serving.
+    let mut raw = UnixStream::connect(&socket).expect("connect raw");
+    write_frame(&mut raw, &[0xEE]).expect("send unknown tag");
+    let body = read_frame(&mut raw)
+        .expect("read error reply")
+        .expect("reply frame");
+    match Response::from_bytes(&body).expect("decode error reply") {
+        Response::Error { message } => {
+            assert!(message.contains("unknown request tag"), "{message}")
+        }
+        other => panic!("expected an in-band error, got {other:?}"),
+    }
+    write_frame(&mut raw, &Request::Ping.to_bytes()).expect("ping after bad request");
+    let body = read_frame(&mut raw)
+        .expect("read pong")
+        .expect("pong frame");
+    assert_eq!(
+        Response::from_bytes(&body).expect("decode pong"),
+        Response::Pong {
+            protocol: PROTOCOL_VERSION
+        }
+    );
+    drop(raw);
+
+    // The counters saw all of it.
+    match client::stats(&socket).expect("stats") {
+        Response::Stats {
+            requests,
+            jobs_solved,
+            cache_entries,
+            cache_hits,
+            ..
+        } => {
+            assert!(requests >= 6, "requests {requests}");
+            assert_eq!(jobs_solved, (2 * jobs + 1) as u64);
+            assert!(cache_entries > 0);
+            assert!(cache_hits > 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // Shutdown is acknowledged, the accept loop returns, and the socket
+    // file is gone.
+    client::shutdown(&socket).expect("shutdown");
+    server
+        .join()
+        .expect("daemon thread joins")
+        .expect("daemon run returns cleanly");
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+}

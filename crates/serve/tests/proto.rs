@@ -1,0 +1,262 @@
+//! Hardening of the daemon wire protocol: every message round-trips,
+//! truncation at any byte is an `Err` (at the frame layer *and* the
+//! message layer), hostile length fields are rejected before any
+//! allocation, and unknown tags are errors rather than skipped.
+
+use dapc_serve::proto::{read_frame, write_frame, Request, Response, MAX_FRAME, PROTOCOL_VERSION};
+use dapc_serve::CorpusSpec;
+use std::io::{self, Write};
+
+fn demo_spec() -> CorpusSpec {
+    CorpusSpec::parse_args([
+        "ring=mis:cycle:12",
+        "@backends=greedy,bnb",
+        "@eps=0.3",
+        "@seeds=0..2",
+    ])
+    .expect("demo spec parses")
+}
+
+fn every_request() -> Vec<Request> {
+    let spec = demo_spec();
+    vec![
+        Request::Ping,
+        Request::Solve {
+            spec: spec.clone(),
+            index: 3,
+        },
+        Request::Sweep { spec, jobs: 4 },
+        Request::Stats,
+        Request::Shutdown,
+    ]
+}
+
+fn every_response() -> Vec<Response> {
+    vec![
+        Response::Pong {
+            protocol: PROTOCOL_VERSION,
+        },
+        Response::Job {
+            index: 7,
+            key: "ring/greedy eps=0.3 seed=1".into(),
+            value: 6,
+            feasible: true,
+            rounds: 12,
+            micros: 345,
+        },
+        Response::Summary {
+            jobs: 4,
+            groups: 2,
+            backends: 2,
+            cache_hits: 3,
+            cache_misses: 1,
+            wall_micros: 999,
+        },
+        Response::Stats {
+            requests: 10,
+            jobs_solved: 40,
+            cache_families: 1,
+            cache_entries: 5,
+            cache_hits: 30,
+            cache_misses: 5,
+        },
+        Response::Error {
+            message: "bad request: nope".into(),
+        },
+        Response::ShutdownAck,
+    ]
+}
+
+#[test]
+fn every_message_round_trips() {
+    for req in every_request() {
+        let bytes = req.to_bytes();
+        assert_eq!(Request::from_bytes(&bytes).expect("round trip"), req);
+    }
+    for resp in every_response() {
+        let bytes = resp.to_bytes();
+        assert_eq!(Response::from_bytes(&bytes).expect("round trip"), resp);
+    }
+}
+
+#[test]
+fn truncated_message_bodies_error_at_every_cut() {
+    for req in every_request() {
+        let bytes = req.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Request::from_bytes(&bytes[..cut]).is_err(),
+                "{req:?}: prefix of {cut}/{} bytes must not decode",
+                bytes.len()
+            );
+        }
+    }
+    for resp in every_response() {
+        let bytes = resp.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Response::from_bytes(&bytes[..cut]).is_err(),
+                "{resp:?}: prefix of {cut}/{} bytes must not decode",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_after_a_message_error() {
+    for req in every_request() {
+        let mut bytes = req.to_bytes();
+        bytes.push(0);
+        let err = Request::from_bytes(&bytes).expect_err("padded request must fail");
+        assert!(err.to_string().contains("trailing"), "{req:?}: {err}");
+    }
+    for resp in every_response() {
+        let mut bytes = resp.to_bytes();
+        bytes.push(0);
+        let err = Response::from_bytes(&bytes).expect_err("padded response must fail");
+        assert!(err.to_string().contains("trailing"), "{resp:?}: {err}");
+    }
+}
+
+#[test]
+fn frame_truncation_at_every_byte_is_an_error() {
+    let body = Request::Sweep {
+        spec: demo_spec(),
+        jobs: 2,
+    }
+    .to_bytes();
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &body).expect("framing a Vec");
+    assert_eq!(frame.len(), 4 + body.len());
+
+    // Cut 0 is the one legal close: the peer hung up *between* frames.
+    assert!(read_frame(&mut &frame[..0]).expect("clean close").is_none());
+    for cut in 1..frame.len() {
+        let err = read_frame(&mut &frame[..cut])
+            .expect_err(&format!("frame prefix of {cut} bytes must not read"));
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut {cut}: {err}");
+    }
+    // The whole frame reads back exactly once, then a clean close.
+    let mut stream = frame.as_slice();
+    assert_eq!(
+        read_frame(&mut stream).expect("full frame").as_deref(),
+        Some(body.as_slice())
+    );
+    assert!(read_frame(&mut stream).expect("clean close").is_none());
+}
+
+#[test]
+fn back_to_back_frames_read_in_order() {
+    let ping = Request::Ping.to_bytes();
+    let stats = Request::Stats.to_bytes();
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &ping).unwrap();
+    write_frame(&mut wire, &stats).unwrap();
+    let mut stream = wire.as_slice();
+    assert_eq!(
+        read_frame(&mut stream).unwrap().as_deref(),
+        Some(ping.as_slice())
+    );
+    assert_eq!(
+        read_frame(&mut stream).unwrap().as_deref(),
+        Some(stats.as_slice())
+    );
+    assert!(read_frame(&mut stream).unwrap().is_none());
+}
+
+#[test]
+fn oversized_length_fields_are_rejected_before_any_allocation() {
+    // A hostile header that promises more than the cap: the reader must
+    // refuse on the length field alone — there are no body bytes to
+    // read, and no buffer may be sized from the claim.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+    let err = read_frame(&mut wire.as_slice()).expect_err("oversized frame must be refused");
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("exceeds"), "{err}");
+
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(read_frame(&mut wire.as_slice()).is_err());
+
+    // The writer enforces the same cap.
+    let huge = vec![0u8; MAX_FRAME as usize + 1];
+    let mut sink = Vec::new();
+    let err = write_frame(&mut sink, &huge).expect_err("oversized body must be refused");
+    assert!(err.to_string().contains("exceeds the cap"), "{err}");
+    assert!(
+        sink.is_empty(),
+        "nothing may be written before the cap check"
+    );
+}
+
+#[test]
+fn a_frame_at_the_cap_still_passes() {
+    let body = vec![0x42u8; MAX_FRAME as usize];
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &body).expect("cap-sized frame writes");
+    assert_eq!(
+        read_frame(&mut wire.as_slice())
+            .expect("cap-sized frame reads")
+            .as_deref(),
+        Some(body.as_slice())
+    );
+}
+
+#[test]
+fn unknown_tags_are_errors_not_extensions() {
+    for tag in [0u8, 6, 0x42, 0xff] {
+        let err = Request::from_bytes(&[tag]).expect_err("unknown request tag must fail");
+        assert!(
+            err.to_string().contains("unknown request tag"),
+            "tag {tag}: {err}"
+        );
+    }
+    for tag in [0u8, 0x7f, 0x86, 0xff] {
+        let err = Response::from_bytes(&[tag]).expect_err("unknown response tag must fail");
+        assert!(
+            err.to_string().contains("unknown response tag"),
+            "tag {tag}: {err}"
+        );
+    }
+}
+
+#[test]
+fn an_embedded_spec_with_trailing_junk_is_rejected() {
+    // Hand-build a Solve whose length-prefixed spec field carries extra
+    // bytes after the spec: the envelope length is consistent, so only
+    // the nested trailing check can catch it.
+    let mut spec_field = demo_spec().to_bytes();
+    spec_field.push(0xAA);
+    let mut body = Vec::new();
+    body.write_all(&[2]).unwrap();
+    body.write_all(&(spec_field.len() as u64).to_le_bytes())
+        .unwrap();
+    body.write_all(&spec_field).unwrap();
+    body.write_all(&0u64.to_le_bytes()).unwrap();
+    let err = Request::from_bytes(&body).expect_err("padded embedded spec must fail");
+    assert!(
+        err.to_string()
+            .contains("trailing bytes after the embedded spec"),
+        "{err}"
+    );
+}
+
+#[test]
+fn an_embedded_spec_that_fails_validation_is_rejected_at_decode() {
+    // A syntactically intact request whose spec names an unknown backend
+    // must die in `from_bytes`, before any handler sees it.
+    let mut spec = demo_spec();
+    spec.backends = vec!["no-such-backend".into()];
+    let mut spec_field = Vec::new();
+    spec.save_to(&mut spec_field).unwrap();
+    let mut body = Vec::new();
+    body.write_all(&[3]).unwrap();
+    body.write_all(&(spec_field.len() as u64).to_le_bytes())
+        .unwrap();
+    body.write_all(&spec_field).unwrap();
+    body.write_all(&1u64.to_le_bytes()).unwrap();
+    let err = Request::from_bytes(&body).expect_err("invalid embedded spec must fail");
+    assert!(err.to_string().contains("unknown backend"), "{err}");
+}

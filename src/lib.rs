@@ -70,6 +70,7 @@
 //! | [`decomp`] | Theorem 1.1 LDD, Elkin–Neiman, MPX, sparse covers, … |
 //! | [`core`] | the solver engine, Theorems 1.2–1.3, GKM17, adapters |
 //! | [`lower`] | Appendix B lower-bound machinery |
+//! | [`serve`] | fault-tolerant sweep orchestration + the solve daemon |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -83,6 +84,7 @@ pub use dapc_ilp as ilp;
 pub use dapc_local as local;
 pub use dapc_lower as lower;
 pub use dapc_runtime as runtime;
+pub use dapc_serve as serve;
 
 /// One-stop imports for the unified solver engine and the batch runtime.
 ///
