@@ -210,12 +210,46 @@ fn report_executor_vs_per_solve_pool(_c: &mut Criterion) {
         }
         pool_tax = pool_tax.min(start.elapsed().as_secs_f64());
     }
+
+    // Observability tax: the identical batch with the dapc-obs registry
+    // armed, so every executor/cache/runtime instrumentation site takes its
+    // hot path (clock reads + atomic bumps) instead of the single relaxed
+    // gate load. The batch is ms-scale, so a single on/off pair is all
+    // scheduler noise: the comparison interleaves off/on pairs and takes
+    // the min of each side, which cancels machine-wide drift. The gate is
+    // restored to off before returning so later report fns stay unmetered.
+    // One batch is ~ms-scale, too short to time against scheduler jitter,
+    // so each timed sample is `reps` back-to-back batches.
+    let (pairs, reps) = if quick { (3, 2) } else { (10, 8) };
+    let (mut plain_wall, mut obs_wall) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..pairs {
+        dapc_obs::set_enabled(false);
+        let start = Instant::now();
+        for _ in 0..reps {
+            let stream = solve_many_streaming(&corpus, &rt, |_r| {});
+            assert_eq!(stream.jobs, corpus.len());
+        }
+        plain_wall = plain_wall.min(start.elapsed().as_secs_f64() / reps as f64);
+
+        dapc_obs::set_enabled(true);
+        let start = Instant::now();
+        for _ in 0..reps {
+            let stream = solve_many_streaming(&corpus, &rt, |_r| {});
+            assert_eq!(stream.jobs, corpus.len());
+        }
+        obs_wall = obs_wall.min(start.elapsed().as_secs_f64() / reps as f64);
+    }
+    dapc_obs::set_enabled(false);
+    let obs_overhead = obs_wall / plain_wall - 1.0;
+
     let tax_fraction = pool_tax / shared_exec;
     println!(
         "BENCH_exec {{\"corpus\":{{\"jobs\":{},\"shape\":\"small-prep\"}},\"quick\":{quick},\
          \"cores\":{cores},\"rt\":{{\"jobs\":2,\"prep_workers\":4}},\
-         \"wall_seconds\":{{\"shared_executor_batch\":{shared_exec:.4},\"per_solve_pool_tax\":{pool_tax:.4}}},\
+         \"wall_seconds\":{{\"shared_executor_batch\":{shared_exec:.4},\"per_solve_pool_tax\":{pool_tax:.4},\
+         \"obs_baseline_batch\":{plain_wall:.4},\"obs_enabled_batch\":{obs_wall:.4}}},\
          \"tax_over_batch\":{tax_fraction:.3},\
+         \"obs_overhead\":{obs_overhead:.3},\
          \"threads_not_spawned\":{},\
          \"emulation\":\"tax measured standalone: one ThreadPool::new(4)+join per solve of the same corpus\"}}",
         corpus.len(),

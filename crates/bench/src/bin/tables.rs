@@ -1,11 +1,16 @@
 //! Regenerates the experiment tables of `EXPERIMENTS.md`.
 //!
-//! Usage: `tables [--quick|--full] [--jobs N] [--prep-workers N] [e1 e2 …]`
-//! — defaults to `--full`, one concurrent job, unsharded preparations, and
-//! all experiments. (`quick`/`full` without dashes are accepted for
-//! backwards compatibility.) `--jobs` and `--prep-workers` are honoured
-//! in both profiles; neither changes a table — batching is byte-identical
-//! to sequential execution.
+//! Usage: `tables [--quick|--full] [--jobs N] [--prep-workers N]
+//! [--metrics PATH] [e1 e2 …]` — defaults to `--full`, one concurrent
+//! job, unsharded preparations, and all experiments. (`quick`/`full`
+//! without dashes are accepted for backwards compatibility.) `--jobs`
+//! and `--prep-workers` are honoured in both profiles; neither changes a
+//! table — batching is byte-identical to sequential execution.
+//!
+//! `--metrics PATH` turns the `dapc-obs` registry on for the run and
+//! writes its JSON-lines snapshot to `PATH` on success. Like the
+//! parallelism knobs, it never changes a table byte — the observability
+//! identity is diff-checked in CI.
 //!
 //! Multi-process sharding splits the batch experiments (E3–E6, E10)
 //! across N cooperating invocations, byte-identically to one process:
@@ -84,6 +89,7 @@ fn main() {
     let mut inject_kill = false;
     let mut self_destruct = false;
     let mut shard_dir: Option<PathBuf> = None;
+    let mut metrics_path: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -121,6 +127,9 @@ fn main() {
             "--shard-dir" => {
                 shard_dir = Some(PathBuf::from(it.next().expect("--shard-dir needs a path")));
             }
+            "--metrics" => {
+                metrics_path = Some(PathBuf::from(it.next().expect("--metrics needs a path")));
+            }
             other => {
                 if let Some(n) = other.strip_prefix("--jobs=") {
                     rt.jobs = parse_count("--jobs", n);
@@ -137,6 +146,8 @@ fn main() {
                     orchestrate_workers = Some(parse_count("--orchestrate", n));
                 } else if let Some(p) = other.strip_prefix("--shard-dir=") {
                     shard_dir = Some(PathBuf::from(p));
+                } else if let Some(p) = other.strip_prefix("--metrics=") {
+                    metrics_path = Some(PathBuf::from(p));
                 } else if other.starts_with("--") {
                     panic!("unknown flag {other:?}");
                 } else {
@@ -161,6 +172,12 @@ fn main() {
         "--orchestrate conflicts with --shard/--emit-shard/--merge-shards"
     );
 
+    // Observability goes live before any solve so the snapshot covers
+    // the whole run; it is diff-checked in CI to never change a table.
+    if metrics_path.is_some() {
+        dapc_obs::set_enabled(true);
+    }
+
     if let Some(workers) = orchestrate_workers {
         orchestrate(profile, &rt, &ids, workers, inject_kill, shard_dir);
     } else if let (Some((shard, shards)), Some(path)) = (shard, emit_path) {
@@ -171,6 +188,12 @@ fn main() {
         let runner = Runner::single(rt);
         render(profile, &ids, &runner);
         runner.assert_drained();
+    }
+
+    if let Some(path) = metrics_path {
+        dapc_obs::write_snapshot(&path)
+            .unwrap_or_else(|e| die(&e, &format!("write metrics snapshot {}", path.display())));
+        eprintln!("[metrics snapshot written to {}]", path.display());
     }
 }
 

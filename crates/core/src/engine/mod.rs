@@ -85,6 +85,9 @@ pub fn backend(name: &str) -> Option<Box<dyn Solver>> {
 /// seeded from `cfg.seed`. Returns `None` for unknown keys.
 pub fn solve(name: &str, ilp: &IlpInstance, cfg: &SolveConfig) -> Option<SolveReport> {
     let solver = backend(name)?;
+    // The root of the per-solve span tree: decompose/annotate/
+    // subset_solve/verify nest under `span.solve.*` when tracing is on.
+    let _span = dapc_obs::span("solve");
     Some(solver.solve(ilp, cfg, &mut cfg.rng()))
 }
 

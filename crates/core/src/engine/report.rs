@@ -100,7 +100,10 @@ impl SolveReport {
         backend: &'static str,
         out: PackingOutcome,
     ) -> Self {
-        let verdict = dapc_ilp::verify::check(ilp, &out.assignment);
+        let verdict = {
+            let _span = dapc_obs::span("verify");
+            dapc_ilp::verify::check(ilp, &out.assignment)
+        };
         SolveReport {
             backend,
             sense: Sense::Packing,
@@ -117,7 +120,10 @@ impl SolveReport {
         backend: &'static str,
         out: CoveringOutcome,
     ) -> Self {
-        let verdict = dapc_ilp::verify::check(ilp, &out.assignment);
+        let verdict = {
+            let _span = dapc_obs::span("verify");
+            dapc_ilp::verify::check(ilp, &out.assignment)
+        };
         SolveReport {
             backend,
             sense: Sense::Covering,
@@ -130,7 +136,10 @@ impl SolveReport {
     }
 
     pub(crate) fn from_gkm(ilp: &IlpInstance, backend: &'static str, out: GkmOutcome) -> Self {
-        let verdict = dapc_ilp::verify::check(ilp, &out.assignment);
+        let verdict = {
+            let _span = dapc_obs::span("verify");
+            dapc_ilp::verify::check(ilp, &out.assignment)
+        };
         SolveReport {
             backend,
             sense: ilp.sense(),
@@ -150,7 +159,10 @@ impl SolveReport {
         backend: &'static str,
         out: EnsembleOutcome,
     ) -> Self {
-        let verdict = dapc_ilp::verify::check(ilp, &out.assignment);
+        let verdict = {
+            let _span = dapc_obs::span("verify");
+            dapc_ilp::verify::check(ilp, &out.assignment)
+        };
         SolveReport {
             backend,
             sense: Sense::Packing,

@@ -29,6 +29,42 @@ use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// Cached registry handles for the cache's process-wide totals. The
+/// per-family breakdown stays on [`SharedSubsetCache`]'s own counters
+/// (and `CacheStats` in `dapc-runtime`); the registry carries the
+/// unified sums across every family so one snapshot shows cache health
+/// without unbounded metric cardinality. Each site gates on
+/// [`dapc_obs::enabled`].
+mod metrics {
+    use dapc_obs::{Counter, Gauge};
+    use std::sync::OnceLock;
+
+    /// Lookups answered from any family's shared map.
+    pub fn hits() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| dapc_obs::counter("core.subset_cache.hits"))
+    }
+
+    /// Lookups that had to run the exact solver.
+    pub fn misses() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| dapc_obs::counter("core.subset_cache.misses"))
+    }
+
+    /// Entries dropped by LRU eviction across all families.
+    pub fn evictions() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| dapc_obs::counter("core.subset_cache.evictions"))
+    }
+
+    /// Approximate bytes resident across all families (tracked as
+    /// deltas, so it is exact only for inserts made while enabled).
+    pub fn bytes() -> &'static Gauge {
+        static G: OnceLock<Gauge> = OnceLock::new();
+        G.get_or_init(|| dapc_obs::gauge("core.subset_cache.bytes"))
+    }
+}
+
 /// One memoised exact subset solve: `(value, global assignment, exact)`.
 type SubsetEntry = (u64, Vec<bool>, bool);
 
@@ -242,21 +278,29 @@ impl SharedSubsetCache {
     /// Counts one lookup answered from the cache.
     fn record_hit(&self) {
         self.inner.hits.fetch_add(1, Ordering::Relaxed);
+        if dapc_obs::enabled() {
+            metrics::hits().inc();
+        }
     }
 
     /// Counts one lookup that had to run the exact solver.
     fn record_miss(&self) {
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        if dapc_obs::enabled() {
+            metrics::misses().inc();
+        }
     }
 
     fn insert(&self, key: SubsetKey, entry: SubsetEntry) {
         let budget = self.inner.capacity.map(|c| c / STRIPE_COUNT);
         let mut evicted = 0u64;
+        let mut freed = 0usize;
+        let added;
         {
             let mut stripe = self.stripe(key).lock().expect("cache stripe lock");
             stripe.tick += 1;
             let tick = stripe.tick;
-            let added = entry_bytes(&entry);
+            added = entry_bytes(&entry);
             if let Some(old) = stripe.map.insert(
                 key,
                 Slot {
@@ -264,7 +308,9 @@ impl SharedSubsetCache {
                     last_used: tick,
                 },
             ) {
-                stripe.bytes -= entry_bytes(&old.entry);
+                let old_bytes = entry_bytes(&old.entry);
+                stripe.bytes -= old_bytes;
+                freed += old_bytes;
                 stripe.order.remove(&old.last_used);
             }
             stripe.order.insert(tick, key);
@@ -279,13 +325,22 @@ impl SharedSubsetCache {
                         .pop_first()
                         .expect("non-empty map has a recency index");
                     let old = stripe.map.remove(&victim).expect("victim present");
-                    stripe.bytes -= entry_bytes(&old.entry);
+                    let old_bytes = entry_bytes(&old.entry);
+                    stripe.bytes -= old_bytes;
+                    freed += old_bytes;
                     evicted += 1;
                 }
             }
         }
         if evicted > 0 {
             self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        if dapc_obs::enabled() {
+            metrics::bytes().add(added as u64);
+            metrics::bytes().sub(freed as u64);
+            if evicted > 0 {
+                metrics::evictions().add(evicted);
+            }
         }
     }
 
@@ -608,6 +663,11 @@ fn solve_subset(
     mask: &[bool],
     fixed_ones: Option<&[bool]>,
 ) -> SubsetEntry {
+    // Every memoising caller bottoms out here, so this one span covers
+    // exact subset solves wherever they run. On a sharded annotation
+    // worker the thread's span stack is empty and the cost records as a
+    // root `span.subset_solve`; sequentially it nests under the solve.
+    let _span = dapc_obs::span("subset_solve");
     let sub = match ilp.sense() {
         Sense::Packing => packing_restriction(ilp, mask),
         Sense::Covering => {
@@ -647,6 +707,7 @@ pub fn prepare(
 ) -> Preparation {
     // Pass 1 (sequential, RNG-driven): decompositions → canonical
     // (cluster, S_C) work items.
+    let decompose_span = dapc_obs::span("decompose");
     let mut members_list: Vec<Vec<Vertex>> = Vec::new();
     for _run in 0..params.prep_count {
         let run_clusters: Vec<Vec<Vertex>> = match ilp.sense() {
@@ -674,11 +735,14 @@ pub fn prepare(
         members_list.extend(run_clusters.into_iter().filter(|m| !m.is_empty()));
     }
 
+    drop(decompose_span);
+
     // Pass 2 (deterministic): annotate. Sharded, the fan-out seeds the
     // solver's memo and hands back each cluster's two subset keys, so the
     // canonical re-emit is pure memo reads — no ball is recomputed.
     // Sequential, the annotation streams: each `S_C` ball is computed,
     // masked, solved and dropped, so peak memory stays one ball.
+    let _annotate_span = dapc_obs::span("annotate");
     let mut clusters: Vec<PrepCluster> = Vec::with_capacity(members_list.len());
     if params.prep_workers > 1 {
         let cluster_keys = shard_subset_solves(ilp, h, params, solver, &members_list);

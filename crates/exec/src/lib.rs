@@ -56,11 +56,54 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Cached handles onto the process-wide metrics registry. Resolved once
+/// per process, then lock-free; every recording site gates on
+/// [`dapc_obs::enabled`] first, so the disabled path costs one relaxed
+/// atomic load and never reads the clock.
+mod metrics {
+    use dapc_obs::{Counter, Histogram};
+    use std::sync::OnceLock;
+
+    /// Shared-queue length right after an enqueue.
+    pub fn queue_depth() -> &'static Histogram {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        H.get_or_init(|| dapc_obs::histogram("exec.queue.depth"))
+    }
+
+    /// Microseconds a task sat queued before a thread picked it up.
+    pub fn task_wait() -> &'static Histogram {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        H.get_or_init(|| dapc_obs::histogram("exec.task.wait_micros"))
+    }
+
+    /// Microseconds a task's job ran (on a worker or inline).
+    pub fn task_run() -> &'static Histogram {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        H.get_or_init(|| dapc_obs::histogram("exec.task.run_micros"))
+    }
+
+    /// Tasks a scope owner ran inline while waiting on its group.
+    pub fn help_runs() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| dapc_obs::counter("exec.task.help_runs"))
+    }
+
+    /// Task panics caught and re-raised at a scope exit.
+    pub fn panics() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| dapc_obs::counter("exec.task.panics"))
+    }
+}
 
 /// One queued unit of work, tagged with the scope that owns it.
 struct Task {
     group: Arc<Group>,
     job: Box<dyn FnOnce() + Send + 'static>,
+    /// Enqueue timestamp, taken only while observability is enabled so
+    /// the disabled path never touches the clock.
+    enqueued_at: Option<Instant>,
 }
 
 struct ExecState {
@@ -231,11 +274,13 @@ impl Scope<'_> {
                 .last()
                 .is_some_and(|s| Arc::ptr_eq(s, self.shared))
         });
+        let observed = dapc_obs::enabled();
         let task = Task {
             group: Arc::clone(&self.group),
             job: Box::new(f),
+            enqueued_at: observed.then(Instant::now),
         };
-        {
+        let depth = {
             let mut st = self.shared.state.lock().expect("executor lock");
             assert!(!st.shutdown, "spawn on a shut-down executor");
             if nested {
@@ -243,8 +288,12 @@ impl Scope<'_> {
             } else {
                 st.queue.push_back(task);
             }
-        }
+            st.queue.len()
+        };
         self.shared.work.notify_one();
+        if observed {
+            metrics::queue_depth().observe(depth as u64);
+        }
     }
 
     /// Worker threads of the pool this scope submits to.
@@ -258,10 +307,24 @@ impl Scope<'_> {
 /// calls from inside the task land on the same pool — whether the task
 /// runs on a pool worker or inline in a helping scope owner.
 fn run_task(shared: &Arc<Shared>, task: Task) {
+    // `enqueued_at` doubles as the gate: it is `Some` exactly when
+    // observability was enabled at enqueue, so a disabled run records
+    // nothing even if the gate flips mid-flight.
+    let started = task.enqueued_at.map(|queued| {
+        let now = Instant::now();
+        metrics::task_wait().observe_micros(now - queued);
+        now
+    });
     let outcome = {
         let _ambient = StackGuard::push(&TASK_POOL, shared);
         catch_unwind(AssertUnwindSafe(task.job))
     };
+    if let Some(started) = started {
+        metrics::task_run().observe_micros(started.elapsed());
+        if outcome.is_err() {
+            metrics::panics().inc();
+        }
+    }
     let mut g = task.group.state.lock().expect("scope group lock");
     g.pending -= 1;
     if let Err(payload) = outcome {
@@ -307,7 +370,12 @@ fn help_until_done(shared: &Arc<Shared>, group: &Arc<Group>) {
                 .and_then(|i| st.queue.remove(i))
         };
         match task {
-            Some(task) => run_task(shared, task),
+            Some(task) => {
+                if dapc_obs::enabled() {
+                    metrics::help_runs().inc();
+                }
+                run_task(shared, task);
+            }
             None => {
                 let g = group.state.lock().expect("scope group lock");
                 if g.pending == 0 {
@@ -661,6 +729,30 @@ mod tests {
         assert_eq!(override_workers(Some("-2")), None, "signed: host default");
         assert_eq!(override_workers(Some("two")), None, "garbage: host default");
         assert_eq!(override_workers(None), None, "unset: host default");
+    }
+
+    #[test]
+    fn metrics_observe_queue_wait_and_run_when_enabled() {
+        dapc_obs::set_enabled(true);
+        let exec = Executor::new(2);
+        exec.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {});
+            }
+        });
+        let snap = dapc_obs::MetricsSnapshot::capture();
+        for name in [
+            "exec.queue.depth",
+            "exec.task.wait_micros",
+            "exec.task.run_micros",
+        ] {
+            match snap.get(name) {
+                Some(dapc_obs::SnapshotEntry::Histogram { count, .. }) => {
+                    assert!(*count >= 8, "{name}: {count} < 8 observations")
+                }
+                other => panic!("{name} missing or wrong kind: {other:?}"),
+            }
+        }
     }
 
     #[test]

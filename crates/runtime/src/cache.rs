@@ -8,6 +8,12 @@ use std::collections::HashMap;
 use std::io;
 use std::sync::{Arc, Mutex};
 
+/// Registry gauge for the resident family count, resolved once.
+fn metrics_families() -> &'static dapc_obs::Gauge {
+    static G: std::sync::OnceLock<dapc_obs::Gauge> = std::sync::OnceLock::new();
+    G.get_or_init(|| dapc_obs::gauge("runtime.prep_cache.families"))
+}
+
 /// Magic + version prefix of the whole-cache warm-start format: seven
 /// identifying bytes and a format version byte. The body is
 /// `family count: u64` followed by families sorted by key, each as
@@ -56,15 +62,24 @@ impl PrepCache {
 
     /// The family cache for `(ilp, budget)`, created on first use.
     pub fn family(&self, ilp: &IlpInstance, budget: &SolverBudget) -> SharedSubsetCache {
-        self.families
-            .lock()
-            .expect("prep cache lock")
-            .entry((ilp.fingerprint(), budget.node_limit))
-            .or_insert_with(|| match self.family_capacity {
-                Some(bytes) => SharedSubsetCache::with_capacity(bytes),
-                None => SharedSubsetCache::new(),
-            })
-            .clone()
+        let (family, count) = {
+            let mut families = self.families.lock().expect("prep cache lock");
+            let family = families
+                .entry((ilp.fingerprint(), budget.node_limit))
+                .or_insert_with(|| match self.family_capacity {
+                    Some(bytes) => SharedSubsetCache::with_capacity(bytes),
+                    None => SharedSubsetCache::new(),
+                })
+                .clone();
+            (family, families.len())
+        };
+        if dapc_obs::enabled() {
+            // With several caches alive the gauge tracks the one most
+            // recently touched — good enough for the common one-resident-
+            // cache daemon and batch shapes.
+            metrics_families().set(count as u64);
+        }
+        family
     }
 
     /// Persists one family's memoised subset solves in the

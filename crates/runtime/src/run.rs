@@ -26,6 +26,46 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+/// Cached registry handles for the streaming pipeline. Every recording
+/// site gates on [`dapc_obs::enabled`], so the disabled path costs one
+/// relaxed load; nothing here can change a job's `(key, report)`.
+mod metrics {
+    use dapc_obs::{Counter, Histogram};
+    use std::sync::OnceLock;
+
+    /// Reorder-buffer occupancy right after a result parks.
+    pub fn reorder_occupancy() -> &'static Histogram {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        H.get_or_init(|| dapc_obs::histogram("runtime.stream.reorder_occupancy"))
+    }
+
+    /// Wall microseconds of one job's solve (queueing excluded).
+    pub fn job_wall() -> &'static Histogram {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        H.get_or_init(|| dapc_obs::histogram("runtime.job.wall_micros"))
+    }
+
+    /// Busy microseconds of one pump task over its whole run; against
+    /// `runtime.stream.wall_micros` × pump count this yields pump
+    /// utilisation.
+    pub fn pump_busy() -> &'static Histogram {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        H.get_or_init(|| dapc_obs::histogram("runtime.stream.pump_busy_micros"))
+    }
+
+    /// Wall microseconds of one `stream_jobs` pipeline run.
+    pub fn stream_wall() -> &'static Histogram {
+        static H: OnceLock<Histogram> = OnceLock::new();
+        H.get_or_init(|| dapc_obs::histogram("runtime.stream.wall_micros"))
+    }
+
+    /// Jobs fed through the streaming pipeline.
+    pub fn stream_jobs() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| dapc_obs::counter("runtime.stream.jobs"))
+    }
+}
+
 /// How a batch is executed. Orthogonal to *what* is solved: no
 /// [`RuntimeConfig`] choice changes any job's `(key, report)` outcome.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -252,6 +292,14 @@ where
     let use_cache = rt.prep_cache;
     let prep_workers = rt.prep_workers.max(1);
     let pumps = rt.jobs.max(1).min(n).max(1);
+    let stream_started = dapc_obs::enabled().then(Instant::now);
+    let finish = |out| {
+        if let Some(started) = stream_started {
+            metrics::stream_wall().observe_micros(started.elapsed());
+            metrics::stream_jobs().add(n as u64);
+        }
+        out
+    };
     if pumps == 1 {
         let mut aggregator = aggregator;
         let mut on_result = on_result;
@@ -260,7 +308,7 @@ where
             aggregator.push(&result);
             on_result(result);
         }
-        return (aggregator, 1, 0);
+        return finish((aggregator, 1, 0));
     }
     let delivery = Arc::new(Delivery::new(
         aggregator,
@@ -276,6 +324,7 @@ where
             let cursor = Arc::clone(&cursor);
             let cache = cache.clone();
             s.spawn(move || {
+                let pump_started = dapc_obs::enabled().then(Instant::now);
                 loop {
                     if delivery.is_poisoned() {
                         break;
@@ -300,6 +349,9 @@ where
                         }
                     }
                 }
+                if let Some(started) = pump_started {
+                    metrics::pump_busy().observe_micros(started.elapsed());
+                }
             });
         }
     });
@@ -307,7 +359,7 @@ where
         .ok()
         .expect("scope joined, no pump holds the delivery")
         .into_parts();
-    (aggregator, pumps, peak)
+    finish((aggregator, pumps, peak))
 }
 
 /// Reference optima, one exact solve per instance, routed through the
@@ -448,6 +500,9 @@ impl<F: FnMut(JobResult)> Delivery<F> {
                 st.parked
                     .insert(index, slot.take().expect("result still in hand"));
                 st.peak = st.peak.max(st.parked.len());
+                if dapc_obs::enabled() {
+                    metrics::reorder_occupancy().observe(st.parked.len() as u64);
+                }
                 return;
             }
             st = self.advanced.wait(st).expect("delivery lock");
@@ -499,10 +554,14 @@ fn run_job(job: Job, use_cache: bool, cache: &PrepCache, prep_workers: usize) ->
     let timer = Instant::now();
     let report =
         engine::solve(&key.backend, &ilp, &cfg).expect("corpus build validated every backend key");
+    let micros = timer.elapsed().as_micros() as u64;
+    if dapc_obs::enabled() {
+        metrics::job_wall().observe(micros);
+    }
     JobResult {
         key,
         report,
-        micros: timer.elapsed().as_micros() as u64,
+        micros,
     }
 }
 

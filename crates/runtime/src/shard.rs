@@ -107,6 +107,13 @@ impl ShardReport {
     /// sets), cache counters sum, wall time and concurrency telemetry
     /// take per-shard maxima.
     ///
+    /// **Wall-time semantics:** `wall` is the per-shard **maximum**, not
+    /// the sum — cooperating shard processes run concurrently, so the
+    /// merged wall models the critical path (the slowest shard), exactly
+    /// like the field documents. Summing would bill a 4-process sweep
+    /// 4× its elapsed time. Pinned by the
+    /// `merge_takes_per_shard_wall_maximum` unit test.
+    ///
     /// # Panics
     ///
     /// Panics when the reports come from different splits (`shards` or
@@ -349,5 +356,55 @@ pub fn solve_shard_with_cache(
         peak_buffered: part.peak_buffered,
         wall: part.wall,
         prep: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bare_report(shard: usize, wall: Duration, workers: usize) -> ShardReport {
+        ShardReport {
+            shard,
+            shards: 4,
+            corpus_jobs: 8,
+            jobs: 0,
+            aggregator: BatchAggregator::new(),
+            cache: CacheStats {
+                families: 1,
+                entries: 2,
+                bytes: 100,
+                hits: 10,
+                misses: 5,
+                evictions: 1,
+            },
+            workers,
+            peak_buffered: workers,
+            wall,
+            prep: None,
+        }
+    }
+
+    /// Pins the documented merge semantics: wall time and concurrency
+    /// telemetry take per-shard **maxima** (shards run concurrently, so
+    /// the merged wall is the critical path, never the sum), while cache
+    /// counters sum fieldwise.
+    #[test]
+    fn merge_takes_per_shard_wall_maximum() {
+        let mut merged = bare_report(2, Duration::from_micros(300), 2);
+        merged.merge(bare_report(1, Duration::from_micros(700), 5));
+        merged.merge(bare_report(3, Duration::from_micros(400), 3));
+
+        assert_eq!(
+            merged.wall,
+            Duration::from_micros(700),
+            "merged wall is the slowest shard, not the 1400µs sum"
+        );
+        assert_eq!(merged.workers, 5, "workers take the maximum");
+        assert_eq!(merged.peak_buffered, 5, "peak_buffered takes the maximum");
+        assert_eq!(merged.shard, 1, "merged index is the smallest");
+        assert_eq!(merged.cache.hits, 30, "cache counters sum");
+        assert_eq!(merged.cache.misses, 15);
+        assert_eq!(merged.cache.evictions, 3);
     }
 }

@@ -7,7 +7,7 @@
 //!                   [--inject-kill K] [--out PATH] SPEC...
 //! dapc-serve worker --dir DIR --range A..B [--jobs N] [--warm PATH]
 //!                   [--self-destruct-after K]
-//! dapc-serve daemon --socket PATH
+//! dapc-serve daemon --socket PATH [--metrics PATH]
 //! dapc-serve ping|stats|shutdown --socket PATH
 //! dapc-serve client-sweep --socket PATH [--jobs N] SPEC...
 //! ```
@@ -18,7 +18,7 @@
 //! 0 ok, 2 usage, 3 transient I/O, 4 corrupt snapshot/spec bytes,
 //! 5 solve panic.
 
-use dapc_serve::{client, exit, proto, CorpusSpec, Daemon, SweepConfig, WorkerOptions};
+use dapc_serve::{client, exit, CorpusSpec, Daemon, SweepConfig, WorkerOptions};
 use std::io::{self, Write};
 use std::ops::Range;
 use std::path::PathBuf;
@@ -236,7 +236,23 @@ fn cmd_worker(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_daemon(args: &[String]) -> Result<(), CliError> {
-    let socket = socket_flag(args)?;
+    let mut socket: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--socket" => socket = Some(PathBuf::from(flags.value(flag)?)),
+            "--metrics" => metrics = Some(PathBuf::from(flags.value(flag)?)),
+            other => return Err(usage(format!("unknown daemon flag {other}"))),
+        }
+    }
+    let socket = socket.ok_or_else(|| usage("daemon needs --socket PATH"))?;
+    // --metrics turns observability on and keeps a JSON-lines snapshot
+    // of the registry fresh on disk while the daemon serves.
+    let _flush = metrics.map(|path| {
+        dapc_obs::set_enabled(true);
+        dapc_obs::PeriodicFlush::start(path, Duration::from_millis(500))
+    });
     let daemon = Daemon::bind(&socket)?;
     eprintln!("dapc-serve daemon listening on {}", socket.display());
     daemon.run().map_err(Into::into)
@@ -261,22 +277,13 @@ fn cmd_ping(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), CliError> {
-    match client::stats(&socket_flag(args)?)? {
-        proto::Response::Stats {
-            requests,
-            jobs_solved,
-            cache_families,
-            cache_entries,
-            cache_hits,
-            cache_misses,
-        } => {
-            println!(
-                "requests {requests}  jobs {jobs_solved}  cache {cache_families} families / \
-                 {cache_entries} entries  hits {cache_hits}  misses {cache_misses}"
-            );
+    let resp = client::stats(&socket_flag(args)?)?;
+    match client::render_stats(&resp) {
+        Some(rendered) => {
+            print!("{rendered}");
             Ok(())
         }
-        other => Err(io::Error::other(format!("unexpected response {other:?}")).into()),
+        None => Err(io::Error::other(format!("unexpected response {resp:?}")).into()),
     }
 }
 

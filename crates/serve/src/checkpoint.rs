@@ -207,13 +207,25 @@ pub fn write_part(dir: &Path, part: &PartReport) -> io::Result<PathBuf> {
             )))
         }
     };
+    // Timed as one unit: serialisation plus the atomic publish — the
+    // span a crashing worker would forfeit.
+    let started = dapc_obs::enabled().then(std::time::Instant::now);
     let mut bytes = Vec::new();
     part.save_to(&mut bytes)?;
     let path = dir.join(part_file_name(&range));
     let tmp = dir.join(format!(".{}.tmp", part_file_name(&range)));
     fs::write(&tmp, &bytes)?;
     fs::rename(&tmp, &path)?;
+    if let Some(started) = started {
+        write_micros().observe_micros(started.elapsed());
+    }
     Ok(path)
+}
+
+/// Latency of [`write_part`] (`serve.checkpoint.write_micros`).
+fn write_micros() -> &'static dapc_obs::Histogram {
+    static H: std::sync::OnceLock<dapc_obs::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| dapc_obs::histogram("serve.checkpoint.write_micros"))
 }
 
 /// What [`scan_parts`] salvaged from a sweep directory.

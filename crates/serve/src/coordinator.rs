@@ -28,6 +28,44 @@ use std::path::Path;
 use std::process::Child;
 use std::time::{Duration, Instant};
 
+/// Supervision-layer metric handles (`serve.supervisor.*` and
+/// `serve.sweep.*`), resolved once. These shadow the per-run
+/// [`SuperviseStats`]/[`SweepOutcome`] counters with process-lifetime
+/// totals, so a daemon or long-lived orchestrator accumulates across
+/// runs.
+mod metrics {
+    use dapc_obs::{counter, Counter};
+    use std::sync::OnceLock;
+
+    pub fn spawns() -> &'static Counter {
+        static H: OnceLock<Counter> = OnceLock::new();
+        H.get_or_init(|| counter("serve.supervisor.spawns"))
+    }
+
+    pub fn retries() -> &'static Counter {
+        static H: OnceLock<Counter> = OnceLock::new();
+        H.get_or_init(|| counter("serve.supervisor.retries"))
+    }
+
+    pub fn timeouts() -> &'static Counter {
+        static H: OnceLock<Counter> = OnceLock::new();
+        H.get_or_init(|| counter("serve.supervisor.timeouts"))
+    }
+
+    /// Jobs a failed attempt still completed (checkpointed units kept
+    /// by the salvage scan instead of being re-solved).
+    pub fn salvaged_jobs() -> &'static Counter {
+        static H: OnceLock<Counter> = OnceLock::new();
+        H.get_or_init(|| counter("serve.sweep.salvaged_jobs"))
+    }
+
+    /// Ranges put back on the queue by requeue verdicts.
+    pub fn requeued_ranges() -> &'static Counter {
+        static H: OnceLock<Counter> = OnceLock::new();
+        H.get_or_init(|| counter("serve.sweep.requeued_ranges"))
+    }
+}
+
 /// How a supervised worker process ended.
 #[derive(Clone, Copy, Debug)]
 pub struct Exit {
@@ -115,6 +153,9 @@ impl Supervisor {
                 };
                 let child = spawn(&task, attempt)?;
                 stats.spawns += 1;
+                if dapc_obs::enabled() {
+                    metrics::spawns().inc();
+                }
                 running.push((task, attempt, child, Instant::now()));
             }
             // Poll for any exit or straggler; workers are independent
@@ -135,6 +176,9 @@ impl Supervisor {
                         child.kill().ok();
                         child.wait()?;
                         stats.timeouts += 1;
+                        if dapc_obs::enabled() {
+                            metrics::timeouts().inc();
+                        }
                         break 'poll (
                             i,
                             Exit {
@@ -151,6 +195,9 @@ impl Supervisor {
                 Verdict::Done => {}
                 Verdict::Requeue { tasks, progress } => {
                     stats.retries += 1;
+                    if dapc_obs::enabled() {
+                        metrics::retries().inc();
+                    }
                     let next = if progress { 0 } else { attempt + 1 };
                     if next >= self.max_attempts {
                         return Err(io::Error::other(format!(
@@ -320,6 +367,12 @@ where
                 )));
             }
             let owed_jobs: usize = owed.iter().map(Range::len).sum();
+            if dapc_obs::enabled() {
+                // The owed pieces are clipped to `task` and disjoint, so
+                // the difference is exactly what the attempt salvaged.
+                metrics::salvaged_jobs().add((task.len() - owed_jobs) as u64);
+                metrics::requeued_ranges().add(owed.len() as u64);
+            }
             Ok(Verdict::Requeue {
                 tasks: owed,
                 progress: owed_jobs < task.len(),

@@ -25,9 +25,48 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Hard cap on the per-request `jobs` parallelism a client may ask for.
 pub const MAX_REQUEST_JOBS: u64 = 16;
+
+/// Daemon-layer metric handles (`serve.daemon.*`), resolved once.
+mod metrics {
+    use dapc_obs::{counter, histogram, Counter, Histogram};
+    use std::sync::OnceLock;
+
+    /// Requests accepted (well-formed or not), across connections.
+    pub fn requests() -> &'static Counter {
+        static H: OnceLock<Counter> = OnceLock::new();
+        H.get_or_init(|| counter("serve.daemon.requests"))
+    }
+
+    /// End-to-end service latency of one request, by request kind.
+    pub fn latency(kind: &Kind) -> &'static Histogram {
+        static PING: OnceLock<Histogram> = OnceLock::new();
+        static STATS: OnceLock<Histogram> = OnceLock::new();
+        static SOLVE: OnceLock<Histogram> = OnceLock::new();
+        static SWEEP: OnceLock<Histogram> = OnceLock::new();
+        match kind {
+            Kind::Ping => PING.get_or_init(|| histogram("serve.daemon.ping_micros")),
+            Kind::Stats => STATS.get_or_init(|| histogram("serve.daemon.stats_micros")),
+            Kind::Solve => SOLVE.get_or_init(|| histogram("serve.daemon.solve_micros")),
+            Kind::Sweep => SWEEP.get_or_init(|| histogram("serve.daemon.sweep_micros")),
+        }
+    }
+
+    /// The request kinds that get their own latency histogram.
+    pub enum Kind {
+        /// `Request::Ping`.
+        Ping,
+        /// `Request::Stats`.
+        Stats,
+        /// `Request::Solve`.
+        Solve,
+        /// `Request::Sweep`.
+        Sweep,
+    }
+}
 
 /// The persistent solve server. See the module docs.
 pub struct Daemon {
@@ -92,6 +131,9 @@ impl Daemon {
     fn serve_connection(&mut self, mut stream: UnixStream) -> io::Result<bool> {
         while let Some(body) = read_frame(&mut stream)? {
             self.requests += 1;
+            if dapc_obs::enabled() {
+                metrics::requests().inc();
+            }
             let request = match Request::from_bytes(&body) {
                 Ok(r) => r,
                 Err(e) => {
@@ -104,12 +146,17 @@ impl Daemon {
                     continue;
                 }
             };
-            match request {
+            // Latency covers the whole service of the request, including
+            // writing the reply frames. Shutdown is excluded: its timer
+            // would never be read.
+            let started = dapc_obs::enabled().then(Instant::now);
+            let kind = match request {
                 Request::Ping => {
                     let resp = Response::Pong {
                         protocol: PROTOCOL_VERSION,
                     };
                     write_frame(&mut stream, &resp.to_bytes())?;
+                    metrics::Kind::Ping
                 }
                 Request::Stats => {
                     let c = self.cache.stats();
@@ -120,8 +167,10 @@ impl Daemon {
                         cache_entries: c.entries as u64,
                         cache_hits: c.hits,
                         cache_misses: c.misses,
+                        metrics: dapc_obs::MetricsSnapshot::capture(),
                     };
                     write_frame(&mut stream, &resp.to_bytes())?;
+                    metrics::Kind::Stats
                 }
                 Request::Shutdown => {
                     write_frame(&mut stream, &Response::ShutdownAck.to_bytes())?;
@@ -134,16 +183,21 @@ impl Daemon {
                             message: format!("job index {index} out of range for {len} jobs"),
                         };
                         write_frame(&mut stream, &resp.to_bytes())?;
-                        continue;
+                    } else {
+                        let range = index as usize..index as usize + 1;
+                        self.stream_solve(&mut stream, &spec, range, 1)?;
                     }
-                    let range = index as usize..index as usize + 1;
-                    self.stream_solve(&mut stream, &spec, range, 1)?;
+                    metrics::Kind::Solve
                 }
                 Request::Sweep { spec, jobs } => {
                     let jobs = jobs.clamp(1, MAX_REQUEST_JOBS) as usize;
                     let range = 0..spec.grid_len();
                     self.stream_solve(&mut stream, &spec, range, jobs)?;
+                    metrics::Kind::Sweep
                 }
+            };
+            if let Some(started) = started {
+                metrics::latency(&kind).observe_micros(started.elapsed());
             }
         }
         Ok(false)
@@ -255,6 +309,30 @@ pub mod client {
         pub cache_misses: u64,
         /// Request wall clock.
         pub wall_micros: u64,
+    }
+
+    /// Formats a [`Response::Stats`] the way `dapc-serve stats` prints
+    /// it: the counter line, then the daemon's metrics snapshot rendered
+    /// in its canonical (name-sorted) order. `None` for other variants.
+    pub fn render_stats(resp: &Response) -> Option<String> {
+        let Response::Stats {
+            requests,
+            jobs_solved,
+            cache_families,
+            cache_entries,
+            cache_hits,
+            cache_misses,
+            metrics,
+        } = resp
+        else {
+            return None;
+        };
+        let mut out = format!(
+            "requests {requests}  jobs {jobs_solved}  cache {cache_families} families / \
+             {cache_entries} entries  hits {cache_hits}  misses {cache_misses}\n"
+        );
+        out.push_str(&metrics.render());
+        Some(out)
     }
 
     fn roundtrip(stream: &mut UnixStream, request: &Request) -> io::Result<Response> {

@@ -16,12 +16,16 @@
 //!   per message.
 
 use crate::spec::CorpusSpec;
+use dapc_obs::MetricsSnapshot;
 use dapc_runtime::snap;
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this build; [`Response::Pong`] carries it
 /// so clients can refuse a skewed daemon.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// Version history: 1 — initial protocol; 2 — [`Response::Stats`] gained
+/// the embedded [`MetricsSnapshot`].
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Hard cap on a frame body, checked before any allocation. Large
 /// enough for any spec the [`crate::spec::SPEC_LIMITS`] caps admit,
@@ -106,6 +110,9 @@ pub enum Response {
         cache_hits: u64,
         /// Lifetime cache misses.
         cache_misses: u64,
+        /// The daemon's full metrics snapshot (empty when observability
+        /// is disabled in the daemon process).
+        metrics: MetricsSnapshot,
     },
     /// The request failed; the connection stays usable.
     Error {
@@ -289,6 +296,7 @@ impl Response {
                     cache_entries,
                     cache_hits,
                     cache_misses,
+                    metrics,
                 } => {
                     w.write_all(&[0x83])?;
                     for v in [
@@ -301,6 +309,7 @@ impl Response {
                     ] {
                         snap::write_u64(&mut w, *v)?;
                     }
+                    snap::write_bytes(&mut w, &metrics.to_bytes())?;
                 }
                 Response::Error { message } => {
                     w.write_all(&[0x84])?;
@@ -349,6 +358,7 @@ impl Response {
                 cache_entries: snap::read_u64(&mut r)?,
                 cache_hits: snap::read_u64(&mut r)?,
                 cache_misses: snap::read_u64(&mut r)?,
+                metrics: read_metrics(&mut r)?,
             },
             0x84 => Response::Error {
                 message: snap::read_str(&mut r, "error message")?,
@@ -361,6 +371,14 @@ impl Response {
         }
         Ok(resp)
     }
+}
+
+/// Decodes an embedded metrics snapshot with the same all-or-nothing
+/// discipline as [`read_spec`]: the length-prefixed bytes must parse as
+/// a complete canonical snapshot with nothing left over.
+fn read_metrics(r: &mut impl Read) -> io::Result<MetricsSnapshot> {
+    let bytes = snap::read_bytes(r, "embedded metrics snapshot")?;
+    MetricsSnapshot::from_bytes(&bytes)
 }
 
 fn read_spec(r: &mut impl Read) -> io::Result<CorpusSpec> {

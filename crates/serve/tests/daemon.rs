@@ -4,6 +4,7 @@
 //! are answered in-band without killing the connection, and shutdown
 //! removes the socket.
 
+use dapc_obs::{MetricsSnapshot, SnapshotEntry};
 use dapc_runtime::{solve_many, RuntimeConfig};
 use dapc_serve::proto::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
 use dapc_serve::{client, CorpusSpec, Daemon};
@@ -18,6 +19,54 @@ fn demo_spec() -> CorpusSpec {
         "@seeds=0..2",
     ])
     .expect("demo spec parses")
+}
+
+/// `dapc-serve stats` output is golden-locked: the legacy counter line,
+/// then the snapshot table in canonical (name-sorted) order with names
+/// padded to the widest.
+#[test]
+fn stats_pretty_print_matches_golden_output() {
+    let resp = Response::Stats {
+        requests: 10,
+        jobs_solved: 40,
+        cache_families: 1,
+        cache_entries: 5,
+        cache_hits: 30,
+        cache_misses: 5,
+        metrics: MetricsSnapshot {
+            entries: vec![
+                SnapshotEntry::Histogram {
+                    name: "serve.daemon.ping_micros".into(),
+                    count: 2,
+                    sum: 9,
+                    p50: 3,
+                    p90: 7,
+                    p99: 7,
+                    buckets: vec![(2, 1), (3, 1)],
+                },
+                SnapshotEntry::Counter {
+                    name: "serve.daemon.requests".into(),
+                    value: 10,
+                },
+                SnapshotEntry::Gauge {
+                    name: "serve.daemon.resident_bytes".into(),
+                    value: 4096,
+                },
+            ],
+        },
+    };
+    let rendered = client::render_stats(&resp).expect("stats renders");
+    let golden = "\
+requests 10  jobs 40  cache 1 families / 5 entries  hits 30  misses 5
+dapc-obs snapshot v1 (3 metrics)
+histogram  serve.daemon.ping_micros     count=2 sum=9 p50=3 p90=7 p99=7
+counter    serve.daemon.requests        10
+gauge      serve.daemon.resident_bytes  4096
+";
+    assert_eq!(rendered, golden);
+
+    // Only a Stats response renders.
+    assert_eq!(client::render_stats(&Response::ShutdownAck), None);
 }
 
 #[test]

@@ -3,6 +3,7 @@
 //! message layer), hostile length fields are rejected before any
 //! allocation, and unknown tags are errors rather than skipped.
 
+use dapc_obs::{MetricsSnapshot, SnapshotEntry};
 use dapc_serve::proto::{read_frame, write_frame, Request, Response, MAX_FRAME, PROTOCOL_VERSION};
 use dapc_serve::CorpusSpec;
 use std::io::{self, Write};
@@ -15,6 +16,32 @@ fn demo_spec() -> CorpusSpec {
         "@seeds=0..2",
     ])
     .expect("demo spec parses")
+}
+
+/// A canonical (name-sorted) snapshot exercising all three metric
+/// kinds, built without touching the process-global registry.
+fn demo_metrics() -> MetricsSnapshot {
+    MetricsSnapshot {
+        entries: vec![
+            SnapshotEntry::Histogram {
+                name: "serve.daemon.ping_micros".into(),
+                count: 2,
+                sum: 9,
+                p50: 3,
+                p90: 7,
+                p99: 7,
+                buckets: vec![(2, 1), (3, 1)],
+            },
+            SnapshotEntry::Counter {
+                name: "serve.daemon.requests".into(),
+                value: 10,
+            },
+            SnapshotEntry::Gauge {
+                name: "serve.daemon.resident_bytes".into(),
+                value: 4096,
+            },
+        ],
+    }
 }
 
 fn every_request() -> Vec<Request> {
@@ -59,6 +86,16 @@ fn every_response() -> Vec<Response> {
             cache_entries: 5,
             cache_hits: 30,
             cache_misses: 5,
+            metrics: demo_metrics(),
+        },
+        Response::Stats {
+            requests: 0,
+            jobs_solved: 0,
+            cache_families: 0,
+            cache_entries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            metrics: MetricsSnapshot::default(),
         },
         Response::Error {
             message: "bad request: nope".into(),
@@ -241,6 +278,29 @@ fn an_embedded_spec_with_trailing_junk_is_rejected() {
             .contains("trailing bytes after the embedded spec"),
         "{err}"
     );
+}
+
+#[test]
+fn an_embedded_metrics_snapshot_with_junk_is_rejected() {
+    // Same attack as the spec variant: the envelope length is
+    // consistent, so only the snapshot parser's own strictness can
+    // reject bytes after (or instead of) the canonical lines.
+    for tail in [&b"\n"[..], b"{}", b"x"] {
+        let mut metrics_field = demo_metrics().to_bytes();
+        metrics_field.extend_from_slice(tail);
+        let mut body = Vec::new();
+        body.write_all(&[0x83]).unwrap();
+        for v in [10u64, 40, 1, 5, 30, 5] {
+            body.write_all(&v.to_le_bytes()).unwrap();
+        }
+        body.write_all(&(metrics_field.len() as u64).to_le_bytes())
+            .unwrap();
+        body.write_all(&metrics_field).unwrap();
+        assert!(
+            Response::from_bytes(&body).is_err(),
+            "metrics field padded with {tail:?} must fail"
+        );
+    }
 }
 
 #[test]
