@@ -39,6 +39,15 @@
 //! `--shard-dir DIR` pins where the shard files live (default: a
 //! process-unique directory under the system temp dir).
 //!
+//! `--chaos-seed S` arms the deterministic fault plan (`dapc-chaos`)
+//! for this process *and* — via the inherited environment — every shard
+//! worker it spawns: checkpoint writes tear, loads flip bits, workers
+//! stall and abort, all on a schedule that is a pure function of the
+//! seed. Retried workers get the attempt number as their chaos salt, so
+//! a fault cannot replay itself against every retry. The contract the
+//! CI chaos drill enforces: a seeded run either fails loudly with the
+//! triage exit code below or renders byte-identical tables.
+//!
 //! Exit codes follow `dapc_serve::exit`: 0 ok, 3 transient I/O, 4 a
 //! corrupt or truncated shard file, 5 a panicking solve — so a
 //! supervising coordinator can tell retryable deaths from fatal ones.
@@ -90,6 +99,7 @@ fn main() {
     let mut self_destruct = false;
     let mut shard_dir: Option<PathBuf> = None;
     let mut metrics_path: Option<PathBuf> = None;
+    let mut chaos_seed: Option<u64> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -130,6 +140,13 @@ fn main() {
             "--metrics" => {
                 metrics_path = Some(PathBuf::from(it.next().expect("--metrics needs a path")));
             }
+            "--chaos-seed" => {
+                let v = it.next().expect("--chaos-seed needs a u64 seed");
+                chaos_seed = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| panic!("bad --chaos-seed {v:?}")),
+                );
+            }
             other => {
                 if let Some(n) = other.strip_prefix("--jobs=") {
                     rt.jobs = parse_count("--jobs", n);
@@ -148,6 +165,11 @@ fn main() {
                     shard_dir = Some(PathBuf::from(p));
                 } else if let Some(p) = other.strip_prefix("--metrics=") {
                     metrics_path = Some(PathBuf::from(p));
+                } else if let Some(v) = other.strip_prefix("--chaos-seed=") {
+                    chaos_seed = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| panic!("bad --chaos-seed {v:?}")),
+                    );
                 } else if other.starts_with("--") {
                     panic!("unknown flag {other:?}");
                 } else {
@@ -176,6 +198,12 @@ fn main() {
     // the whole run; it is diff-checked in CI to never change a table.
     if metrics_path.is_some() {
         dapc_obs::set_enabled(true);
+    }
+
+    // The fault plan arms before any I/O, and exports itself through the
+    // environment so spawned shard workers run under the same seed.
+    if let Some(seed) = chaos_seed {
+        dapc_chaos::arm(seed, 0);
     }
 
     if let Some(workers) = orchestrate_workers {
@@ -348,8 +376,15 @@ fn orchestrate(
     let stats = supervisor
         .run(
             (0..workers).collect(),
-            |&i, _attempt| {
+            |&i, attempt| {
                 let mut cmd = Command::new(&exe);
+                // A fresh chaos salt per (shard, attempt): a seeded
+                // fault cannot replay itself against every retry, nor
+                // fire in lockstep across sibling shard workers.
+                cmd.env(
+                    dapc_chaos::SALT_ENV,
+                    (attempt as u64 * 0x1_0000 + i as u64).to_string(),
+                );
                 cmd.arg(profile_flag)
                     .arg("--jobs")
                     .arg(rt.jobs.to_string())

@@ -34,8 +34,9 @@ use std::io::{self, Read, Write};
 
 /// Magic + version prefix of the shard *file* format (a header naming
 /// the run it belongs to, then the recorded [`ShardReport`]s in call
-/// order): seven identifying bytes and a format version byte.
-pub const SHARD_FILE_MAGIC: &[u8; 8] = b"DAPCSHF\x01";
+/// order): seven identifying bytes and a format version byte. Version 2
+/// appends a whole-file integrity seal ([`snap::seal`]).
+pub const SHARD_FILE_MAGIC: &[u8; 8] = b"DAPCSHF\x02";
 
 /// How a [`Runner`] executes the batch experiments' `solve` calls.
 enum Mode {
@@ -246,20 +247,29 @@ pub fn write_shard_file<W: Write>(
     shards: usize,
     reports: &[ShardReport],
 ) -> io::Result<()> {
-    w.write_all(SHARD_FILE_MAGIC)?;
-    w.write_all(&[match profile {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(SHARD_FILE_MAGIC);
+    buf.push(match profile {
         Profile::Quick => 0,
         Profile::Full => 1,
-    }])?;
-    snap::write_str(&mut w, ids)?;
-    snap::write_u64(&mut w, shard as u64)?;
-    snap::write_u64(&mut w, shards as u64)?;
-    snap::write_u64(&mut w, reports.len() as u64)?;
+    });
+    snap::write_str(&mut buf, ids)?;
+    snap::write_u64(&mut buf, shard as u64)?;
+    snap::write_u64(&mut buf, shards as u64)?;
+    snap::write_u64(&mut buf, reports.len() as u64)?;
     for report in reports {
         let mut blob = Vec::new();
         report.save_to(&mut blob)?;
-        snap::write_bytes(&mut w, &blob)?;
+        snap::write_bytes(&mut buf, &blob)?;
     }
+    snap::seal(&mut buf);
+    // Chaos: the write dies mid-file. The torn file fails its seal at
+    // merge time, so the run aborts loudly instead of merging a prefix.
+    if let Some(mut roll) = dapc_chaos::roll("shard.write") {
+        w.write_all(&buf[..roll.pick(buf.len().max(2) - 1) + 1])?;
+        return Err(io::Error::other("chaos: shard file torn mid-write"));
+    }
+    w.write_all(&buf)?;
     Ok(())
 }
 
@@ -272,7 +282,8 @@ pub fn write_shard_file<W: Write>(
 /// `InvalidData` on a bad magic/version, a corrupt field or trailing
 /// bytes after the last report, `UnexpectedEof` on truncation, plus any
 /// reader error.
-pub fn read_shard_file<R: Read>(mut r: R) -> io::Result<ShardFile> {
+pub fn read_shard_file<R: Read>(r: R) -> io::Result<ShardFile> {
+    let mut r = snap::SealingReader::new(dapc_chaos::corrupt_reader("shardfile.load", r));
     snap::check_magic(&mut r, SHARD_FILE_MAGIC, "shard-file")?;
     let profile = match snap::read_u8(&mut r)? {
         0 => Profile::Quick,
@@ -293,6 +304,7 @@ pub fn read_shard_file<R: Read>(mut r: R) -> io::Result<ShardFile> {
         let blob = snap::read_bytes(&mut r, "shard report")?;
         reports.push(ShardReport::load_from(blob.as_slice())?);
     }
+    r.verify_seal("shard-file")?;
     // Self-delimiting like every snapshot format here: bytes after the
     // last report are corruption (e.g. concatenated files), not padding.
     let mut trailing = [0u8; 1];

@@ -21,7 +21,7 @@ use crate::report::{BatchAggregator, StreamReport};
 use crate::run::{reference_optima, stream_jobs, RuntimeConfig};
 use crate::snap;
 use std::collections::{HashMap, HashSet};
-use std::io;
+use std::io::{self, Read};
 use std::ops::Range;
 use std::time::{Duration, Instant};
 
@@ -30,8 +30,11 @@ use std::time::{Duration, Instant};
 /// header (`corpus_jobs · start · jobs · workers · peak_buffered ·
 /// wall_micros`), the six cache counters, and the length-prefixed
 /// [`BatchAggregator`] snapshot — all integers little-endian, the stream
-/// self-delimiting (trailing bytes are corruption).
-pub const PART_MAGIC: &[u8; 8] = b"DAPCPRT\x01";
+/// self-delimiting (trailing bytes are corruption). Version 2 appends a
+/// 16-byte FNV-1a-128 seal over every preceding byte, so *any* bit flip
+/// or truncation in a checkpoint file surfaces as a load error instead
+/// of a silently wrong merge.
+pub const PART_MAGIC: &[u8; 8] = b"DAPCPRT\x02";
 
 /// The aggregation of one contiguous job range of a corpus (or, after
 /// merging, of any disjoint union of ranges): what a checkpoint file
@@ -138,23 +141,25 @@ impl PartReport {
     ///
     /// Propagates writer errors.
     pub fn save_to<W: io::Write>(&self, mut w: W) -> io::Result<()> {
-        w.write_all(PART_MAGIC)?;
-        snap::write_u64(&mut w, self.corpus_jobs as u64)?;
-        snap::write_u64(&mut w, self.start as u64)?;
-        snap::write_u64(&mut w, self.jobs as u64)?;
-        snap::write_u64(&mut w, self.workers as u64)?;
-        snap::write_u64(&mut w, self.peak_buffered as u64)?;
-        snap::write_u64(&mut w, self.wall.as_micros() as u64)?;
-        snap::write_u64(&mut w, self.cache.families as u64)?;
-        snap::write_u64(&mut w, self.cache.entries as u64)?;
-        snap::write_u64(&mut w, self.cache.bytes as u64)?;
-        snap::write_u64(&mut w, self.cache.hits)?;
-        snap::write_u64(&mut w, self.cache.misses)?;
-        snap::write_u64(&mut w, self.cache.evictions)?;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(PART_MAGIC);
+        snap::write_u64(&mut buf, self.corpus_jobs as u64)?;
+        snap::write_u64(&mut buf, self.start as u64)?;
+        snap::write_u64(&mut buf, self.jobs as u64)?;
+        snap::write_u64(&mut buf, self.workers as u64)?;
+        snap::write_u64(&mut buf, self.peak_buffered as u64)?;
+        snap::write_u64(&mut buf, self.wall.as_micros() as u64)?;
+        snap::write_u64(&mut buf, self.cache.families as u64)?;
+        snap::write_u64(&mut buf, self.cache.entries as u64)?;
+        snap::write_u64(&mut buf, self.cache.bytes as u64)?;
+        snap::write_u64(&mut buf, self.cache.hits)?;
+        snap::write_u64(&mut buf, self.cache.misses)?;
+        snap::write_u64(&mut buf, self.cache.evictions)?;
         let mut aggregator = Vec::new();
         self.aggregator.save_to(&mut aggregator)?;
-        snap::write_bytes(&mut w, &aggregator)?;
-        Ok(())
+        snap::write_bytes(&mut buf, &aggregator)?;
+        snap::seal(&mut buf);
+        w.write_all(&buf)
     }
 
     /// Reads a part written by [`PartReport::save_to`]. Loading is
@@ -170,8 +175,10 @@ impl PartReport {
     /// corpus), or trailing bytes; with
     /// [`io::ErrorKind::UnexpectedEof`] on truncation at any byte;
     /// besides propagating reader errors and the aggregator loader's own
-    /// failures.
-    pub fn load_from<R: io::Read>(mut r: R) -> io::Result<Self> {
+    /// failures. A failed seal check (any byte under the seal flipped or
+    /// missing) is `InvalidData` too.
+    pub fn load_from<R: io::Read>(r: R) -> io::Result<Self> {
+        let mut r = snap::SealingReader::new(dapc_chaos::corrupt_reader("part.load", r));
         snap::check_magic(&mut r, PART_MAGIC, "part-report")?;
         let corpus_jobs = snap::read_u64(&mut r)? as usize;
         let start = snap::read_u64(&mut r)? as usize;
@@ -221,6 +228,7 @@ impl PartReport {
                 )));
             }
         }
+        r.verify_seal("part-report")?;
         // Self-delimiting like every snapshot format here: anything after
         // the last field is corruption, not padding.
         let mut trailing = [0u8; 1];

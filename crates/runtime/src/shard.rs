@@ -21,7 +21,7 @@ use crate::part::solve_range_with_cache;
 use crate::report::{BatchAggregator, StreamReport};
 use crate::run::RuntimeConfig;
 use crate::snap;
-use std::io;
+use std::io::{self, Read};
 use std::time::Duration;
 
 /// Magic + version prefix of the shard-report snapshot format: seven
@@ -30,8 +30,10 @@ use std::time::Duration;
 /// peak_buffered · wall_micros`), the six cache counters, the
 /// length-prefixed [`BatchAggregator`] snapshot, and the optional
 /// length-prefixed prep-cache snapshot behind a presence flag — all
-/// integers little-endian.
-pub const SHARD_MAGIC: &[u8; 8] = b"DAPCSHD\x01";
+/// integers little-endian. Version 2 appends a 16-byte FNV-1a-128 seal
+/// over every preceding byte, so any bit flip or truncation in a shipped
+/// report surfaces as a load error instead of a silently wrong merge.
+pub const SHARD_MAGIC: &[u8; 8] = b"DAPCSHD\x02";
 
 /// What one shard of a corpus sends home: the mergeable aggregation of
 /// its job slice plus run counters — everything the merged experiment
@@ -174,28 +176,30 @@ impl ShardReport {
     ///
     /// Propagates writer errors.
     pub fn save_to<W: io::Write>(&self, mut w: W) -> io::Result<()> {
-        w.write_all(SHARD_MAGIC)?;
-        snap::write_u64(&mut w, self.shard as u64)?;
-        snap::write_u64(&mut w, self.shards as u64)?;
-        snap::write_u64(&mut w, self.corpus_jobs as u64)?;
-        snap::write_u64(&mut w, self.jobs as u64)?;
-        snap::write_u64(&mut w, self.workers as u64)?;
-        snap::write_u64(&mut w, self.peak_buffered as u64)?;
-        snap::write_u64(&mut w, self.wall.as_micros() as u64)?;
-        snap::write_u64(&mut w, self.cache.families as u64)?;
-        snap::write_u64(&mut w, self.cache.entries as u64)?;
-        snap::write_u64(&mut w, self.cache.bytes as u64)?;
-        snap::write_u64(&mut w, self.cache.hits)?;
-        snap::write_u64(&mut w, self.cache.misses)?;
-        snap::write_u64(&mut w, self.cache.evictions)?;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SHARD_MAGIC);
+        snap::write_u64(&mut buf, self.shard as u64)?;
+        snap::write_u64(&mut buf, self.shards as u64)?;
+        snap::write_u64(&mut buf, self.corpus_jobs as u64)?;
+        snap::write_u64(&mut buf, self.jobs as u64)?;
+        snap::write_u64(&mut buf, self.workers as u64)?;
+        snap::write_u64(&mut buf, self.peak_buffered as u64)?;
+        snap::write_u64(&mut buf, self.wall.as_micros() as u64)?;
+        snap::write_u64(&mut buf, self.cache.families as u64)?;
+        snap::write_u64(&mut buf, self.cache.entries as u64)?;
+        snap::write_u64(&mut buf, self.cache.bytes as u64)?;
+        snap::write_u64(&mut buf, self.cache.hits)?;
+        snap::write_u64(&mut buf, self.cache.misses)?;
+        snap::write_u64(&mut buf, self.cache.evictions)?;
         let mut aggregator = Vec::new();
         self.aggregator.save_to(&mut aggregator)?;
-        snap::write_bytes(&mut w, &aggregator)?;
-        snap::write_bool(&mut w, self.prep.is_some())?;
+        snap::write_bytes(&mut buf, &aggregator)?;
+        snap::write_bool(&mut buf, self.prep.is_some())?;
         if let Some(prep) = &self.prep {
-            snap::write_bytes(&mut w, prep)?;
+            snap::write_bytes(&mut buf, prep)?;
         }
-        Ok(())
+        snap::seal(&mut buf);
+        w.write_all(&buf)
     }
 
     /// Reads a report written by [`ShardReport::save_to`]. Loading is
@@ -209,8 +213,11 @@ impl ShardReport {
     /// the aggregator block or after the report); with
     /// [`io::ErrorKind::UnexpectedEof`] on
     /// truncation at any field boundary; besides propagating reader
-    /// errors and the aggregator loader's own failures.
-    pub fn load_from<R: io::Read>(mut r: R) -> io::Result<Self> {
+    /// errors and the aggregator loader's own failures. A failed seal
+    /// check (any byte under the seal flipped or missing) is
+    /// `InvalidData` too.
+    pub fn load_from<R: io::Read>(r: R) -> io::Result<Self> {
+        let mut r = snap::SealingReader::new(dapc_chaos::corrupt_reader("shard.load", r));
         snap::check_magic(&mut r, SHARD_MAGIC, "shard-report")?;
         let shard = snap::read_u64(&mut r)? as usize;
         let shards = snap::read_u64(&mut r)? as usize;
@@ -254,6 +261,7 @@ impl ShardReport {
         } else {
             None
         };
+        r.verify_seal("shard-report")?;
         // The report is self-delimiting: like the aggregator sub-block,
         // anything after the last field is corruption, not padding.
         let mut trailing = [0u8; 1];

@@ -7,9 +7,10 @@
 //!                   [--inject-kill K] [--out PATH] SPEC...
 //! dapc-serve worker --dir DIR --range A..B [--jobs N] [--warm PATH]
 //!                   [--self-destruct-after K]
-//! dapc-serve daemon --socket PATH [--metrics PATH]
+//! dapc-serve daemon --socket PATH [--metrics PATH] [--threads N]
+//!                   [--queue N] [--deadline-ms MS]
 //! dapc-serve ping|stats|shutdown --socket PATH
-//! dapc-serve client-sweep --socket PATH [--jobs N] SPEC...
+//! dapc-serve client-sweep --socket PATH [--jobs N] [--retries N] SPEC...
 //! ```
 //!
 //! SPEC tokens are `name=problem:graph` instances plus `@backends=`,
@@ -18,7 +19,7 @@
 //! 0 ok, 2 usage, 3 transient I/O, 4 corrupt snapshot/spec bytes,
 //! 5 solve panic.
 
-use dapc_serve::{client, exit, CorpusSpec, Daemon, SweepConfig, WorkerOptions};
+use dapc_serve::{client, exit, CorpusSpec, Daemon, DaemonConfig, SweepConfig, WorkerOptions};
 use std::io::{self, Write};
 use std::ops::Range;
 use std::path::PathBuf;
@@ -157,7 +158,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     // The injected kill (fault-drill mode) arms exactly one worker: the
     // first spawn aborts after K solved jobs, every retry runs clean.
     let mut armed = inject_kill;
-    let outcome = dapc_serve::orchestrate_sweep(&dir, &spec, &cfg, |range, _attempt| {
+    let outcome = dapc_serve::orchestrate_sweep(&dir, &spec, &cfg, |range, attempt| {
         let mut cmd = Command::new(&exe);
         cmd.arg("worker")
             .arg("--dir")
@@ -166,6 +167,14 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
             .arg(format!("{}..{}", range.start, range.end))
             .arg("--jobs")
             .arg(jobs.to_string())
+            // Every (range, attempt) pair gets its own chaos salt: a
+            // seeded fault plan cannot replay the same fault against
+            // every retry (which would turn bounded faults into
+            // livelock), nor fire in lockstep across sibling workers.
+            .env(
+                dapc_chaos::SALT_ENV,
+                (attempt as u64 * 0x1_0000 + range.start as u64).to_string(),
+            )
             .stdout(Stdio::null())
             .stderr(Stdio::inherit());
         if let Some(k) = armed.take() {
@@ -180,7 +189,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     print!("{rendered}");
     println!(
         "# telemetry: {} jobs ({} resumed from checkpoints, {} solved), \
-         {} spawns, {} retries, {} timeouts, {} torn parts ignored, wall {:?}",
+         {} spawns, {} retries, {} timeouts, {} torn parts ignored \
+         ({} quarantined), {} stale tmp collected, wall {:?}",
         outcome.corpus_jobs,
         outcome.resumed_jobs,
         outcome.solved_jobs,
@@ -188,6 +198,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         outcome.stats.retries,
         outcome.stats.timeouts,
         outcome.skipped_parts,
+        outcome.quarantined_parts,
+        outcome.collected_tmp,
         outcome.report.wall,
     );
     Ok(())
@@ -238,11 +250,17 @@ fn cmd_worker(args: &[String]) -> Result<(), CliError> {
 fn cmd_daemon(args: &[String]) -> Result<(), CliError> {
     let mut socket: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
+    let mut cfg = DaemonConfig::default();
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
             "--socket" => socket = Some(PathBuf::from(flags.value(flag)?)),
             "--metrics" => metrics = Some(PathBuf::from(flags.value(flag)?)),
+            "--threads" => cfg.threads = parse_num(flag, flags.value(flag)?)?,
+            "--queue" => cfg.queue = parse_num(flag, flags.value(flag)?)?,
+            "--deadline-ms" => {
+                cfg.deadline = Some(Duration::from_millis(parse_num(flag, flags.value(flag)?)?))
+            }
             other => return Err(usage(format!("unknown daemon flag {other}"))),
         }
     }
@@ -253,7 +271,7 @@ fn cmd_daemon(args: &[String]) -> Result<(), CliError> {
         dapc_obs::set_enabled(true);
         dapc_obs::PeriodicFlush::start(path, Duration::from_millis(500))
     });
-    let daemon = Daemon::bind(&socket)?;
+    let daemon = Daemon::bind_with(&socket, cfg)?;
     eprintln!("dapc-serve daemon listening on {}", socket.display());
     daemon.run().map_err(Into::into)
 }
@@ -296,11 +314,13 @@ fn cmd_shutdown(args: &[String]) -> Result<(), CliError> {
 fn cmd_client_sweep(args: &[String]) -> Result<(), CliError> {
     let mut socket: Option<PathBuf> = None;
     let mut jobs = 1u64;
+    let mut policy = client::RetryPolicy::default();
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
             "--socket" => socket = Some(PathBuf::from(flags.value(flag)?)),
             "--jobs" => jobs = parse_num(flag, flags.value(flag)?)?,
+            "--retries" => policy.attempts = parse_num(flag, flags.value(flag)?)?,
             other => return Err(usage(format!("unknown client-sweep flag {other}"))),
         }
     }
@@ -308,7 +328,7 @@ fn cmd_client_sweep(args: &[String]) -> Result<(), CliError> {
     let spec = parse_spec(flags.positionals())?;
     let stdout = io::stdout();
     let mut lock = stdout.lock();
-    let summary = client::sweep(&socket, &spec, jobs, |job| {
+    let summary = client::sweep_with_retry(&socket, &spec, jobs, &policy, |job| {
         let _ = writeln!(
             lock,
             "{:>6}  {:<40} value {:>8}  feasible {}  rounds {:>6}",

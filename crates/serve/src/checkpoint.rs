@@ -24,12 +24,14 @@
 use crate::spec::CorpusSpec;
 use dapc_runtime::{snap, PartReport};
 use std::fs;
-use std::io;
+use std::io::{self, Read};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 
-/// Magic + version prefix of `manifest.bin`.
-pub const MANIFEST_MAGIC: &[u8; 8] = b"DAPCMAN\x01";
+/// Magic + version prefix of `manifest.bin`. Version 2 appends a
+/// 16-byte FNV-1a-128 seal over every preceding byte — a flipped or
+/// truncated manifest must fail to load (exit 4), never half-load.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"DAPCMAN\x02";
 
 /// File name of the sweep manifest inside a sweep directory.
 pub const MANIFEST_FILE: &str = "manifest.bin";
@@ -69,16 +71,18 @@ impl SweepManifest {
     ///
     /// Propagates writer errors.
     pub fn save_to<W: io::Write>(&self, mut w: W) -> io::Result<()> {
-        w.write_all(MANIFEST_MAGIC)?;
-        snap::write_bytes(&mut w, &self.spec.to_bytes())?;
-        snap::write_u64(&mut w, self.corpus_jobs as u64)?;
-        snap::write_u64(&mut w, self.unit as u64)?;
-        snap::write_u64(&mut w, self.done.len() as u64)?;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        snap::write_bytes(&mut buf, &self.spec.to_bytes())?;
+        snap::write_u64(&mut buf, self.corpus_jobs as u64)?;
+        snap::write_u64(&mut buf, self.unit as u64)?;
+        snap::write_u64(&mut buf, self.done.len() as u64)?;
         for r in &self.done {
-            snap::write_u64(&mut w, r.start as u64)?;
-            snap::write_u64(&mut w, r.end as u64)?;
+            snap::write_u64(&mut buf, r.start as u64)?;
+            snap::write_u64(&mut buf, r.end as u64)?;
         }
-        Ok(())
+        snap::seal(&mut buf);
+        w.write_all(&buf)
     }
 
     /// Reads and validates a manifest: the embedded spec must itself
@@ -87,9 +91,11 @@ impl SweepManifest {
     ///
     /// # Errors
     ///
-    /// Fails with [`io::ErrorKind::InvalidData`] on any violation, with
+    /// Fails with [`io::ErrorKind::InvalidData`] on any violation
+    /// (including a failed seal check), with
     /// [`io::ErrorKind::UnexpectedEof`] on truncation at any byte.
-    pub fn load_from<R: io::Read>(mut r: R) -> io::Result<Self> {
+    pub fn load_from<R: io::Read>(r: R) -> io::Result<Self> {
+        let mut r = snap::SealingReader::new(dapc_chaos::corrupt_reader("manifest.load", r));
         snap::check_magic(&mut r, MANIFEST_MAGIC, "sweep-manifest")?;
         let spec_bytes = snap::read_bytes(&mut r, "embedded spec")?;
         let mut spec_slice = spec_bytes.as_slice();
@@ -132,6 +138,7 @@ impl SweepManifest {
             watermark = end;
             done.push(start..end);
         }
+        r.verify_seal("sweep-manifest")?;
         // Self-delimiting: anything further is corruption.
         let mut trailing = [0u8; 1];
         if r.read(&mut trailing)? != 0 {
@@ -214,12 +221,61 @@ pub fn write_part(dir: &Path, part: &PartReport) -> io::Result<PathBuf> {
     part.save_to(&mut bytes)?;
     let path = dir.join(part_file_name(&range));
     let tmp = dir.join(format!(".{}.tmp", part_file_name(&range)));
+    // Chaos faults model every way a real write can go wrong, always on
+    // the *sealed* byte stream: a torn temporary (crash mid-write), a
+    // leaked temporary (crash between write and rename), or a published
+    // part with a flipped byte — which the seal catches at the next
+    // load, so it re-solves instead of merging wrong.
+    if let Some(mut roll) = dapc_chaos::roll("part.write") {
+        match roll.pick(3) {
+            0 => {
+                let keep = roll.pick(bytes.len().max(2) - 1) + 1;
+                fs::write(&tmp, &bytes[..keep])?;
+                return Err(io::Error::other("chaos: part write torn mid-file"));
+            }
+            1 => {
+                fs::write(&tmp, &bytes)?;
+                return Err(io::Error::other("chaos: part rename lost"));
+            }
+            _ => {
+                let at = roll.pick(bytes.len());
+                bytes[at] ^= 1 << roll.pick(8);
+            }
+        }
+    }
     fs::write(&tmp, &bytes)?;
     fs::rename(&tmp, &path)?;
     if let Some(started) = started {
         write_micros().observe_micros(started.elapsed());
     }
     Ok(path)
+}
+
+/// Name of the sub-directory corrupt part files are moved into by
+/// [`scan_parts`] instead of being deleted or aborting the resume.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Removes stale dotted `*.tmp` files a crashed worker left in `dir`
+/// (a crash between `write` and `rename` leaks one forever), returning
+/// how many were collected. Safe to run whenever no worker is writing —
+/// finished parts only ever appear via rename, never as temporaries.
+///
+/// # Errors
+///
+/// Propagates directory-listing errors; a single failed removal is
+/// skipped (the file may have just been renamed into place).
+pub fn gc_stale_tmp(dir: &Path) -> io::Result<usize> {
+    let mut collected = 0usize;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with('.') && name.ends_with(".tmp") && fs::remove_file(entry.path()).is_ok()
+        {
+            collected += 1;
+        }
+    }
+    Ok(collected)
 }
 
 /// Latency of [`write_part`] (`serve.checkpoint.write_micros`).
@@ -238,15 +294,23 @@ pub struct Scan {
     /// Total jobs covered.
     pub jobs_done: usize,
     /// Files that looked like parts but were torn, foreign or
-    /// overlapping — ignored as if never written.
+    /// overlapping — ignored as if never written. Includes the
+    /// quarantined ones.
     pub skipped: usize,
+    /// The subset of `skipped` that failed to *load* (torn or corrupt
+    /// bytes) and was moved into [`QUARANTINE_DIR`] for post-mortem
+    /// instead of being rescanned forever.
+    pub quarantined: usize,
 }
 
 /// Scans `dir` for salvageable checkpoints of a `corpus_jobs`-job
 /// sweep. Unreadable, corrupt, foreign-corpus, misnamed and overlapping
 /// part files are skipped (and counted), never fatal: a torn checkpoint
 /// means "this range was never completed", the coordinator will just
-/// resolve it.
+/// resolve it. Parts whose *bytes* fail to load (torn writes, flipped
+/// bits the seal caught) are additionally moved into
+/// [`QUARANTINE_DIR`], so the evidence survives for post-mortem and a
+/// resumed sweep does not re-parse the same corpse on every rescan.
 ///
 /// # Errors
 ///
@@ -254,19 +318,29 @@ pub struct Scan {
 pub fn scan_parts(dir: &Path, corpus_jobs: usize) -> io::Result<Scan> {
     let mut found: Vec<(Range<usize>, PartReport)> = Vec::new();
     let mut skipped = 0usize;
+    let mut quarantined = 0usize;
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
         let Some(claim) = name.to_str().and_then(parse_part_file_name) else {
             continue; // not a part file (manifest, temporary, stranger)
         };
-        let loaded = fs::File::open(entry.path())
-            .map(io::BufReader::new)
-            .and_then(PartReport::load_from);
-        let part = match loaded {
+        // One retry before condemning the file: a transient read fault
+        // is indistinguishable from corruption on a single pass, but
+        // corrupt bytes fail every load while a flaky read usually
+        // doesn't fail twice.
+        let load = || {
+            fs::File::open(entry.path())
+                .map(io::BufReader::new)
+                .and_then(PartReport::load_from)
+        };
+        let part = match load().or_else(|_| load()) {
             Ok(p) => p,
             Err(_) => {
                 skipped += 1;
+                if quarantine(dir, &entry.path()) {
+                    quarantined += 1;
+                }
                 continue;
             }
         };
@@ -279,6 +353,7 @@ pub fn scan_parts(dir: &Path, corpus_jobs: usize) -> io::Result<Scan> {
     found.sort_by_key(|(claim, _)| claim.start);
     let mut scan = Scan {
         skipped,
+        quarantined,
         ..Scan::default()
     };
     let mut watermark = 0usize;
@@ -293,6 +368,31 @@ pub fn scan_parts(dir: &Path, corpus_jobs: usize) -> io::Result<Scan> {
     }
     scan.covered = coalesce(scan.parts.iter().flat_map(|p| p.covered()).collect());
     Ok(scan)
+}
+
+/// Moves an unloadable part file into `dir/quarantine/`, returning
+/// whether the move succeeded. Collisions get a numeric suffix; any
+/// filesystem failure leaves the file where it was (the scan already
+/// skipped it — quarantine is best-effort evidence preservation, never
+/// a new failure mode).
+fn quarantine(dir: &Path, path: &Path) -> bool {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    let pen = dir.join(QUARANTINE_DIR);
+    if fs::create_dir_all(&pen).is_err() {
+        return false;
+    }
+    let mut target = pen.join(name);
+    let mut suffix = 1u32;
+    while target.exists() {
+        target = pen.join(format!("{name}.{suffix}"));
+        suffix += 1;
+        if suffix > 1000 {
+            return false;
+        }
+    }
+    fs::rename(path, &target).is_ok()
 }
 
 /// Normalises ranges: sorted, disjoint input ranges with adjacent runs

@@ -17,7 +17,7 @@
 //! the merged result is byte-identical to the single-process sweep no
 //! matter how many workers died on the way.
 
-use crate::checkpoint::{scan_parts, uncovered, SweepManifest};
+use crate::checkpoint::{gc_stale_tmp, scan_parts, uncovered, SweepManifest};
 use crate::exit;
 use crate::spec::CorpusSpec;
 use dapc_runtime::{snap, PartReport, StreamReport};
@@ -151,6 +151,9 @@ impl Supervisor {
                 let Some((task, attempt)) = queue.pop_front() else {
                     break;
                 };
+                // Chaos: a delayed spawn (slow fork/exec, loaded box) —
+                // shifts interleavings without changing any result.
+                dapc_chaos::stall("spawn.delay", 30);
                 let child = spawn(&task, attempt)?;
                 stats.spawns += 1;
                 if dapc_obs::enabled() {
@@ -264,6 +267,12 @@ pub struct SweepOutcome {
     pub stats: SuperviseStats,
     /// Torn or foreign part files ignored by the scans.
     pub skipped_parts: usize,
+    /// Unloadable part files the scans moved into
+    /// [`crate::checkpoint::QUARANTINE_DIR`] (a subset of
+    /// `skipped_parts`).
+    pub quarantined_parts: usize,
+    /// Stale `*.tmp` checkpoint temporaries collected on startup.
+    pub collected_tmp: usize,
 }
 
 /// Runs (or resumes) the sweep described by `spec` in checkpoint
@@ -314,9 +323,14 @@ where
     };
     let corpus_jobs = manifest.corpus_jobs;
 
+    // No worker is running yet, so any dotted temporary is a leak from
+    // a crashed predecessor — collect them before the first scan.
+    let collected_tmp = gc_stale_tmp(dir)?;
+
     let scan = scan_parts(dir, corpus_jobs)?;
     let resumed_jobs = scan.jobs_done;
     let mut skipped_parts = scan.skipped;
+    let mut quarantined_parts = scan.quarantined;
     let remaining = uncovered(corpus_jobs, &scan.covered);
     let remaining_jobs: usize = remaining.iter().map(Range::len).sum();
 
@@ -346,7 +360,8 @@ where
             // Parts on disk are the ground truth of what the attempt
             // achieved, whatever the exit status claims.
             let scan = scan_parts(dir, corpus_jobs)?;
-            skipped_parts = scan.skipped;
+            skipped_parts = scan.skipped.max(skipped_parts);
+            quarantined_parts += scan.quarantined;
             manifest.done = scan.covered.clone();
             manifest.store(dir)?;
             let owed: Vec<Range<usize>> = uncovered(corpus_jobs, &scan.covered)
@@ -383,6 +398,7 @@ where
     // Stitch the full corpus back together from the checkpoint files.
     let scan = scan_parts(dir, corpus_jobs)?;
     skipped_parts = skipped_parts.max(scan.skipped);
+    quarantined_parts += scan.quarantined;
     if scan.covered.len() != 1 || scan.covered[0] != (0..corpus_jobs) {
         return Err(io::Error::other(format!(
             "sweep ended but checkpoints cover {:?} of 0..{corpus_jobs}",
@@ -405,5 +421,7 @@ where
         solved_jobs: corpus_jobs - resumed_jobs,
         stats,
         skipped_parts,
+        quarantined_parts,
+        collected_tmp,
     })
 }

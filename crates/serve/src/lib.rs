@@ -24,8 +24,19 @@
 //!    without recomputing a single finished unit.
 //! 3. **The daemon** ([`Daemon`]): a Unix-socket server speaking a
 //!    length-prefixed binary protocol ([`proto`]) that keeps one
-//!    [`dapc_runtime::PrepCache`] resident across requests and streams
-//!    per-job results as they complete.
+//!    [`dapc_runtime::PrepCache`] resident across requests, serves
+//!    connections from a bounded thread pool behind a bounded queue
+//!    (shedding load with in-band `Busy` frames), bounds client waits
+//!    with per-request deadlines, and streams per-job results as they
+//!    complete. The [`client`] module pairs it with a capped-backoff
+//!    [`client::RetryPolicy`] — safe to retry because every result is a
+//!    pure function of its job key.
+//!
+//! The whole stack is exercised under deterministic fault injection
+//! (`dapc-chaos`): with a seeded fault plan armed, checkpoint writes
+//! tear, loads flip bits, workers stall and abort, and frames truncate
+//! mid-write — and a sweep either fails loudly with the right exit code
+//! or completes byte-identical to the fault-free single-process run.
 //!
 //! Everything that crosses a process boundary — specs, manifests, part
 //! files, wire frames — obeys the same hardening contract as the
@@ -44,12 +55,12 @@ mod spec;
 mod worker;
 
 pub use checkpoint::{
-    part_file_name, scan_parts, uncovered, unit_grid, write_part, Scan, SweepManifest,
-    MANIFEST_FILE, MANIFEST_MAGIC,
+    gc_stale_tmp, part_file_name, scan_parts, uncovered, unit_grid, write_part, Scan,
+    SweepManifest, MANIFEST_FILE, MANIFEST_MAGIC, QUARANTINE_DIR,
 };
 pub use coordinator::{
     orchestrate_sweep, Exit, SuperviseStats, Supervisor, SweepConfig, SweepOutcome, Verdict,
 };
-pub use daemon::{client, Daemon, MAX_REQUEST_JOBS};
+pub use daemon::{client, Daemon, DaemonConfig, MAX_REQUEST_JOBS};
 pub use spec::{CorpusSpec, GraphSpec, InstanceSpec, Problem, SpecLimits, SPEC_LIMITS, SPEC_MAGIC};
 pub use worker::{run_worker, WorkerOptions, WorkerSummary};

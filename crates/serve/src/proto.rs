@@ -24,8 +24,9 @@ use std::io::{self, Read, Write};
 /// so clients can refuse a skewed daemon.
 ///
 /// Version history: 1 — initial protocol; 2 — [`Response::Stats`] gained
-/// the embedded [`MetricsSnapshot`].
-pub const PROTOCOL_VERSION: u64 = 2;
+/// the embedded [`MetricsSnapshot`]; 3 — [`Response::Busy`] (in-band
+/// backpressure when the daemon's bounded request queue is full).
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Hard cap on a frame body, checked before any allocation. Large
 /// enough for any spec the [`crate::spec::SPEC_LIMITS`] caps admit,
@@ -121,6 +122,11 @@ pub enum Response {
     },
     /// Shutdown acknowledged; the daemon exits after sending this.
     ShutdownAck,
+    /// The daemon's bounded request queue is full; the connection is
+    /// closed after this frame. Retry after a backoff — requests are
+    /// idempotent (results are pure functions of the job key), so a
+    /// retried sweep returns byte-identical frames.
+    Busy,
 }
 
 /// Writes one frame: `u32` little-endian length, then the body.
@@ -139,6 +145,18 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
                 body.len()
             ))
         })?;
+    // Chaos: tear the frame mid-write — the peer sees UnexpectedEof
+    // inside a frame (never a valid shorter frame, the header length
+    // still promises the full body) and must drop the connection.
+    if let Some(mut roll) = dapc_chaos::roll("proto.write") {
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&body[..roll.pick(body.len().max(1))])?;
+        w.flush()?;
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "chaos: frame torn mid-write",
+        ));
+    }
     w.write_all(&len.to_le_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -153,6 +171,9 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
 /// exceeds [`MAX_FRAME`] (checked before any allocation), with
 /// [`io::ErrorKind::UnexpectedEof`] when the stream ends inside a frame.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    // Chaos: a stalled read (slow peer, congested socket) — exercises
+    // read timeouts and deadlines without changing any byte.
+    dapc_chaos::stall("proto.read", 40);
     let mut len = [0u8; 4];
     // A clean close is only clean *between* frames.
     let mut filled = 0;
@@ -316,6 +337,7 @@ impl Response {
                     snap::write_str(&mut w, message)?;
                 }
                 Response::ShutdownAck => w.write_all(&[0x85])?,
+                Response::Busy => w.write_all(&[0x86])?,
             }
             Ok(())
         })();
@@ -364,6 +386,7 @@ impl Response {
                 message: snap::read_str(&mut r, "error message")?,
             },
             0x85 => Response::ShutdownAck,
+            0x86 => Response::Busy,
             t => return Err(snap::invalid(format!("unknown response tag {t}"))),
         };
         if !r.is_empty() {

@@ -92,6 +92,13 @@ pub fn run_worker(
             summary.resumed_jobs += unit.len();
             continue;
         }
+        // Chaos: a straggling worker (exercises the supervisor timeout)
+        // and signal death between units (already-published parts
+        // survive and are salvaged — the crash forfeits nothing done).
+        dapc_chaos::stall("worker.stall", 60);
+        if dapc_chaos::roll("worker.abort").is_some() {
+            std::process::abort();
+        }
         let solved = Arc::clone(&solved);
         let fuse = opts.self_destruct_after;
         let part =

@@ -1,0 +1,313 @@
+//! The hardened daemon under concurrent load: parallel clients stream
+//! interleaved sweeps without mixing frames, the bounded queue sheds
+//! load with in-band `Busy`, deadlines kill stuck connections without
+//! killing the daemon, shutdown drains in-flight requests, the retrying
+//! client rides out a daemon that is not up yet, and stale socket files
+//! are replaced while live ones are protected.
+
+use dapc_local::RoundCost;
+use dapc_runtime::{solve_many, RuntimeConfig};
+use dapc_serve::client::{self, JobUpdate, RetryPolicy};
+use dapc_serve::proto::{read_frame, Response};
+use dapc_serve::{CorpusSpec, Daemon, DaemonConfig};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn demo_spec() -> CorpusSpec {
+    CorpusSpec::parse_args([
+        "ring=mis:cycle:12",
+        "@backends=greedy,three-phase",
+        "@eps=0.3",
+        "@seeds=0..2",
+    ])
+    .expect("demo spec parses")
+}
+
+/// A corpus big enough that its sweep reliably outlives a zero deadline
+/// and the watchdog's first scan, but still finishes in well under a
+/// second once the daemon lets it run to completion off-connection.
+fn slow_spec() -> CorpusSpec {
+    CorpusSpec::parse_args([
+        "big=mis:cycle:512",
+        "@backends=three-phase",
+        "@eps=0.1",
+        "@seeds=0..64",
+    ])
+    .expect("slow spec parses")
+}
+
+fn scratch_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dapc-concurrent-{tag}-{}.sock", std::process::id()))
+}
+
+/// The headline concurrency contract: N clients sweeping at once each
+/// see their own stream in canonical job order, every stream matches
+/// the single-process solver byte for byte, and the resident cache
+/// accumulates hits across all of them.
+#[test]
+fn concurrent_clients_get_canonical_isolated_streams() {
+    let socket = scratch_socket("fanout");
+    let daemon = Daemon::bind_with(
+        &socket,
+        DaemonConfig {
+            threads: 4,
+            queue: 16,
+            deadline: None,
+        },
+    )
+    .expect("bind");
+    let server = std::thread::spawn(move || daemon.run());
+
+    let spec = demo_spec();
+    let reference = solve_many(&spec.build(), &RuntimeConfig::new());
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let socket = socket.clone();
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let mut streamed: Vec<JobUpdate> = Vec::new();
+                let summary = client::sweep(&socket, &spec, 2, |j| streamed.push(j))
+                    .expect("concurrent sweep");
+                (streamed, summary)
+            })
+        })
+        .collect();
+    for handle in clients {
+        let (streamed, summary) = handle.join().expect("client thread");
+        assert_eq!(streamed.len(), reference.results.len());
+        assert_eq!(summary.jobs, reference.results.len() as u64);
+        for (i, (got, want)) in streamed.iter().zip(&reference.results).enumerate() {
+            assert_eq!(got.index, i as u64, "stream must be in canonical order");
+            assert_eq!(got.key, want.key.to_string(), "job {i}");
+            assert_eq!(got.value, want.report.value, "job {i}");
+            assert_eq!(got.feasible, want.report.feasible(), "job {i}");
+            assert_eq!(got.rounds, want.report.rounds() as u64, "job {i}");
+        }
+    }
+
+    // Four sweeps of the same spec against one resident cache: at most
+    // one miss per distinct prep, everything else must have hit.
+    match client::stats(&socket).expect("stats") {
+        Response::Stats {
+            cache_hits,
+            cache_misses,
+            ..
+        } => {
+            assert!(
+                cache_hits > cache_misses,
+                "4 identical sweeps must be hit-dominated (hits {cache_hits}, \
+                 misses {cache_misses})"
+            );
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    client::shutdown(&socket).expect("shutdown");
+    server.join().expect("join").expect("clean run");
+    assert!(!socket.exists());
+}
+
+/// With one handler and a one-slot queue, the third simultaneous
+/// connection gets an in-band `Busy` frame — and once capacity frees
+/// up, new connections are served again.
+#[test]
+fn full_queue_answers_busy_in_band() {
+    let socket = scratch_socket("busy");
+    let daemon = Daemon::bind_with(
+        &socket,
+        DaemonConfig {
+            threads: 1,
+            queue: 1,
+            deadline: None,
+        },
+    )
+    .expect("bind");
+    let server = std::thread::spawn(move || daemon.run());
+
+    // Occupy the only handler with an idle connection, then park a
+    // second one in the only queue slot. The sleeps give the acceptor
+    // time to route each connection before the next arrives.
+    let hog = UnixStream::connect(&socket).expect("hog connects");
+    std::thread::sleep(Duration::from_millis(300));
+    let parked = UnixStream::connect(&socket).expect("parked connects");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut shed = UnixStream::connect(&socket).expect("shed connects");
+    let body = read_frame(&mut shed)
+        .expect("read busy frame")
+        .expect("busy frame");
+    assert_eq!(
+        Response::from_bytes(&body).expect("decode busy"),
+        Response::Busy
+    );
+    // The daemon closes its side after shedding.
+    assert!(read_frame(&mut shed).expect("shed close").is_none());
+
+    // Free the handler; the parked connection gets served.
+    drop(hog);
+    drop(parked);
+    std::thread::sleep(Duration::from_millis(300));
+    let spec = demo_spec();
+    let summary = client::sweep(&socket, &spec, 1, |_| {}).expect("post-busy sweep");
+    assert_eq!(summary.jobs, spec.grid_len() as u64);
+
+    client::shutdown(&socket).expect("shutdown");
+    server.join().expect("join").expect("clean run");
+}
+
+/// A request running past its deadline loses its *connection* — the
+/// client sees a retryable stream error — while the daemon survives and
+/// keeps serving.
+#[test]
+fn deadline_kills_the_connection_not_the_daemon() {
+    let socket = scratch_socket("deadline");
+    let daemon = Daemon::bind_with(
+        &socket,
+        DaemonConfig {
+            threads: 2,
+            queue: 16,
+            deadline: Some(Duration::ZERO),
+        },
+    )
+    .expect("bind");
+    let server = std::thread::spawn(move || daemon.run());
+
+    let err = client::sweep(&socket, &slow_spec(), 1, |_| {})
+        .expect_err("a zero deadline must kill the sweep connection");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::BrokenPipe
+        ),
+        "deadline kill must surface as a connection-level error, got {err}"
+    );
+
+    // The daemon itself is fine: pings (never under deadline) work, and
+    // the counters are still reachable.
+    client::ping(&socket).expect("ping after deadline kill");
+    client::stats(&socket).expect("stats after deadline kill");
+
+    client::shutdown(&socket).expect("shutdown");
+    server.join().expect("join").expect("clean run");
+}
+
+/// Shutdown drains: a sweep in flight when the shutdown request lands
+/// still completes and delivers its full stream before the daemon exits
+/// and unlinks the socket.
+#[test]
+fn shutdown_drains_inflight_sweeps() {
+    let socket = scratch_socket("drain");
+    let daemon = Daemon::bind_with(
+        &socket,
+        DaemonConfig {
+            threads: 2,
+            queue: 16,
+            deadline: None,
+        },
+    )
+    .expect("bind");
+    let server = std::thread::spawn(move || daemon.run());
+
+    let spec = slow_spec();
+    let sweeper = {
+        let socket = socket.clone();
+        let spec = spec.clone();
+        std::thread::spawn(move || {
+            let mut n = 0usize;
+            client::sweep(&socket, &spec, 1, |_| n += 1).map(|s| (n, s))
+        })
+    };
+    // Land the shutdown while the sweep is (very likely) in flight; the
+    // drain contract holds either way.
+    std::thread::sleep(Duration::from_millis(30));
+    client::shutdown(&socket).expect("shutdown");
+
+    let (streamed, summary) = sweeper
+        .join()
+        .expect("sweeper thread")
+        .expect("in-flight sweep survives shutdown");
+    assert_eq!(streamed, spec.grid_len());
+    assert_eq!(summary.jobs, spec.grid_len() as u64);
+
+    server.join().expect("join").expect("clean run");
+    assert!(!socket.exists(), "socket must be unlinked after the drain");
+}
+
+/// The retrying client rides out a daemon that comes up late: the first
+/// attempts fail with `ConnectionRefused`/`NotFound`, the backoff holds,
+/// and the sweep lands intact once the daemon is listening. Buffered
+/// delivery means the job callback only ever sees the winning attempt.
+#[test]
+fn retrying_client_survives_late_daemon_start() {
+    let socket = scratch_socket("retry");
+    let spec = demo_spec();
+    let reference = solve_many(&spec.build(), &RuntimeConfig::new());
+
+    let starter = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            let daemon = Daemon::bind(&socket).expect("late bind");
+            daemon.run()
+        })
+    };
+
+    let policy = RetryPolicy {
+        attempts: 8,
+        base_delay: Duration::from_millis(50),
+        max_delay: Duration::from_millis(400),
+    };
+    let mut streamed: Vec<JobUpdate> = Vec::new();
+    let summary = client::sweep_with_retry(&socket, &spec, 2, &policy, |j| streamed.push(j))
+        .expect("retry rides out the late start");
+    assert_eq!(summary.jobs, reference.results.len() as u64);
+    assert_eq!(streamed.len(), reference.results.len());
+    for (i, (got, want)) in streamed.iter().zip(&reference.results).enumerate() {
+        assert_eq!(got.index, i as u64);
+        assert_eq!(got.value, want.report.value, "job {i}");
+    }
+
+    client::shutdown(&socket).expect("shutdown");
+    starter.join().expect("join").expect("clean run");
+}
+
+/// The backoff schedule is capped exponential, exactly.
+#[test]
+fn retry_policy_backoff_is_capped_exponential() {
+    let policy = RetryPolicy {
+        attempts: 6,
+        base_delay: Duration::from_millis(50),
+        max_delay: Duration::from_secs(1),
+    };
+    let delays: Vec<u128> = (0..6).map(|r| policy.delay(r).as_millis()).collect();
+    assert_eq!(delays, vec![50, 100, 200, 400, 800, 1000]);
+}
+
+/// A dead daemon's leftover socket file is replaced on bind; a live
+/// daemon's socket is protected with `AddrInUse`.
+#[test]
+fn stale_sockets_are_replaced_and_live_ones_protected() {
+    let socket = scratch_socket("stale");
+
+    // Fabricate a crash corpse: bind a listener and drop it without
+    // unlinking (exactly what SIGKILL leaves behind).
+    let corpse = UnixListener::bind(&socket).expect("corpse binds");
+    drop(corpse);
+    assert!(socket.exists(), "the corpse must leave its socket file");
+
+    let daemon = Daemon::bind(&socket).expect("bind replaces the stale socket");
+    let server = std::thread::spawn(move || daemon.run());
+    client::ping(&socket).expect("daemon on the reclaimed socket answers");
+
+    // While it lives, a second bind must refuse rather than steal.
+    match Daemon::bind(&socket) {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse),
+        Ok(_) => panic!("live socket must be protected"),
+    }
+
+    client::shutdown(&socket).expect("shutdown");
+    server.join().expect("join").expect("clean run");
+}

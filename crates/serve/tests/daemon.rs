@@ -35,6 +35,10 @@ fn stats_pretty_print_matches_golden_output() {
         cache_misses: 5,
         metrics: MetricsSnapshot {
             entries: vec![
+                SnapshotEntry::Counter {
+                    name: "serve.chaos.injected".into(),
+                    value: 3,
+                },
                 SnapshotEntry::Histogram {
                     name: "serve.daemon.ping_micros".into(),
                     count: 2,
@@ -43,6 +47,14 @@ fn stats_pretty_print_matches_golden_output() {
                     p90: 7,
                     p99: 7,
                     buckets: vec![(2, 1), (3, 1)],
+                },
+                SnapshotEntry::Counter {
+                    name: "serve.daemon.queue.busy_rejections".into(),
+                    value: 2,
+                },
+                SnapshotEntry::Gauge {
+                    name: "serve.daemon.queue.depth".into(),
+                    value: 1,
                 },
                 SnapshotEntry::Counter {
                     name: "serve.daemon.requests".into(),
@@ -58,10 +70,13 @@ fn stats_pretty_print_matches_golden_output() {
     let rendered = client::render_stats(&resp).expect("stats renders");
     let golden = "\
 requests 10  jobs 40  cache 1 families / 5 entries  hits 30  misses 5
-dapc-obs snapshot v1 (3 metrics)
-histogram  serve.daemon.ping_micros     count=2 sum=9 p50=3 p90=7 p99=7
-counter    serve.daemon.requests        10
-gauge      serve.daemon.resident_bytes  4096
+dapc-obs snapshot v1 (6 metrics)
+counter    serve.chaos.injected                3
+histogram  serve.daemon.ping_micros            count=2 sum=9 p50=3 p90=7 p99=7
+counter    serve.daemon.queue.busy_rejections  2
+gauge      serve.daemon.queue.depth            1
+counter    serve.daemon.requests               10
+gauge      serve.daemon.resident_bytes         4096
 ";
     assert_eq!(rendered, golden);
 

@@ -101,6 +101,7 @@ fn every_response() -> Vec<Response> {
             message: "bad request: nope".into(),
         },
         Response::ShutdownAck,
+        Response::Busy,
     ]
 }
 
@@ -250,7 +251,7 @@ fn unknown_tags_are_errors_not_extensions() {
             "tag {tag}: {err}"
         );
     }
-    for tag in [0u8, 0x7f, 0x86, 0xff] {
+    for tag in [0u8, 0x7f, 0x87, 0xff] {
         let err = Response::from_bytes(&[tag]).expect_err("unknown response tag must fail");
         assert!(
             err.to_string().contains("unknown response tag"),
