@@ -11,7 +11,7 @@ fn bench_mwis(c: &mut Criterion) {
     let g = gen::gnp(60, 0.15, &mut gen::seeded_rng(1));
     let w: Vec<u64> = (0..60).map(|i| 1 + (i as u64 % 7)).collect();
     c.bench_function("mwis_bnb/gnp60x0.15", |b| {
-        b.iter(|| mis::max_weight_independent_set(&g, &w, u64::MAX))
+        b.iter(|| mis::max_weight_independent_set(&g, &w, &solvers::SolverBudget::unlimited()))
     });
 }
 
@@ -25,7 +25,7 @@ fn bench_covering_bnb(c: &mut Criterion) {
     let ilp = problems::min_dominating_set_unweighted(&g);
     let sub = covering_restriction(&ilp, &[true; 24]);
     c.bench_function("covering_bnb/ds_grid4x6", |b| {
-        b.iter(|| solvers::bnb::solve_covering(&sub, u64::MAX))
+        b.iter(|| solvers::bnb::solve_covering(&sub, &solvers::SolverBudget::unlimited()))
     });
 }
 

@@ -136,7 +136,17 @@ impl SolveConfig {
 
     /// Caps every exact local solve at `node_limit` branch & bound nodes.
     pub fn node_limit(mut self, node_limit: u64) -> Self {
-        self.budget = SolverBudget { node_limit };
+        self.budget.node_limit = node_limit;
+        self
+    }
+
+    /// Sets the cooperative-yield period of long exact solves: every
+    /// `yield_every` search nodes the solver offers its executor worker
+    /// one of the worker's own queued subtasks (`0` disables the check).
+    /// Purely a scheduling knob — solve results are byte-identical at
+    /// any setting.
+    pub fn yield_every(mut self, yield_every: u64) -> Self {
+        self.budget.yield_every = yield_every;
         self
     }
 
@@ -250,6 +260,7 @@ mod tests {
             .n_tilde(512.0)
             .paper()
             .node_limit(1234)
+            .yield_every(4096)
             .gkm_k_scale(0.5)
             .ensemble_runs(6)
             .prep_workers(3);
@@ -258,10 +269,12 @@ mod tests {
         assert_eq!(p.eps, 0.2);
         assert_eq!(p.n_tilde, 512.0);
         assert_eq!(p.budget.node_limit, 1234);
+        assert_eq!(p.budget.yield_every, 4096);
         assert_eq!(p.prep_workers, 3);
         assert_eq!(cfg.covering_params(10).prep_workers, 3);
         let g = cfg.gkm_params(10);
         assert_eq!(g.budget.node_limit, 1234);
+        assert_eq!(g.budget.yield_every, 4096);
         assert_eq!(cfg.ensemble_runs, Some(6));
     }
 

@@ -10,23 +10,42 @@
 //! `jobs × prep_workers` degrades gracefully instead of oversubscribing
 //! the machine.
 //!
+//! Since the work-stealing rewrite the pool is deque-per-worker in the
+//! Chase–Lev shape rather than one shared locked queue: each worker owns
+//! a deque it pushes and pops at the bottom (LIFO, depth-first), idle
+//! workers steal from the top of other workers' deques (FIFO, coarsest
+//! first), external submissions enter through a global injector queue
+//! with wake-one-on-push, and idle workers park on an eventcount instead
+//! of sleeping inside a shared queue lock. `crates/exec/README.md` walks
+//! through the design and the termination argument.
+//!
 //! Three rules make the nesting deadlock-free at any pool size (including
 //! one worker):
 //!
 //! 1. **Owners help.** After the scope body returns, the scope-owning
-//!    thread drains *its own* still-queued tasks inline while waiting, so
-//!    a scope completes even when every pool worker is busy or blocked in
-//!    a deeper scope — this is the run-inline fallback.
+//!    thread drains the scope's still-queued tasks inline while waiting —
+//!    its own deque first, then the injector, then by stealing them out
+//!    of other workers' deques — so a scope completes even when every
+//!    pool worker is busy or blocked in a deeper scope.
 //! 2. **Depth first.** A task spawned from inside a pool task goes to the
-//!    *front* of the shared queue: finer-grained work that a coarser task
-//!    is waiting on runs before queued coarse work.
+//!    bottom of the spawning worker's own deque (or the top of the
+//!    injector when the enclosing task runs inline on a non-worker
+//!    thread): finer-grained work that a coarser task is waiting on runs
+//!    before queued coarse work.
 //! 3. **No cross-scope waits.** A scope waits only for tasks it spawned;
 //!    group bookkeeping is per-scope, so independent scopes sharing the
 //!    pool cannot entangle.
 //!
+//! Long-running tasks can additionally offer the pool a *cooperative
+//! yield point* ([`yield_once`]): a worker mid-way through a giant exact
+//! subset solve runs one of its own queued subtasks inline and then
+//! resumes, so a single long solve no longer pins its worker for the
+//! whole solve.
+//!
 //! Determinism is untouched by construction: the executor decides only
 //! *where and when* a task runs, never what it computes — every caller in
-//! this workspace keeps its outputs byte-identical at any worker count.
+//! this workspace keeps its outputs byte-identical at any worker count,
+//! stealing or not.
 //!
 //! # Examples
 //!
@@ -50,10 +69,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod deque;
+mod park;
+
+use deque::WorkDeque;
+use park::Parking;
 use std::any::Any;
-use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -66,10 +90,12 @@ mod metrics {
     use dapc_obs::{Counter, Histogram};
     use std::sync::OnceLock;
 
-    /// Shared-queue length right after an enqueue.
-    pub fn queue_depth() -> &'static Histogram {
+    /// Injector length right after an external or inline-nested enqueue
+    /// (worker-local deque pushes are not observed: they are the
+    /// uncontended fast path). Replaces the old `exec.queue.depth`.
+    pub fn injector_depth() -> &'static Histogram {
         static H: OnceLock<Histogram> = OnceLock::new();
-        H.get_or_init(|| dapc_obs::histogram("exec.queue.depth"))
+        H.get_or_init(|| dapc_obs::histogram("exec.injector.depth"))
     }
 
     /// Microseconds a task sat queued before a thread picked it up.
@@ -95,6 +121,31 @@ mod metrics {
         static C: OnceLock<Counter> = OnceLock::new();
         C.get_or_init(|| dapc_obs::counter("exec.task.panics"))
     }
+
+    /// Tasks taken from another worker's deque.
+    pub fn steals() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| dapc_obs::counter("exec.steals"))
+    }
+
+    /// Steal sweeps that probed an apparently occupied deque but came
+    /// back empty-handed (lost the race to the owner or another thief).
+    pub fn steal_failures() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| dapc_obs::counter("exec.steal_failures"))
+    }
+
+    /// Times an idle worker went to sleep on the eventcount.
+    pub fn parks() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| dapc_obs::counter("exec.parks"))
+    }
+
+    /// Tasks run inline at a cooperative [`crate::yield_once`] point.
+    pub fn yields() -> &'static Counter {
+        static C: OnceLock<Counter> = OnceLock::new();
+        C.get_or_init(|| dapc_obs::counter("exec.yields"))
+    }
 }
 
 /// One queued unit of work, tagged with the scope that owns it.
@@ -106,15 +157,17 @@ struct Task {
     enqueued_at: Option<Instant>,
 }
 
-struct ExecState {
-    queue: VecDeque<Task>,
-    shutdown: bool,
-}
-
 struct Shared {
-    state: Mutex<ExecState>,
-    /// Signalled when a task is queued or the pool shuts down.
-    work: Condvar,
+    /// External submissions and inline-nested spawns enter here; workers
+    /// drain it FIFO from the top (nested spawns jump to the top).
+    injector: WorkDeque<Task>,
+    /// One deque per worker: the owner pushes/pops at the bottom,
+    /// thieves (and foreign scope owners hunting their group's tasks)
+    /// take from the top.
+    deques: Vec<WorkDeque<Task>>,
+    /// Eventcount idle workers park on; every push wakes one sleeper.
+    parking: Parking,
+    shutdown: AtomicBool,
     /// Worker threads owned by the pool.
     workers: usize,
 }
@@ -123,7 +176,12 @@ struct Shared {
 /// or running, and the first panic payload to re-raise at the scope exit.
 struct Group {
     state: Mutex<GroupState>,
-    /// Signalled when `pending` drops to zero.
+    /// Signalled when `pending` drops to zero. The ordering contract the
+    /// owner's wait path relies on: [`run_task`] decrements `pending`
+    /// under `state` *before* notifying, so a waiter that observed
+    /// `pending > 0` while holding the lock is guaranteed a later
+    /// notification — the owner never needs to re-take any queue lock
+    /// just to re-check.
     done: Condvar,
 }
 
@@ -148,7 +206,17 @@ thread_local! {
     static TASK_POOL: RefCell<Vec<Arc<Shared>>> = const { RefCell::new(Vec::new()) };
     /// Explicit [`with_executor`] overrides, innermost last.
     static OVERRIDE: RefCell<Vec<Arc<Shared>>> = const { RefCell::new(Vec::new()) };
+    /// Set once per worker thread: the pool it belongs to and its deque
+    /// index. Spawn routing and [`yield_once`] key off this.
+    static WORKER: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+    /// Nesting depth of [`yield_once`] frames on this thread, capped so
+    /// yielded tasks that themselves yield cannot grow the stack without
+    /// bound.
+    static YIELD_DEPTH: Cell<usize> = const { Cell::new(0) };
 }
+
+/// Deepest [`yield_once`]-inside-[`yield_once`] nesting allowed.
+const MAX_YIELD_DEPTH: usize = 8;
 
 /// RAII pop for the thread-local pool stacks.
 struct StackGuard(&'static std::thread::LocalKey<RefCell<Vec<Arc<Shared>>>>);
@@ -171,6 +239,15 @@ impl Drop for StackGuard {
     }
 }
 
+/// The calling thread's deque index, if it is a worker of `shared`.
+fn worker_index(shared: &Arc<Shared>) -> Option<usize> {
+    WORKER.with(|w| {
+        w.borrow()
+            .as_ref()
+            .and_then(|(pool, idx)| Arc::ptr_eq(pool, shared).then_some(*idx))
+    })
+}
+
 /// A fixed-size worker pool with scoped task groups.
 ///
 /// Most code should not construct one: [`scope`] and [`current_workers`]
@@ -189,11 +266,10 @@ impl Executor {
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(ExecState {
-                queue: VecDeque::new(),
-                shutdown: false,
-            }),
-            work: Condvar::new(),
+            injector: WorkDeque::new(),
+            deques: (0..workers).map(|_| WorkDeque::new()).collect(),
+            parking: Parking::new(),
+            shutdown: AtomicBool::new(false),
             workers,
         });
         let handles = (0..workers)
@@ -201,7 +277,7 @@ impl Executor {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("dapc-exec-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn executor worker")
             })
             .collect();
@@ -229,11 +305,8 @@ impl Executor {
 
 impl Drop for Executor {
     fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock().expect("executor lock");
-            st.shutdown = true;
-        }
-        self.shared.work.notify_all();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.parking.wake_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -259,41 +332,49 @@ pub struct Scope<'a> {
 impl Scope<'_> {
     /// Queues a task on the scope's pool.
     ///
-    /// Tasks spawned from *inside* a pool task (a nested fan-out) go to
-    /// the front of the shared queue — they are finer-grained work an
-    /// enclosing task is waiting on; tasks spawned from outside go to the
-    /// back in FIFO order.
+    /// Routing: a spawn from a pool worker goes to the bottom of that
+    /// worker's own deque (uncontended, depth-first); a spawn from a
+    /// non-worker thread that is *inside* a task of this pool (an inline
+    /// help frame) jumps to the top of the injector (still depth-first);
+    /// any other spawn appends to the injector in FIFO order. Every push
+    /// wakes at most one parked worker.
     pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) {
         {
             let mut g = self.group.state.lock().expect("scope group lock");
             g.pending += 1;
         }
-        let nested = TASK_POOL.with(|stack| {
-            stack
-                .borrow()
-                .last()
-                .is_some_and(|s| Arc::ptr_eq(s, self.shared))
-        });
+        assert!(
+            !self.shared.shutdown.load(Ordering::SeqCst),
+            "spawn on a shut-down executor"
+        );
         let observed = dapc_obs::enabled();
         let task = Task {
             group: Arc::clone(&self.group),
             job: Box::new(f),
             enqueued_at: observed.then(Instant::now),
         };
-        let depth = {
-            let mut st = self.shared.state.lock().expect("executor lock");
-            assert!(!st.shutdown, "spawn on a shut-down executor");
-            if nested {
-                st.queue.push_front(task);
-            } else {
-                st.queue.push_back(task);
+        match worker_index(self.shared) {
+            Some(idx) => {
+                self.shared.deques[idx].push_bottom(task);
             }
-            st.queue.len()
-        };
-        self.shared.work.notify_one();
-        if observed {
-            metrics::queue_depth().observe(depth as u64);
+            None => {
+                let nested = TASK_POOL.with(|stack| {
+                    stack
+                        .borrow()
+                        .last()
+                        .is_some_and(|s| Arc::ptr_eq(s, self.shared))
+                });
+                let depth = if nested {
+                    self.shared.injector.push_top(task)
+                } else {
+                    self.shared.injector.push_bottom(task)
+                };
+                if observed {
+                    metrics::injector_depth().observe(depth as u64);
+                }
+            }
         }
+        self.shared.parking.wake_one();
     }
 
     /// Worker threads of the pool this scope submits to.
@@ -305,7 +386,8 @@ impl Scope<'_> {
 /// Runs one task and settles its group bookkeeping. The pool is pushed
 /// onto the thread's task stack for the duration, so nested [`scope`]
 /// calls from inside the task land on the same pool — whether the task
-/// runs on a pool worker or inline in a helping scope owner.
+/// runs on a pool worker, inline in a helping scope owner, or inline at
+/// a [`yield_once`] point.
 fn run_task(shared: &Arc<Shared>, task: Task) {
     // `enqueued_at` doubles as the gate: it is `Some` exactly when
     // observability was enabled at enqueue, so a disabled run records
@@ -325,6 +407,8 @@ fn run_task(shared: &Arc<Shared>, task: Task) {
             metrics::panics().inc();
         }
     }
+    // Decrement under the group lock *before* notifying: a scope owner
+    // that saw `pending > 0` under this lock is guaranteed the notify.
     let mut g = task.group.state.lock().expect("scope group lock");
     g.pending -= 1;
     if let Err(payload) = outcome {
@@ -337,39 +421,106 @@ fn run_task(shared: &Arc<Shared>, task: Task) {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
-    loop {
-        let task = {
-            let mut st = shared.state.lock().expect("executor lock");
-            loop {
-                if let Some(task) = st.queue.pop_front() {
-                    break task;
-                }
-                if st.shutdown {
-                    return;
-                }
-                st = shared.work.wait(st).expect("executor lock");
+/// One steal sweep: probe every other deque (advisory length first, so
+/// empty deques cost no lock) and take the top — the oldest, coarsest
+/// task — of the first occupied one.
+fn steal(shared: &Arc<Shared>, idx: usize) -> Option<Task> {
+    let n = shared.deques.len();
+    if n <= 1 {
+        return None;
+    }
+    let mut attempted = false;
+    for off in 1..n {
+        let victim = (idx + off) % n;
+        if shared.deques[victim].probe_len() == 0 {
+            continue;
+        }
+        attempted = true;
+        if let Some(task) = shared.deques[victim].steal_top() {
+            if dapc_obs::enabled() {
+                metrics::steals().inc();
             }
-        };
-        run_task(shared, task);
+            return Some(task);
+        }
+    }
+    if attempted && dapc_obs::enabled() {
+        metrics::steal_failures().inc();
+    }
+    None
+}
+
+/// Next task for worker `idx`: own deque bottom (LIFO), then the
+/// injector top (FIFO), then a steal sweep.
+fn next_task(shared: &Arc<Shared>, idx: usize) -> Option<Task> {
+    shared.deques[idx]
+        .pop_bottom()
+        .or_else(|| shared.injector.steal_top())
+        .or_else(|| steal(shared, idx))
+}
+
+/// Any work anywhere, checked under the real queue locks — the parking
+/// re-check must not trust the advisory length mirrors (see
+/// `park.rs` for the lost-wakeup argument).
+fn has_work_locked(shared: &Shared) -> bool {
+    !shared.injector.locked_is_empty() || shared.deques.iter().any(|d| !d.locked_is_empty())
+}
+
+fn worker_loop(shared: &Arc<Shared>, idx: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(shared), idx)));
+    loop {
+        if let Some(task) = next_task(shared, idx) {
+            run_task(shared, task);
+            continue;
+        }
+        let epoch = shared.parking.prepare();
+        if has_work_locked(shared) {
+            shared.parking.cancel();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            shared.parking.cancel();
+            return;
+        }
+        if dapc_obs::enabled() {
+            metrics::parks().inc();
+        }
+        shared.parking.park(epoch);
     }
 }
 
+/// Finds one still-queued task of `group`, owner's preference order:
+/// the owner's own deque bottom first (when the owner is a pool worker —
+/// its nested spawns went there), then the injector, then stolen out of
+/// the other workers' deques.
+fn find_group_task(shared: &Arc<Shared>, group: &Arc<Group>) -> Option<Task> {
+    let ours = |t: &Task| Arc::ptr_eq(&t.group, group);
+    if let Some(idx) = worker_index(shared) {
+        if let Some(task) = shared.deques[idx].take_matching_bottom(ours) {
+            return Some(task);
+        }
+    }
+    if let Some(task) = shared.injector.take_matching_top(ours) {
+        return Some(task);
+    }
+    shared.deques.iter().find_map(|d| d.take_matching_top(ours))
+}
+
 /// The owner side of a scope: run the scope's own still-queued tasks
-/// inline, then wait for the ones running elsewhere. Tasks cannot be
-/// added to the group after the scope body returned (spawning needs the
-/// borrowed [`Scope`]), so "no queued task of ours and `pending > 0`"
-/// means every remaining task is mid-flight on another thread.
+/// inline, then wait for the ones running elsewhere.
+///
+/// Termination argument: the group's task set is fixed once the scope
+/// body returns (spawning needs the borrowed [`Scope`], and any thread
+/// the body lent it to has joined by then), so each loop iteration either
+/// runs one group task inline or — after a scan that held every queue
+/// lock in turn and found none — knows that every remaining task was
+/// already claimed by a worker and is mid-flight. From that point the
+/// owner parks on the *group's own* condvar until `pending` reaches
+/// zero; it never re-takes a queue lock just to re-check, because no new
+/// group task can appear in any queue. The wakeup ordering that makes
+/// the bare wait sound is documented on [`Group::done`].
 fn help_until_done(shared: &Arc<Shared>, group: &Arc<Group>) {
     loop {
-        let task = {
-            let mut st = shared.state.lock().expect("executor lock");
-            st.queue
-                .iter()
-                .position(|t| Arc::ptr_eq(&t.group, group))
-                .and_then(|i| st.queue.remove(i))
-        };
-        match task {
+        match find_group_task(shared, group) {
             Some(task) => {
                 if dapc_obs::enabled() {
                     metrics::help_runs().inc();
@@ -377,11 +528,11 @@ fn help_until_done(shared: &Arc<Shared>, group: &Arc<Group>) {
                 run_task(shared, task);
             }
             None => {
-                let g = group.state.lock().expect("scope group lock");
-                if g.pending == 0 {
-                    return;
+                let mut g = group.state.lock().expect("scope group lock");
+                while g.pending > 0 {
+                    g = group.done.wait(g).expect("scope group lock");
                 }
-                let _g = group.done.wait(g).expect("scope group lock");
+                return;
             }
         }
     }
@@ -404,6 +555,47 @@ fn scope_on<T>(shared: &Arc<Shared>, f: impl FnOnce(&Scope<'_>) -> T) -> T {
             None => value,
         },
     }
+}
+
+/// Cooperative yield point for long-running tasks (the branch-and-bound
+/// subset solver calls this every `SolverBudget::yield_every` nodes).
+///
+/// If the calling thread is a pool worker with tasks queued in **its own
+/// deque** — subtasks it spawned itself and would otherwise only reach
+/// after the current task finishes — runs exactly one of them inline
+/// (most recent first, the depth-first order) and returns `true`.
+/// Returns `false`, at the cost of one thread-local probe, on non-worker
+/// threads, when the worker's own deque is empty, or when yields are
+/// already nested [`MAX_YIELD_DEPTH`] deep. The injector and other
+/// workers' deques are deliberately *not* drawn from: a yield must stay
+/// a small detour through the worker's own backlog, never adopt a whole
+/// new coarse job mid-solve.
+///
+/// A panic in the yielded task is captured into that task's own scope
+/// (exactly as if a worker had run it) and is never unwound into the
+/// yielding caller. Determinism is unaffected: yielding only reorders
+/// *when* queued tasks run, which every caller in this workspace is
+/// already invariant to.
+pub fn yield_once() -> bool {
+    let Some((shared, idx)) = WORKER.with(|w| w.borrow().clone()) else {
+        return false;
+    };
+    if YIELD_DEPTH.with(|d| d.get()) >= MAX_YIELD_DEPTH {
+        return false;
+    }
+    if shared.deques[idx].probe_len() == 0 {
+        return false;
+    }
+    let Some(task) = shared.deques[idx].pop_bottom() else {
+        return false;
+    };
+    if dapc_obs::enabled() {
+        metrics::yields().inc();
+    }
+    YIELD_DEPTH.with(|d| d.set(d.get() + 1));
+    run_task(&shared, task);
+    YIELD_DEPTH.with(|d| d.set(d.get() - 1));
+    true
 }
 
 static GLOBAL: OnceLock<Executor> = OnceLock::new();
@@ -476,7 +668,7 @@ pub fn with_executor<T>(exec: &Executor, f: impl FnOnce() -> T) -> T {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     #[test]
     fn scope_runs_every_task() {
@@ -506,7 +698,7 @@ mod tests {
     #[test]
     fn nested_scopes_share_the_pool() {
         // Tasks open their own scopes; everything resolves onto the one
-        // 2-worker pool (depth-first via the queue front + owner help).
+        // 2-worker pool (worker-local deques + owner help).
         let exec = Executor::new(2);
         let sum = Arc::new(AtomicUsize::new(0));
         exec.scope(|s| {
@@ -526,6 +718,37 @@ mod tests {
             }
         });
         assert_eq!(sum.load(Ordering::Relaxed), 32);
+    }
+
+    /// The ISSUE's nested 4×4 shape — `jobs × prep_workers` — must
+    /// terminate and run every task on stealing pools of 1, 2 and 4
+    /// workers alike.
+    #[test]
+    fn nested_4x4_scopes_terminate_on_1_2_and_4_workers() {
+        for workers in [1usize, 2, 4] {
+            let exec = Executor::new(workers);
+            let sum = Arc::new(AtomicUsize::new(0));
+            exec.scope(|s| {
+                for _ in 0..4 {
+                    let sum = Arc::clone(&sum);
+                    s.spawn(move || {
+                        scope(|inner| {
+                            for _ in 0..4 {
+                                let sum = Arc::clone(&sum);
+                                inner.spawn(move || {
+                                    sum.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                16,
+                "lost tasks at {workers} workers"
+            );
+        }
     }
 
     #[test]
@@ -702,6 +925,101 @@ mod tests {
         );
     }
 
+    /// Force worker B to steal from worker A's deque: a task running on
+    /// A spawns a subtask into A's own deque and then spins in the scope
+    /// body until someone *else* has claimed it. Returns once the stolen
+    /// task ran. `payload` runs inside the stolen task.
+    fn run_stolen(exec: &Executor, payload: impl FnOnce() + Send + 'static) {
+        let claimed = Arc::new(AtomicBool::new(false));
+        let started = Arc::new(AtomicBool::new(false));
+        let seen = Arc::clone(&claimed);
+        let started_tx = Arc::clone(&started);
+        exec.scope(|s| {
+            s.spawn(move || {
+                started_tx.store(true, Ordering::SeqCst);
+                scope(|inner| {
+                    let claimed = Arc::clone(&seen);
+                    inner.spawn(move || {
+                        claimed.store(true, Ordering::SeqCst);
+                        payload();
+                    });
+                    // The subtask sits in THIS worker's deque; only a
+                    // thief can claim it while we spin here, because the
+                    // owner does not help until the body returns.
+                    while !seen.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            // Hold the body open until a worker runs the outer task: the
+            // owner only starts help-running after the body returns, so
+            // this pins the task (and therefore the subtask's deque) to a
+            // real pool worker instead of racing the owner's inline help.
+            while !started.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        });
+    }
+
+    #[test]
+    fn panic_from_a_stolen_task_propagates_to_the_owning_scope() {
+        let exec = Executor::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_stolen(&exec, || panic!("stolen boom"));
+        }));
+        let payload = result.expect_err("the stolen task's panic must surface");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "stolen boom", "wrong payload propagated");
+    }
+
+    #[test]
+    fn steals_are_counted_when_enabled() {
+        dapc_obs::set_enabled(true);
+        let before = match dapc_obs::MetricsSnapshot::capture().get("exec.steals") {
+            Some(dapc_obs::SnapshotEntry::Counter { value, .. }) => *value,
+            _ => 0,
+        };
+        let exec = Executor::new(2);
+        run_stolen(&exec, || {});
+        let after = match dapc_obs::MetricsSnapshot::capture().get("exec.steals") {
+            Some(dapc_obs::SnapshotEntry::Counter { value, .. }) => *value,
+            _ => 0,
+        };
+        assert!(
+            after > before,
+            "forced steal not counted ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn yield_once_runs_a_locally_queued_subtask() {
+        let exec = Executor::new(1);
+        let log: Arc<Mutex<Vec<&'static str>>> = Arc::default();
+        let outer = Arc::clone(&log);
+        exec.scope(|s| {
+            s.spawn(move || {
+                let body_log = Arc::clone(&outer);
+                scope(|inner| {
+                    let sibling = Arc::clone(&body_log);
+                    inner.spawn(move || sibling.lock().unwrap().push("sibling"));
+                    // The sibling sits in this worker's own deque; a long
+                    // solve yielding here must run it inline, now.
+                    assert!(yield_once(), "a queued local subtask must be yielded to");
+                    body_log.lock().unwrap().push("after-yield");
+                    assert!(!yield_once(), "nothing left to yield to");
+                });
+            });
+        });
+        assert_eq!(*log.lock().unwrap(), vec!["sibling", "after-yield"]);
+    }
+
+    #[test]
+    fn yield_once_is_a_noop_off_the_pool() {
+        // The calling thread is no pool worker: the hint must come back
+        // false without touching any queue.
+        assert!(!yield_once());
+    }
+
     #[test]
     fn with_executor_overrides_the_global_pool() {
         let exec = Executor::new(3);
@@ -732,7 +1050,7 @@ mod tests {
     }
 
     #[test]
-    fn metrics_observe_queue_wait_and_run_when_enabled() {
+    fn metrics_observe_injector_wait_and_run_when_enabled() {
         dapc_obs::set_enabled(true);
         let exec = Executor::new(2);
         exec.scope(|s| {
@@ -742,7 +1060,7 @@ mod tests {
         });
         let snap = dapc_obs::MetricsSnapshot::capture();
         for name in [
-            "exec.queue.depth",
+            "exec.injector.depth",
             "exec.task.wait_micros",
             "exec.task.run_micros",
         ] {

@@ -1,0 +1,161 @@
+//! Idle-worker parking: an eventcount, so workers sleep on a condvar
+//! instead of spinning on (or waiting inside) a shared queue lock, and
+//! submitters pay nothing to wake nobody.
+//!
+//! The protocol is the classic three-step eventcount:
+//!
+//! 1. the worker calls [`Parking::prepare`] (registers as a waiter and
+//!    snapshots the epoch), then
+//! 2. re-checks every queue *under the queue locks* — not the advisory
+//!    length mirrors — and either [`Parking::cancel`]s on finding work or
+//! 3. calls [`Parking::park`] with the snapshot, which sleeps only while
+//!    the epoch is unchanged.
+//!
+//! A submitter pushes first, then calls [`Parking::wake_one`]. The
+//! lost-wakeup argument: if the waiter's re-check missed the push, the
+//! waiter's queue-lock release (inside `prepare`'s registration, which
+//! precedes the re-check) is ordered before the submitter's push-lock
+//! acquisition, so the submitter's waiter-count read observes the
+//! registration, takes the slow path, bumps the epoch under the park
+//! lock and notifies — and the waiter, which has not yet slept, finds
+//! the epoch moved and returns immediately. If the re-check *did* see
+//! the push, the waiter cancels and never sleeps. Either way nobody
+//! sleeps on available work.
+//!
+//! The fast path is the whole point: `wake_one` with no registered
+//! waiter is a single sequentially-consistent load — no lock, no
+//! syscall — so a worker pushing hundreds of nested subtasks into its
+//! own deque (the high-fan-out prep regime) never touches the park lock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+pub(crate) struct Parking {
+    epoch: Mutex<u64>,
+    wake: Condvar,
+    /// Workers that called `prepare` and have not yet `cancel`led or
+    /// finished `park`. SeqCst: the zero-check in `wake_one` must be
+    /// totally ordered against registrations (see the module docs).
+    waiters: AtomicUsize,
+}
+
+impl Parking {
+    pub(crate) fn new() -> Self {
+        Parking {
+            epoch: Mutex::new(0),
+            wake: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers the caller as a waiter and snapshots the epoch. Must be
+    /// paired with exactly one `cancel` or `park`.
+    pub(crate) fn prepare(&self) -> u64 {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        *self.epoch.lock().expect("park lock")
+    }
+
+    /// Deregisters without sleeping (the re-check found work).
+    pub(crate) fn cancel(&self) {
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Sleeps until the epoch moves past the `prepare` snapshot.
+    pub(crate) fn park(&self, seen: u64) {
+        let mut epoch = self.epoch.lock().expect("park lock");
+        while *epoch == seen {
+            epoch = self.wake.wait(epoch).expect("park lock");
+        }
+        drop(epoch);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wake-one-on-push: free when nobody is registered, otherwise bumps
+    /// the epoch under the lock and notifies one sleeper.
+    pub(crate) fn wake_one(&self) {
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut epoch = self.epoch.lock().expect("park lock");
+        *epoch += 1;
+        drop(epoch);
+        self.wake.notify_one();
+    }
+
+    /// Wakes every sleeper (shutdown).
+    pub(crate) fn wake_all(&self) {
+        let mut epoch = self.epoch.lock().expect("park lock");
+        *epoch += 1;
+        drop(epoch);
+        self.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn wake_before_park_is_not_lost() {
+        // The epoch moved between prepare and park, so park must return
+        // immediately instead of sleeping on a stale snapshot.
+        let p = Parking::new();
+        let seen = p.prepare();
+        p.wake_one();
+        p.park(seen); // would deadlock if the wake were lost
+    }
+
+    #[test]
+    fn wake_one_without_waiters_is_free_and_epoch_neutral() {
+        let p = Parking::new();
+        p.wake_one();
+        let seen = p.prepare();
+        p.cancel();
+        assert_eq!(seen, 0, "no-waiter wake must not burn an epoch");
+    }
+
+    #[test]
+    fn parked_thread_is_woken() {
+        let p = Arc::new(Parking::new());
+        let woke = Arc::new(AtomicBool::new(false));
+        let (p2, woke2) = (Arc::clone(&p), Arc::clone(&woke));
+        let sleeper = std::thread::spawn(move || {
+            let seen = p2.prepare();
+            p2.park(seen);
+            woke2.store(true, Ordering::SeqCst);
+        });
+        // Keep nudging until the sleeper reports back: each wake_one
+        // either finds the registration (and bumps the epoch) or the
+        // sleeper has not registered yet and we retry.
+        while !woke.load(Ordering::SeqCst) {
+            p.wake_one();
+            std::thread::yield_now();
+        }
+        sleeper.join().expect("sleeper joins");
+    }
+
+    #[test]
+    fn wake_all_releases_multiple_sleepers() {
+        let p = Arc::new(Parking::new());
+        let done = Arc::new(AtomicUsize::new(0));
+        let sleepers: Vec<_> = (0..3)
+            .map(|_| {
+                let (p, done) = (Arc::clone(&p), Arc::clone(&done));
+                std::thread::spawn(move || {
+                    let seen = p.prepare();
+                    p.park(seen);
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        while done.load(Ordering::SeqCst) < 3 {
+            p.wake_all();
+            std::thread::yield_now();
+        }
+        for s in sleepers {
+            s.join().expect("sleeper joins");
+        }
+    }
+}

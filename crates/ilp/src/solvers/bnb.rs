@@ -9,7 +9,7 @@
 
 use crate::instance::{Sense, FEASIBILITY_EPS};
 use crate::restrict::SubInstance;
-use crate::solvers::greedy;
+use crate::solvers::{greedy, SolverBudget, YieldClock};
 
 /// Outcome of a branch & bound run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,7 +27,7 @@ pub struct BnbResult {
 /// # Panics
 ///
 /// Panics if the sub-instance is not packing.
-pub fn solve_packing(sub: &SubInstance, node_budget: u64) -> BnbResult {
+pub fn solve_packing(sub: &SubInstance, budget: &SolverBudget) -> BnbResult {
     assert_eq!(sub.sense, Sense::Packing);
     let n = sub.n();
     // Variable order: descending weight (drives the incumbent up fast).
@@ -54,8 +54,9 @@ pub fn solve_packing(sub: &SubInstance, node_budget: u64) -> BnbResult {
         membership: &membership,
         best_value: sub.value(&incumbent),
         best: incumbent,
-        nodes_left: node_budget,
+        nodes_left: budget.node_limit,
         exact: true,
+        yield_clock: YieldClock::new(budget.yield_every),
         lhs: vec![0.0; sub.m()],
         x: vec![false; n],
     };
@@ -76,6 +77,7 @@ struct PackState<'a> {
     best_value: u64,
     nodes_left: u64,
     exact: bool,
+    yield_clock: YieldClock,
     lhs: Vec<f64>,
     x: Vec<bool>,
 }
@@ -87,6 +89,7 @@ impl PackState<'_> {
             return;
         }
         self.nodes_left -= 1;
+        self.yield_clock.tick();
         if current + self.suffix_weight[idx] <= self.best_value && idx < self.order.len() {
             return;
         }
@@ -123,7 +126,7 @@ impl PackState<'_> {
 /// # Panics
 ///
 /// Panics if the sub-instance is not covering.
-pub fn solve_covering(sub: &SubInstance, node_budget: u64) -> BnbResult {
+pub fn solve_covering(sub: &SubInstance, budget: &SolverBudget) -> BnbResult {
     assert_eq!(sub.sense, Sense::Covering);
     let n = sub.n();
     // Variable order: descending coverage/weight ratio (mirrors greedy, so
@@ -160,8 +163,9 @@ pub fn solve_covering(sub: &SubInstance, node_budget: u64) -> BnbResult {
         membership: &membership,
         best_value: sub.value(&incumbent),
         best: incumbent,
-        nodes_left: node_budget,
+        nodes_left: budget.node_limit,
         exact: true,
+        yield_clock: YieldClock::new(budget.yield_every),
         residual: sub.constraints.iter().map(|c| c.bound()).collect(),
         possible,
         x: vec![false; n],
@@ -182,6 +186,7 @@ struct CoverState<'a> {
     best_value: u64,
     nodes_left: u64,
     exact: bool,
+    yield_clock: YieldClock,
     /// Remaining demand per constraint (≤ 0 means satisfied).
     residual: Vec<f64>,
     /// Maximum LHS still reachable per constraint.
@@ -196,6 +201,7 @@ impl CoverState<'_> {
             return;
         }
         self.nodes_left -= 1;
+        self.yield_clock.tick();
         if current >= self.best_value {
             return; // can only get more expensive
         }
@@ -254,7 +260,7 @@ mod tests {
             let g = gen::cycle(n);
             let ilp = problems::max_independent_set_unweighted(&g);
             let sub = packing_restriction(&ilp, &full_mask(n));
-            let r = solve_packing(&sub, u64::MAX);
+            let r = solve_packing(&sub, &SolverBudget::unlimited());
             assert!(r.exact);
             assert_eq!(r.value as usize, n / 2, "C{n}");
             assert!(sub.is_feasible(&r.assignment));
@@ -275,7 +281,7 @@ mod tests {
             )],
         );
         let sub = packing_restriction(&ilp, &full_mask(3));
-        let r = solve_packing(&sub, u64::MAX);
+        let r = solve_packing(&sub, &SolverBudget::unlimited());
         assert_eq!(r.value, 8);
         assert_eq!(r.assignment, vec![true, false, true]);
     }
@@ -292,7 +298,7 @@ mod tests {
             let n = g.n();
             let ilp = problems::min_vertex_cover_unweighted(&g);
             let sub = covering_restriction(&ilp, &full_mask(n));
-            let r = solve_covering(&sub, u64::MAX);
+            let r = solve_covering(&sub, &SolverBudget::unlimited());
             assert!(r.exact);
             assert_eq!(r.value, opt, "{g}");
             assert!(sub.is_feasible(&r.assignment));
@@ -310,7 +316,7 @@ mod tests {
             let n = g.n();
             let ilp = problems::min_dominating_set_unweighted(&g);
             let sub = covering_restriction(&ilp, &full_mask(n));
-            let r = solve_covering(&sub, u64::MAX);
+            let r = solve_covering(&sub, &SolverBudget::unlimited());
             assert!(r.exact);
             assert_eq!(r.value, opt, "{g}");
         }
@@ -322,7 +328,7 @@ mod tests {
         let g = gen::path(2);
         let ilp = problems::min_vertex_cover(&g, vec![10, 1]);
         let sub = covering_restriction(&ilp, &full_mask(2));
-        let r = solve_covering(&sub, u64::MAX);
+        let r = solve_covering(&sub, &SolverBudget::unlimited());
         assert_eq!(r.value, 1);
         assert_eq!(r.assignment, vec![false, true]);
     }
@@ -339,7 +345,7 @@ mod tests {
             )],
         );
         let sub = covering_restriction(&ilp, &full_mask(3));
-        let r = solve_covering(&sub, u64::MAX);
+        let r = solve_covering(&sub, &SolverBudget::unlimited());
         assert_eq!(r.value, 3);
     }
 
@@ -349,7 +355,13 @@ mod tests {
         let g = gen::gnp(30, 0.2, &mut rng);
         let ilp = problems::min_vertex_cover_unweighted(&g);
         let sub = covering_restriction(&ilp, &full_mask(30));
-        let r = solve_covering(&sub, 0);
+        let r = solve_covering(
+            &sub,
+            &SolverBudget {
+                node_limit: 0,
+                ..Default::default()
+            },
+        );
         assert!(!r.exact);
         assert!(sub.is_feasible(&r.assignment));
     }
@@ -361,12 +373,12 @@ mod tests {
             let n = 6 + trial % 5;
             let p = problems::random_packing(n, 6, 3.min(n), &mut rng);
             let sub = packing_restriction(&p, &full_mask(n));
-            let r = solve_packing(&sub, u64::MAX);
+            let r = solve_packing(&sub, &SolverBudget::unlimited());
             assert_eq!(r.value, exhaustive_best(&sub), "packing trial {trial}");
 
             let c = problems::random_covering(n, 6, 3.min(n), &mut rng);
             let subc = covering_restriction(&c, &full_mask(n));
-            let rc = solve_covering(&subc, u64::MAX);
+            let rc = solve_covering(&subc, &SolverBudget::unlimited());
             assert_eq!(rc.value, exhaustive_best(&subc), "covering trial {trial}");
         }
     }

@@ -5,6 +5,7 @@
 //! cluster step needs optimal local independent sets. This solver handles
 //! the conflict-graph form: pairwise constraints only.
 
+use crate::solvers::{SolverBudget, YieldClock};
 use dapc_graph::{Graph, Vertex};
 
 /// A dynamic bitset sized for `n` bits.
@@ -90,8 +91,9 @@ pub struct MisResult {
 /// Maximum-weight independent set of `g` with the given weights.
 ///
 /// Branch & bound over candidate bitsets: branch on the heaviest candidate
-/// vertex, prune with the remaining-weight bound. The `node_budget` caps
-/// the search tree; `u64::MAX` means "run to optimality".
+/// vertex, prune with the remaining-weight bound. `budget.node_limit` caps
+/// the search tree (`u64::MAX` means "run to optimality") and
+/// `budget.yield_every` sets the cooperative-yield period of long solves.
 ///
 /// # Panics
 ///
@@ -100,13 +102,14 @@ pub struct MisResult {
 /// ```
 /// use dapc_graph::gen;
 /// use dapc_ilp::solvers::mis::max_weight_independent_set;
+/// use dapc_ilp::solvers::SolverBudget;
 ///
 /// let g = gen::cycle(5);
-/// let r = max_weight_independent_set(&g, &[1, 1, 1, 1, 1], u64::MAX);
+/// let r = max_weight_independent_set(&g, &[1, 1, 1, 1, 1], &SolverBudget::unlimited());
 /// assert_eq!(r.weight, 2);
 /// assert!(r.exact);
 /// ```
-pub fn max_weight_independent_set(g: &Graph, weights: &[u64], node_budget: u64) -> MisResult {
+pub fn max_weight_independent_set(g: &Graph, weights: &[u64], budget: &SolverBudget) -> MisResult {
     assert_eq!(weights.len(), g.n());
     if g.max_degree() <= 2 {
         // Disjoint paths and cycles: exact linear-time DP. This is the
@@ -130,8 +133,9 @@ pub fn max_weight_independent_set(g: &Graph, weights: &[u64], node_budget: u64) 
         closed: &closed,
         best_weight: 0,
         best_set: Bits::empty(n),
-        nodes_left: node_budget,
+        nodes_left: budget.node_limit,
         exact: true,
+        yield_clock: YieldClock::new(budget.yield_every),
     };
     // Greedy incumbent (weight-descending) to tighten pruning early.
     let mut order: Vec<usize> = (0..n).collect();
@@ -167,6 +171,7 @@ struct SearchCtx<'a> {
     best_set: Bits,
     nodes_left: u64,
     exact: bool,
+    yield_clock: YieldClock,
 }
 
 impl SearchCtx<'_> {
@@ -176,6 +181,7 @@ impl SearchCtx<'_> {
             return;
         }
         self.nodes_left -= 1;
+        self.yield_clock.tick();
         // Bound: everything still in `cand` could join.
         let potential: u64 = cand.iter_ones().map(|v| self.weights[v]).sum();
         if current + potential <= self.best_weight {
@@ -372,27 +378,33 @@ mod tests {
     fn known_families() {
         let unit = |n: usize| vec![1u64; n];
         assert_eq!(
-            max_weight_independent_set(&gen::cycle(5), &unit(5), u64::MAX).weight,
+            max_weight_independent_set(&gen::cycle(5), &unit(5), &SolverBudget::unlimited()).weight,
             2
         );
         assert_eq!(
-            max_weight_independent_set(&gen::cycle(8), &unit(8), u64::MAX).weight,
+            max_weight_independent_set(&gen::cycle(8), &unit(8), &SolverBudget::unlimited()).weight,
             4
         );
         assert_eq!(
-            max_weight_independent_set(&gen::complete(7), &unit(7), u64::MAX).weight,
+            max_weight_independent_set(&gen::complete(7), &unit(7), &SolverBudget::unlimited())
+                .weight,
             1
         );
         assert_eq!(
-            max_weight_independent_set(&gen::star(9), &unit(9), u64::MAX).weight,
+            max_weight_independent_set(&gen::star(9), &unit(9), &SolverBudget::unlimited()).weight,
             8
         );
         assert_eq!(
-            max_weight_independent_set(&gen::path(7), &unit(7), u64::MAX).weight,
+            max_weight_independent_set(&gen::path(7), &unit(7), &SolverBudget::unlimited()).weight,
             4
         );
         assert_eq!(
-            max_weight_independent_set(&gen::complete_bipartite(4, 6), &unit(10), u64::MAX).weight,
+            max_weight_independent_set(
+                &gen::complete_bipartite(4, 6),
+                &unit(10),
+                &SolverBudget::unlimited()
+            )
+            .weight,
             6
         );
     }
@@ -401,7 +413,7 @@ mod tests {
     fn weighted_beats_cardinality() {
         // Path 0-1-2 with heavy middle: best is {1} (weight 10), not {0,2}.
         let g = gen::path(3);
-        let r = max_weight_independent_set(&g, &[1, 10, 1], u64::MAX);
+        let r = max_weight_independent_set(&g, &[1, 10, 1], &SolverBudget::unlimited());
         assert_eq!(r.weight, 10);
         assert_eq!(r.in_set, vec![false, true, false]);
     }
@@ -409,7 +421,7 @@ mod tests {
     #[test]
     fn zero_weight_vertices_are_skippable() {
         let g = gen::path(3);
-        let r = max_weight_independent_set(&g, &[0, 5, 0], u64::MAX);
+        let r = max_weight_independent_set(&g, &[0, 5, 0], &SolverBudget::unlimited());
         assert_eq!(r.weight, 5);
     }
 
@@ -420,7 +432,7 @@ mod tests {
             let n = 5 + trial % 10;
             let g = gen::gnp(n, 0.4, &mut rng);
             let weights: Vec<u64> = (0..n).map(|i| 1 + (i as u64 * 7) % 5).collect();
-            let r = max_weight_independent_set(&g, &weights, u64::MAX);
+            let r = max_weight_independent_set(&g, &weights, &SolverBudget::unlimited());
             assert!(r.exact);
             assert_eq!(r.weight, brute_force_mis(&g, &weights), "trial {trial}");
             // Returned set is genuinely independent and has claimed weight.
@@ -437,7 +449,14 @@ mod tests {
         let mut rng = gen::seeded_rng(31);
         let g = gen::gnp(60, 0.2, &mut rng);
         let w = vec![1u64; 60];
-        let r = max_weight_independent_set(&g, &w, 50);
+        let r = max_weight_independent_set(
+            &g,
+            &w,
+            &SolverBudget {
+                node_limit: 50,
+                ..Default::default()
+            },
+        );
         assert!(!r.exact);
         for (u, v) in g.edges() {
             assert!(!(r.in_set[u as usize] && r.in_set[v as usize]));
@@ -448,14 +467,22 @@ mod tests {
     #[test]
     fn degree_two_dp_matches_known_values() {
         // Long cycles and paths solved exactly in linear time.
-        let r = max_weight_independent_set(&gen::cycle(10_001), &vec![1; 10_001], u64::MAX);
+        let r = max_weight_independent_set(
+            &gen::cycle(10_001),
+            &vec![1; 10_001],
+            &SolverBudget::unlimited(),
+        );
         assert!(r.exact);
         assert_eq!(r.weight, 5_000);
-        let r = max_weight_independent_set(&gen::path(10_000), &vec![1; 10_000], u64::MAX);
+        let r = max_weight_independent_set(
+            &gen::path(10_000),
+            &vec![1; 10_000],
+            &SolverBudget::unlimited(),
+        );
         assert_eq!(r.weight, 5_000);
         // Weighted path: alternating 1, 10.
         let w: Vec<u64> = (0..8).map(|i| if i % 2 == 0 { 1 } else { 10 }).collect();
-        let r = max_weight_independent_set(&gen::path(8), &w, u64::MAX);
+        let r = max_weight_independent_set(&gen::path(8), &w, &SolverBudget::unlimited());
         assert_eq!(r.weight, 40);
     }
 
@@ -482,7 +509,7 @@ mod tests {
             let g = Graph::from_edges(n, &edges);
             assert!(g.max_degree() <= 2);
             let weights: Vec<u64> = (0..n).map(|_| rng.random_range(0..6u64)).collect();
-            let r = max_weight_independent_set(&g, &weights, u64::MAX);
+            let r = max_weight_independent_set(&g, &weights, &SolverBudget::unlimited());
             assert_eq!(r.weight, brute_force_mis(&g, &weights), "trial {trial}");
             // And the set itself is valid with the claimed weight.
             for (u, v) in g.edges() {
@@ -496,7 +523,7 @@ mod tests {
     #[test]
     fn scales_to_moderate_sparse_graphs() {
         let g = gen::grid(6, 10); // 60 vertices; grids are easy: alternating set
-        let r = max_weight_independent_set(&g, &vec![1u64; 60], u64::MAX);
+        let r = max_weight_independent_set(&g, &vec![1u64; 60], &SolverBudget::unlimited());
         assert!(r.exact);
         assert_eq!(r.weight, 30);
     }

@@ -22,21 +22,66 @@ use dapc_graph::GraphBuilder;
 pub struct SolverBudget {
     /// Maximum branch & bound nodes before falling back to the incumbent.
     pub node_limit: u64,
+    /// Cooperative-yield period: every `yield_every` search nodes a long
+    /// exact solve offers its executor worker one of the worker's own
+    /// queued subtasks via [`dapc_exec::yield_once`], so a giant solve
+    /// cannot pin a worker for its whole duration. `0` disables the
+    /// check. Yielding never changes what the solver computes — only
+    /// when other queued tasks get to run — so results stay
+    /// byte-identical at any setting.
+    pub yield_every: u64,
 }
+
+/// Default cooperative-yield period: rare enough that the countdown is
+/// noise next to the per-node bound computation, frequent enough that a
+/// multi-second solve offers its worker to queued subtasks many times.
+pub const DEFAULT_YIELD_EVERY: u64 = 8_192;
 
 impl Default for SolverBudget {
     fn default() -> Self {
         SolverBudget {
             node_limit: 5_000_000,
+            yield_every: DEFAULT_YIELD_EVERY,
         }
     }
 }
 
 impl SolverBudget {
-    /// A budget that always runs to optimality.
+    /// A budget that always runs to optimality. (Cooperative yielding
+    /// stays on: it affects scheduling, never exactness.)
     pub fn unlimited() -> Self {
         SolverBudget {
             node_limit: u64::MAX,
+            yield_every: DEFAULT_YIELD_EVERY,
+        }
+    }
+}
+
+/// Shared cooperative-yield countdown for the exact search loops:
+/// decrements once per search node and, every `yield_every` nodes, offers
+/// the executor worker running this solve one of its own queued subtasks
+/// ([`dapc_exec::yield_once`]). Off the pool (or with `yield_every == 0`)
+/// a tick is a couple of branch-predicted integer ops. Yielding only
+/// reorders *when* other queued tasks run — the solve itself walks
+/// exactly the same tree either way.
+pub(crate) struct YieldClock {
+    every: u64,
+    left: u64,
+}
+
+impl YieldClock {
+    pub(crate) fn new(every: u64) -> Self {
+        YieldClock { every, left: every }
+    }
+
+    #[inline]
+    pub(crate) fn tick(&mut self) {
+        if self.every != 0 {
+            self.left -= 1;
+            if self.left == 0 {
+                self.left = self.every;
+                dapc_exec::yield_once();
+            }
         }
     }
 }
@@ -97,7 +142,7 @@ pub fn solve(sub: &SubInstance, budget: &SolverBudget) -> Solution {
             if let Some(sol) = try_matching(sub) {
                 return sol;
             }
-            let r = bnb::solve_packing(sub, budget.node_limit);
+            let r = bnb::solve_packing(sub, budget);
             Solution {
                 assignment: r.assignment,
                 value: r.value,
@@ -109,7 +154,7 @@ pub fn solve(sub: &SubInstance, budget: &SolverBudget) -> Solution {
             if let Some(sol) = try_vertex_cover(sub, budget) {
                 return sol;
             }
-            let r = bnb::solve_covering(sub, budget.node_limit);
+            let r = bnb::solve_covering(sub, budget);
             Solution {
                 assignment: r.assignment,
                 value: r.value,
@@ -175,7 +220,7 @@ fn try_conflict_mis(sub: &SubInstance, budget: &SolverBudget) -> Option<Solution
     let weights: Vec<u64> = (0..n)
         .map(|v| if forced_zero[v] { 0 } else { sub.weights[v] })
         .collect();
-    let r = mis::max_weight_independent_set(&conflict_graph, &weights, budget.node_limit);
+    let r = mis::max_weight_independent_set(&conflict_graph, &weights, budget);
     // Forced-zero vertices may appear in the IS with weight 0; strip them.
     let assignment: Vec<bool> = (0..n).map(|v| r.in_set[v] && !forced_zero[v]).collect();
     // Keep zero-weight unconstrained-but-unforced vertices out; they do not
@@ -308,7 +353,7 @@ fn try_vertex_cover(sub: &SubInstance, budget: &SolverBudget) -> Option<Solution
     let weights: Vec<u64> = (0..n)
         .map(|v| if forced_one[v] { 0 } else { sub.weights[v] })
         .collect();
-    let r = mis::max_weight_independent_set(&g, &weights, budget.node_limit);
+    let r = mis::max_weight_independent_set(&g, &weights, budget);
     let mut assignment: Vec<bool> = (0..n).map(|v| !r.in_set[v]).collect();
     for v in 0..n {
         if forced_one[v] {
@@ -479,7 +524,7 @@ mod tests {
             let ilp = problems::max_independent_set_unweighted(&g);
             let sub = packing_restriction(&ilp, &full(14));
             let structured = try_conflict_mis(&sub, &SolverBudget::unlimited()).unwrap();
-            let general = bnb::solve_packing(&sub, u64::MAX);
+            let general = bnb::solve_packing(&sub, &SolverBudget::unlimited());
             assert_eq!(structured.value, general.value);
         }
     }
@@ -492,7 +537,7 @@ mod tests {
             let ilp = problems::min_vertex_cover_unweighted(&g);
             let sub = covering_restriction(&ilp, &full(12));
             let structured = try_vertex_cover(&sub, &SolverBudget::unlimited()).unwrap();
-            let general = bnb::solve_covering(&sub, u64::MAX);
+            let general = bnb::solve_covering(&sub, &SolverBudget::unlimited());
             assert_eq!(structured.value, general.value);
         }
     }

@@ -125,3 +125,39 @@ fn metrics_do_not_change_shard_snapshot_bytes() {
     assert!(!off.is_empty());
     assert_eq!(off, on, "metrics changed serialised shard-report bytes");
 }
+
+/// The work-stealing executor's headline invariant: the deterministic
+/// `(key, report)` payload is byte-identical at every worker count —
+/// stealing, parking, and cooperative yields reorder only *when* tasks
+/// run, never what they compute.
+#[test]
+fn worker_count_does_not_change_outcomes() {
+    let _guard = obs_lock();
+    let run = |workers: usize| {
+        let exec = dapc_exec::Executor::new(workers);
+        dapc_exec::with_executor(&exec, || {
+            let report = solve_many(&corpus(), &RuntimeConfig::new().jobs(4).prep_workers(2));
+            (report.results, zero_group_timing(report.groups))
+        })
+    };
+    let (base_results, base_groups) = run(1);
+    for workers in [2usize, 4] {
+        let (results, groups) = run(workers);
+        assert_eq!(base_results.len(), results.len());
+        for (one, many) in base_results.iter().zip(&results) {
+            assert_eq!(
+                one.key, many.key,
+                "delivery order changed at {workers} workers"
+            );
+            assert_eq!(
+                one.report, many.report,
+                "{workers}-worker pool changed the outcome of {:?}",
+                one.key
+            );
+        }
+        assert_eq!(
+            base_groups, groups,
+            "{workers}-worker pool changed a group summary"
+        );
+    }
+}

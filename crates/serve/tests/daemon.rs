@@ -35,6 +35,27 @@ fn stats_pretty_print_matches_golden_output() {
         cache_misses: 5,
         metrics: MetricsSnapshot {
             entries: vec![
+                SnapshotEntry::Histogram {
+                    name: "exec.injector.depth".into(),
+                    count: 3,
+                    sum: 4,
+                    p50: 1,
+                    p90: 2,
+                    p99: 2,
+                    buckets: vec![(0, 1), (1, 2)],
+                },
+                SnapshotEntry::Counter {
+                    name: "exec.parks".into(),
+                    value: 5,
+                },
+                SnapshotEntry::Counter {
+                    name: "exec.steal_failures".into(),
+                    value: 1,
+                },
+                SnapshotEntry::Counter {
+                    name: "exec.steals".into(),
+                    value: 7,
+                },
                 SnapshotEntry::Counter {
                     name: "serve.chaos.injected".into(),
                     value: 3,
@@ -70,7 +91,11 @@ fn stats_pretty_print_matches_golden_output() {
     let rendered = client::render_stats(&resp).expect("stats renders");
     let golden = "\
 requests 10  jobs 40  cache 1 families / 5 entries  hits 30  misses 5
-dapc-obs snapshot v1 (6 metrics)
+dapc-obs snapshot v1 (10 metrics)
+histogram  exec.injector.depth                 count=3 sum=4 p50=1 p90=2 p99=2
+counter    exec.parks                          5
+counter    exec.steal_failures                 1
+counter    exec.steals                         7
 counter    serve.chaos.injected                3
 histogram  serve.daemon.ping_micros            count=2 sum=9 p50=3 p90=7 p99=7
 counter    serve.daemon.queue.busy_rejections  2
