@@ -1,0 +1,245 @@
+//! `dapc-analyze` — the workspace invariant linter.
+//!
+//! Every guarantee this workspace sells — byte-identical reports at any
+//! worker count, exactly-mergeable shards, chaos runs that fail loudly
+//! or match the fault-free baseline — rests on *source-level*
+//! invariants: key-derived RNGs, no hash-order leaks into report bytes,
+//! no stray threads outside the executor, sealed versioned snapshot
+//! magics, justified atomic orderings, no panics in library paths. The
+//! runtime identity tests exercise those invariants on the corpora they
+//! happen to run; this crate checks them on every line, statically, in
+//! CI.
+//!
+//! The design is deliberately lexical: a small
+//! comment/string/raw-string-aware lexer ([`lexer`]) blanks everything
+//! a rule must not look inside, and the rule engine ([`rules`]) does
+//! identifier-level searches over the blanked view. That makes the
+//! analyzer fast (one pass per file, zero dependencies), trivially
+//! predictable, and impossible to crash on malformed input — at the
+//! cost of being conservative: it flags *potential* violations and
+//! relies on visible `// dapc-allow(rule): reason` annotations for the
+//! sites a human has argued safe. Every exception is therefore in the
+//! diff, with its justification next to it.
+//!
+//! Run it as `dapc-analyze --workspace` (the CI gate), or point it at
+//! individual files. See `crates/analyze/README.md` for the rule table.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, Config, FileCtx, FileRole, Finding, RULE_NAMES};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Analyze one in-memory source file under the given config.
+/// `rel_path` must be workspace-relative with `/` separators (it drives
+/// the allowlists); `crate_name` is the short crate directory name
+/// (`"runtime"` for `crates/runtime`).
+pub fn analyze_source(
+    rel_path: &str,
+    crate_name: &str,
+    role: FileRole,
+    source: &[u8],
+    config: &Config,
+) -> Vec<Finding> {
+    let scan = lexer::scan(source);
+    let ctx = FileCtx {
+        path: rel_path,
+        crate_name,
+        role,
+        scan: &scan,
+        config,
+    };
+    let mut out = Vec::new();
+    check_file(&ctx, &mut out);
+    out
+}
+
+/// Analyze the whole workspace rooted at `root`: every `.rs` file under
+/// `crates/*/src` and the facade `src/`, plus the vendored stand-ins'
+/// crate roots (which only the `forbid-unsafe` rule covers). `tests/`,
+/// `benches/` and `examples/` trees are out of scope by design — the
+/// contracts govern library and binary code paths.
+///
+/// Returns findings sorted by (file, line). I/O errors surface as
+/// findings too, so a broken tree fails the gate instead of passing
+/// silently.
+pub fn analyze_workspace(root: &Path, config: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut saw_registry = false;
+
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_dirs(&crates_dir, &mut findings) {
+        let crate_name = file_name(&crate_dir);
+        let src = crate_dir.join("src");
+        for file in rs_files(&src, &mut findings) {
+            let rel = rel_path(root, &file);
+            let role = role_of(&rel);
+            if rel == config.registry_path {
+                saw_registry = true;
+            }
+            analyze_path(&file, &rel, &crate_name, role, config, &mut findings);
+        }
+    }
+
+    // The facade crate at the workspace root.
+    let facade_src = root.join("src");
+    for file in rs_files(&facade_src, &mut findings) {
+        let rel = rel_path(root, &file);
+        let role = if rel == "src/lib.rs" {
+            FileRole::CrateRoot
+        } else {
+            role_of(&rel)
+        };
+        analyze_path(&file, &rel, "dapc", role, config, &mut findings);
+    }
+
+    // Vendored stand-ins: crate roots only, forbid-unsafe only.
+    let vendor_dir = root.join("vendor");
+    for vendor_crate in sorted_dirs(&vendor_dir, &mut findings) {
+        let lib = vendor_crate.join("src").join("lib.rs");
+        if lib.is_file() {
+            let rel = rel_path(root, &lib);
+            analyze_path(
+                &lib,
+                &rel,
+                &file_name(&vendor_crate),
+                FileRole::VendorRoot,
+                config,
+                &mut findings,
+            );
+        }
+    }
+
+    if !saw_registry {
+        findings.push(Finding {
+            file: config.registry_path.clone(),
+            line: 1,
+            rule: "magic-registry",
+            message: "central snapshot-magic registry module not found".into(),
+        });
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+fn analyze_path(
+    file: &Path,
+    rel: &str,
+    crate_name: &str,
+    role: FileRole,
+    config: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    match fs::read(file) {
+        Ok(source) => {
+            findings.extend(analyze_source(rel, crate_name, role, &source, config));
+        }
+        Err(err) => findings.push(Finding {
+            file: rel.to_string(),
+            line: 0,
+            rule: "io",
+            message: format!("failed to read: {err}"),
+        }),
+    }
+}
+
+/// Role of a workspace-relative path.
+fn role_of(rel: &str) -> FileRole {
+    if rel.ends_with("/src/lib.rs") || rel == "src/lib.rs" {
+        FileRole::CrateRoot
+    } else if rel.contains("/src/bin/") || rel.ends_with("/src/main.rs") {
+        FileRole::BinRoot
+    } else {
+        FileRole::Module
+    }
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn file_name(p: &Path) -> String {
+    p.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+/// Immediate subdirectories of `dir`, name-sorted for deterministic
+/// report order.
+fn sorted_dirs(dir: &Path, findings: &mut Vec<Finding>) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    match fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries.flatten() {
+                if entry.path().is_dir() {
+                    out.push(entry.path());
+                }
+            }
+        }
+        Err(err) => findings.push(Finding {
+            file: dir.to_string_lossy().into_owned(),
+            line: 0,
+            rule: "io",
+            message: format!("failed to list: {err}"),
+        }),
+    }
+    out.sort();
+    out
+}
+
+/// All `.rs` files under `dir`, recursively, name-sorted.
+fn rs_files(dir: &Path, findings: &mut Vec<Finding>) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = match fs::read_dir(&d) {
+            Ok(e) => e,
+            Err(err) => {
+                if d != *dir {
+                    findings.push(Finding {
+                        file: d.to_string_lossy().into_owned(),
+                        line: 0,
+                        rule: "io",
+                        message: format!("failed to list: {err}"),
+                    });
+                }
+                continue;
+            }
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Locate the workspace root: walk up from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Edge-case tests for the comment/string-aware lexer: everything a
+//! rule must not look inside has to be blanked from the code view, and
+//! everything it needs (lines, test spans, decoded magic bytes) has to
+//! survive.
+
+use dapc_analyze::lexer::{find_sub, scan, StrKind};
+
+fn code_has(src: &str, needle: &str) -> bool {
+    let s = scan(src.as_bytes());
+    find_sub(&s.code, needle.as_bytes(), 0).is_some()
+}
+
+#[test]
+fn line_comments_are_blanked() {
+    assert!(!code_has("let x = 1; // HashMap in a comment\n", "HashMap"));
+    assert!(code_has("let map = HashMap::new(); // fine\n", "HashMap"));
+}
+
+#[test]
+fn block_comments_nest() {
+    let src = "/* outer /* inner HashMap */ still comment */ let y = 2;";
+    assert!(!code_has(src, "HashMap"));
+    assert!(code_has(src, "let y"));
+}
+
+#[test]
+fn string_contents_are_blanked() {
+    assert!(!code_has(
+        r#"let s = "Instant::now inside a string";"#,
+        "Instant"
+    ));
+    assert!(!code_has(
+        r#"let s = "escaped \" quote HashMap";"#,
+        "HashMap"
+    ));
+}
+
+#[test]
+fn raw_strings_with_hashes_are_blanked() {
+    let src = r####"let s = r##"thread::spawn "quoted" inside"##; let t = 1;"####;
+    assert!(!code_has(src, "spawn"));
+    assert!(code_has(src, "let t"));
+}
+
+#[test]
+fn raw_identifiers_are_not_raw_strings() {
+    // `r#type` must lex as an identifier, not open a raw string that
+    // swallows the rest of the file.
+    let src = "fn f(r#type: u32) -> u32 { r#type }\nlet m = HashMap::new();";
+    assert!(code_has(src, "HashMap"));
+}
+
+#[test]
+fn char_literals_vs_lifetimes() {
+    // 'a' is a char literal (blanked); &'a str is a lifetime (kept).
+    let src = "fn f<'a>(x: &'a str) -> char { 'H' }";
+    let s = scan(src.as_bytes());
+    assert!(find_sub(&s.code, b"'a>", 0).is_some());
+    let chars: Vec<_> = s
+        .strings
+        .iter()
+        .filter(|l| l.kind == StrKind::Char)
+        .collect();
+    assert_eq!(chars.len(), 1);
+    assert_eq!(chars[0].bytes, b"H");
+}
+
+#[test]
+fn byte_string_escapes_decode() {
+    let src = r#"const M: &[u8; 8] = b"DAPC\x41BC\x02";"#;
+    let s = scan(src.as_bytes());
+    let lits: Vec<_> = s.strings.iter().filter(|l| l.kind.is_byte_str()).collect();
+    assert_eq!(lits.len(), 1);
+    assert_eq!(lits[0].bytes, b"DAPCABC\x02");
+}
+
+#[test]
+fn unicode_escapes_decode() {
+    let src = r#"let s = "\u{41}\n";"#;
+    let s = scan(src.as_bytes());
+    assert_eq!(s.strings.len(), 1);
+    assert_eq!(s.strings[0].bytes, b"A\n");
+}
+
+#[test]
+fn blanking_preserves_length_and_newlines() {
+    let src = "let a = \"two\nlines\"; /* c\nc */ let b = 1;\n";
+    let s = scan(src.as_bytes());
+    assert_eq!(s.code.len(), src.len());
+    let src_newlines = src.bytes().filter(|&b| b == b'\n').count();
+    let code_newlines = s.code.iter().filter(|&&b| b == b'\n').count();
+    assert_eq!(src_newlines, code_newlines);
+}
+
+#[test]
+fn line_numbers_are_one_indexed() {
+    let src = "line1\nline2\nline3";
+    let s = scan(src.as_bytes());
+    assert_eq!(s.line_of(0), 1);
+    assert_eq!(s.line_of(6), 2);
+    assert_eq!(s.line_of(12), 3);
+}
+
+#[test]
+fn cfg_test_modules_are_test_spans() {
+    let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn lib2() {}\n";
+    let s = scan(src.as_bytes());
+    let helper = find_sub(src.as_bytes(), b"helper", 0).unwrap();
+    let lib2 = find_sub(src.as_bytes(), b"lib2", 0).unwrap();
+    assert!(s.in_test(helper));
+    assert!(!s.in_test(0));
+    assert!(!s.in_test(lib2));
+}
+
+#[test]
+fn test_fns_are_test_spans() {
+    let src = "fn lib() {}\n#[test]\nfn check() { let x = 1; }\nfn lib2() {}\n";
+    let s = scan(src.as_bytes());
+    let inside = find_sub(src.as_bytes(), b"let x", 0).unwrap();
+    let lib2 = find_sub(src.as_bytes(), b"lib2", 0).unwrap();
+    assert!(s.in_test(inside));
+    assert!(!s.in_test(lib2));
+}
+
+#[test]
+fn comment_only_lines_and_text() {
+    let src = "// just a comment\nlet x = 1; // trailing\nlet y = 2;\n";
+    let s = scan(src.as_bytes());
+    assert!(s.line_is_comment_only(1));
+    assert!(!s.line_is_comment_only(2));
+    assert!(!s.line_is_comment_only(3));
+    assert!(s.comment_text_on_line(1).contains("just a comment"));
+    assert!(s.comment_text_on_line(2).contains("trailing"));
+    assert_eq!(s.comment_text_on_line(3), "");
+}

@@ -52,6 +52,8 @@
 //! corrupt or truncated shard file, 5 a panicking solve — so a
 //! supervising coordinator can tell retryable deaths from fatal ones.
 
+#![forbid(unsafe_code)]
+
 use dapc_bench::shard::{read_shard_file, write_shard_file, Runner};
 use dapc_bench::{run_experiment, Profile, ALL_EXPERIMENTS, BATCH_EXPERIMENTS};
 use dapc_runtime::RuntimeConfig;

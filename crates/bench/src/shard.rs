@@ -36,7 +36,7 @@ use std::io::{self, Read, Write};
 /// the run it belongs to, then the recorded [`ShardReport`]s in call
 /// order): seven identifying bytes and a format version byte. Version 2
 /// appends a whole-file integrity seal ([`snap::seal`]).
-pub const SHARD_FILE_MAGIC: &[u8; 8] = b"DAPCSHF\x02";
+pub const SHARD_FILE_MAGIC: &[u8; 8] = dapc_core::snapmagic::SHARD_FILE.bytes;
 
 /// How a [`Runner`] executes the batch experiments' `solve` calls.
 enum Mode {

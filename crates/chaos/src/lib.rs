@@ -32,7 +32,7 @@
 #![warn(missing_docs)]
 
 use dapc_ilp::hash::{fnv1a, fnv1a_u64, FNV_OFFSET};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{self, Read};
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
@@ -136,9 +136,9 @@ fn plan() -> Option<&'static FaultPlan> {
 
 /// Per-site `(hits, fires)` counters — process state that makes budgets
 /// and hit numbering work across threads.
-fn counters() -> &'static Mutex<HashMap<String, (u64, u64)>> {
-    static C: OnceLock<Mutex<HashMap<String, (u64, u64)>>> = OnceLock::new();
-    C.get_or_init(|| Mutex::new(HashMap::new()))
+fn counters() -> &'static Mutex<BTreeMap<String, (u64, u64)>> {
+    static C: OnceLock<Mutex<BTreeMap<String, (u64, u64)>>> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// Arms the process-global plan programmatically (e.g. from a

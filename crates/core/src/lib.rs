@@ -41,6 +41,7 @@ pub mod gkm;
 pub mod packing;
 pub mod params;
 pub mod prep;
+pub mod snapmagic;
 
 pub use adapters::{GraphProblem, GraphSolveResult};
 pub use covering::{approximate_covering, CoveringOutcome};

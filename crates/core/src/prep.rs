@@ -24,6 +24,8 @@ use dapc_ilp::instance::{IlpInstance, Sense};
 use dapc_ilp::restrict::packing_restriction;
 use dapc_ilp::solvers::{self, SolverBudget};
 use rand::rngs::StdRng;
+// dapc-allow(hash-iter): digest-keyed lookup caches and dedup sets only; every
+// dapc-allow(hash-iter): snapshot path sorts keys before writing bytes
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -158,6 +160,8 @@ impl Default for CacheInner {
 
 #[derive(Default)]
 struct Stripe {
+    // dapc-allow(hash-iter): hot digest-keyed lookups; the save path iterates
+    // dapc-allow(hash-iter): the BTreeMap recency index, never this map
     map: HashMap<SubsetKey, Slot>,
     /// Recency index: `last_used tick → key`. Ticks are unique within a
     /// stripe, so the first entry is always the LRU victim — eviction is
@@ -206,16 +210,19 @@ impl SharedSubsetCache {
 
     /// Lookups answered from the shared map (across all attached solvers).
     pub fn hits(&self) -> u64 {
+        // ordering: Relaxed — monotonic telemetry counter; nothing synchronises on it
         self.inner.hits.load(Ordering::Relaxed)
     }
 
     /// Lookups that had to run the exact solver.
     pub fn misses(&self) -> u64 {
+        // ordering: Relaxed — monotonic telemetry counter; nothing synchronises on it
         self.inner.misses.load(Ordering::Relaxed)
     }
 
     /// Entries dropped by the LRU policy since creation.
     pub fn evictions(&self) -> u64 {
+        // ordering: Relaxed — monotonic telemetry counter; nothing synchronises on it
         self.inner.evictions.load(Ordering::Relaxed)
     }
 
@@ -277,6 +284,7 @@ impl SharedSubsetCache {
 
     /// Counts one lookup answered from the cache.
     fn record_hit(&self) {
+        // ordering: Relaxed — monotonic telemetry counter; nothing synchronises on it
         self.inner.hits.fetch_add(1, Ordering::Relaxed);
         if dapc_obs::enabled() {
             metrics::hits().inc();
@@ -285,6 +293,7 @@ impl SharedSubsetCache {
 
     /// Counts one lookup that had to run the exact solver.
     fn record_miss(&self) {
+        // ordering: Relaxed — monotonic telemetry counter; nothing synchronises on it
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
         if dapc_obs::enabled() {
             metrics::misses().inc();
@@ -333,6 +342,7 @@ impl SharedSubsetCache {
             }
         }
         if evicted > 0 {
+            // ordering: Relaxed — monotonic telemetry counter; nothing synchronises on it
             self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
         if dapc_obs::enabled() {
@@ -486,7 +496,7 @@ impl SharedSubsetCache {
 /// `entry count: u64` followed by sorted entries of
 /// `key: u128 · value: u64 · exact: u8 · assignment bits: u64 · packed
 /// assignment bytes (LSB-first)`, all integers little-endian.
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"DAPCSSC\x01";
+pub const SNAPSHOT_MAGIC: &[u8; 8] = crate::snapmagic::SUBSET_CACHE.bytes;
 
 fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut buf = [0u8; 8];
@@ -539,6 +549,7 @@ pub struct Preparation {
 pub struct SubsetSolver<'a> {
     ilp: &'a IlpInstance,
     budget: SolverBudget,
+    // dapc-allow(hash-iter): hot digest-keyed memo, lookup-only — never iterated
     cache: HashMap<SubsetKey, SubsetEntry>,
     shared: Option<SharedSubsetCache>,
     /// Reusable mask buffer for [`SubsetSolver::value_of`].
@@ -553,6 +564,7 @@ impl<'a> SubsetSolver<'a> {
         SubsetSolver {
             ilp,
             budget,
+            // dapc-allow(hash-iter): lookup-only memo (see field)
             cache: HashMap::new(),
             shared: None,
             mask_buf: Vec::new(),
@@ -572,6 +584,7 @@ impl<'a> SubsetSolver<'a> {
         SubsetSolver {
             ilp,
             budget,
+            // dapc-allow(hash-iter): lookup-only memo (see field)
             cache: HashMap::new(),
             shared: Some(shared),
             mask_buf: Vec::new(),
@@ -812,6 +825,8 @@ fn shard_subset_solves(
     members_list: &[Vec<Vertex>],
 ) -> Vec<(SubsetKey, SubsetKey)> {
     let n = ilp.n();
+    // dapc-allow(hash-iter): membership-test dedup only; the output order
+    // dapc-allow(hash-iter): follows the deterministic worklist, not the set
     let mut seen: HashSet<SubsetKey> = HashSet::new();
     let mut worklist: Vec<(SubsetKey, Vec<Vertex>)> = Vec::new();
     let mut cluster_keys: Vec<(SubsetKey, SubsetKey)> = Vec::with_capacity(members_list.len());
@@ -865,6 +880,7 @@ fn shard_subset_solves(
             s.spawn(move || {
                 let mut mask: Vec<bool> = Vec::new();
                 loop {
+                    // ordering: Relaxed — fetch_add only claims unique worklist indices; no data rides on it
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some((key, vertices)) = worklist.get(index) else {
                         break;

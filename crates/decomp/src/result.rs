@@ -30,8 +30,8 @@ impl Decomposition {
     ) -> Self {
         assert_eq!(label.len(), n);
         let is_alive = |v: usize| alive.is_none_or(|a| a[v]);
-        let mut centre_ids: std::collections::HashMap<Vertex, u32> =
-            std::collections::HashMap::new();
+        let mut centre_ids: std::collections::BTreeMap<Vertex, u32> =
+            std::collections::BTreeMap::new();
         let mut clusters: Vec<Vec<Vertex>> = Vec::new();
         let mut cluster_of = vec![None; n];
         let mut deleted = vec![false; n];

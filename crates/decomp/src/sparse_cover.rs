@@ -75,7 +75,7 @@ impl SparseCover {
         alive_vertices: Option<&[bool]>,
         alive_edges: Option<&[bool]>,
     ) -> Vec<EdgeId> {
-        let mut cluster_sets: Vec<std::collections::HashSet<Vertex>> = self
+        let mut cluster_sets: Vec<std::collections::BTreeSet<Vertex>> = self
             .clusters
             .iter()
             .map(|c| c.iter().copied().collect())
@@ -198,7 +198,7 @@ pub fn sparse_cover(
         }
     }
     // Group into clusters by source.
-    let mut cluster_id: std::collections::HashMap<Vertex, u32> = Default::default();
+    let mut cluster_id: std::collections::BTreeMap<Vertex, u32> = Default::default();
     let mut clusters: Vec<Vec<Vertex>> = Vec::new();
     let mut membership: Vec<Vec<u32>> = vec![Vec::new(); n];
     for v in 0..n {

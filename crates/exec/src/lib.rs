@@ -305,6 +305,7 @@ impl Executor {
 
 impl Drop for Executor {
     fn drop(&mut self) {
+        // ordering: SeqCst — shutdown flag; keep a total order with the park/wake protocol
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.parking.wake_all();
         for handle in self.handles.drain(..) {
@@ -344,6 +345,7 @@ impl Scope<'_> {
             g.pending += 1;
         }
         assert!(
+            // ordering: SeqCst — shutdown flag; keep a total order with the park/wake protocol
             !self.shared.shutdown.load(Ordering::SeqCst),
             "spawn on a shut-down executor"
         );
@@ -351,6 +353,7 @@ impl Scope<'_> {
         let task = Task {
             group: Arc::clone(&self.group),
             job: Box::new(f),
+            // dapc-allow(wall-clock): queue-wait telemetry only, gated on dapc_obs::enabled
             enqueued_at: observed.then(Instant::now),
         };
         match worker_index(self.shared) {
@@ -393,6 +396,7 @@ fn run_task(shared: &Arc<Shared>, task: Task) {
     // observability was enabled at enqueue, so a disabled run records
     // nothing even if the gate flips mid-flight.
     let started = task.enqueued_at.map(|queued| {
+        // dapc-allow(wall-clock): queue-wait telemetry only, gated on dapc_obs::enabled
         let now = Instant::now();
         metrics::task_wait().observe_micros(now - queued);
         now
@@ -477,6 +481,7 @@ fn worker_loop(shared: &Arc<Shared>, idx: usize) {
             shared.parking.cancel();
             continue;
         }
+        // ordering: SeqCst — shutdown flag; keep a total order with the park/wake protocol
         if shared.shutdown.load(Ordering::SeqCst) {
             shared.parking.cancel();
             return;

@@ -17,7 +17,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, Vertex};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Modular exponentiation `b^e mod m` (for `m < 2^32`).
 pub fn mod_pow(mut b: u64, mut e: u64, m: u64) -> u64 {
@@ -276,7 +276,7 @@ pub fn lps_graph(p: u64, q: u64) -> LpsGraph {
 
     // Closure BFS from the identity over the generated subgroup.
     let identity: PMat = [1, 0, 0, 1];
-    let mut ids: HashMap<PMat, Vertex> = HashMap::new();
+    let mut ids: BTreeMap<PMat, Vertex> = BTreeMap::new();
     ids.insert(identity, 0);
     let mut elems: Vec<PMat> = vec![identity];
     let mut edges: Vec<(Vertex, Vertex)> = Vec::new();

@@ -44,7 +44,7 @@ pub struct MatchingIlp {
 /// topology the LOCAL simulation needs.
 pub fn max_matching(g: &Graph) -> MatchingIlp {
     let edge_of_var: Vec<(Vertex, Vertex)> = g.edges().collect();
-    let mut edge_id = std::collections::HashMap::new();
+    let mut edge_id = std::collections::BTreeMap::new();
     for (i, &e) in edge_of_var.iter().enumerate() {
         edge_id.insert(e, i as Vertex);
     }

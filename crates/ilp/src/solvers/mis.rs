@@ -284,7 +284,7 @@ fn mwis_degree_two(g: &Graph, weights: &[u64]) -> MisResult {
 /// component is a path, not a cycle).
 fn component_endpoint(g: &Graph, s: Vertex, visited: &[bool]) -> Option<Vertex> {
     let mut stack = vec![s];
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     seen.insert(s);
     while let Some(u) = stack.pop() {
         let live_deg = g

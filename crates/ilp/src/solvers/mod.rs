@@ -280,8 +280,8 @@ fn try_matching(sub: &SubInstance) -> Option<Solution> {
         }
     }
     let mut b = GraphBuilder::new(next_dummy as usize);
-    let mut edge_to_var: std::collections::HashMap<(u32, u32), usize> =
-        std::collections::HashMap::new();
+    let mut edge_to_var: std::collections::BTreeMap<(u32, u32), usize> =
+        std::collections::BTreeMap::new();
     for (v, e) in var_edge.iter().enumerate() {
         if let Some((a, bb)) = *e {
             let key = if a < bb { (a, bb) } else { (bb, a) };

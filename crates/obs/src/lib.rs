@@ -897,6 +897,7 @@ impl PeriodicFlush {
         let handle = {
             let path = path.clone();
             let stop = Arc::clone(&stop);
+            // dapc-allow(thread-spawn): the periodic-flush service thread is obs infrastructure
             std::thread::spawn(move || {
                 let tick = Duration::from_millis(50).min(interval);
                 let mut since_flush = Duration::ZERO;

@@ -4,7 +4,7 @@
 use crate::snap;
 use dapc_core::engine::SharedSubsetCache;
 use dapc_ilp::{IlpInstance, SolverBudget};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::sync::{Arc, Mutex};
 
@@ -19,7 +19,7 @@ fn metrics_families() -> &'static dapc_obs::Gauge {
 /// `family count: u64` followed by families sorted by key, each as
 /// `instance fingerprint: u64 · budget: u64 · length-prefixed
 /// SharedSubsetCache snapshot`, all integers little-endian.
-pub const PREP_CACHE_MAGIC: &[u8; 8] = b"DAPCPPC\x01";
+pub const PREP_CACHE_MAGIC: &[u8; 8] = dapc_core::snapmagic::PREP_CACHE.bytes;
 
 /// Hoists the `dapc_core::prep` subset-solve memoisation from per-run to
 /// per-instance-family: families are keyed by
@@ -39,7 +39,7 @@ pub const PREP_CACHE_MAGIC: &[u8; 8] = b"DAPCPPC\x01";
 /// recomputed on its next lookup, never changing a report.
 #[derive(Clone, Default)]
 pub struct PrepCache {
-    families: Arc<Mutex<HashMap<(u64, u64), SharedSubsetCache>>>,
+    families: Arc<Mutex<BTreeMap<(u64, u64), SharedSubsetCache>>>,
     /// Byte budget applied to every family cache (`None` = unbounded).
     family_capacity: Option<usize>,
 }
@@ -63,6 +63,7 @@ impl PrepCache {
     /// The family cache for `(ilp, budget)`, created on first use.
     pub fn family(&self, ilp: &IlpInstance, budget: &SolverBudget) -> SharedSubsetCache {
         let (family, count) = {
+            // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
             let mut families = self.families.lock().expect("prep cache lock");
             let family = families
                 .entry((ilp.fingerprint(), budget.node_limit))
@@ -128,6 +129,7 @@ impl PrepCache {
     ///
     /// Propagates writer errors.
     pub fn save_to<W: io::Write>(&self, mut w: W) -> io::Result<()> {
+        // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
         let families = self.families.lock().expect("prep cache lock");
         let mut keys: Vec<(u64, u64)> = families.keys().copied().collect();
         keys.sort_unstable();
@@ -196,20 +198,18 @@ impl PrepCache {
             return Err(snap::invalid("trailing bytes after the last family"));
         }
         let mut loaded = 0;
+        // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
         let mut families = self.families.lock().expect("prep cache lock");
         for (key, fresh, entries, blob) in parsed {
             match families.entry(key) {
-                std::collections::hash_map::Entry::Vacant(slot) => {
+                std::collections::btree_map::Entry::Vacant(slot) => {
                     slot.insert(fresh);
                     loaded += entries;
                 }
                 // A family that already exists is merged into (the rare
                 // warm-on-warm path): replay the validated blob.
-                std::collections::hash_map::Entry::Occupied(slot) => {
-                    loaded += slot
-                        .get()
-                        .load_into(blob.as_slice())
-                        .expect("family blob validated above");
+                std::collections::btree_map::Entry::Occupied(slot) => {
+                    loaded += slot.get().load_into(blob.as_slice())?;
                 }
             }
         }
@@ -218,6 +218,7 @@ impl PrepCache {
 
     /// Aggregate counters across every family.
     pub fn stats(&self) -> CacheStats {
+        // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
         let families = self.families.lock().expect("prep cache lock");
         let mut stats = CacheStats {
             families: families.len(),

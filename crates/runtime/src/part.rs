@@ -20,7 +20,7 @@ use crate::corpus::Corpus;
 use crate::report::{BatchAggregator, StreamReport};
 use crate::run::{reference_optima, stream_jobs, RuntimeConfig};
 use crate::snap;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read};
 use std::ops::Range;
 use std::time::{Duration, Instant};
@@ -34,7 +34,7 @@ use std::time::{Duration, Instant};
 /// 16-byte FNV-1a-128 seal over every preceding byte, so *any* bit flip
 /// or truncation in a checkpoint file surfaces as a load error instead
 /// of a silently wrong merge.
-pub const PART_MAGIC: &[u8; 8] = b"DAPCPRT\x02";
+pub const PART_MAGIC: &[u8; 8] = dapc_core::snapmagic::PART.bytes;
 
 /// The aggregation of one contiguous job range of a corpus (or, after
 /// merging, of any disjoint union of ranges): what a checkpoint file
@@ -332,13 +332,14 @@ pub fn solve_range_streaming_with_cache<F>(
 where
     F: FnMut(crate::JobResult) + Send + 'static,
 {
+    // dapc-allow(wall-clock): wall-time report field; timings are excluded from report identity
     let start = Instant::now();
     let jobs = corpus.range_jobs(range.clone());
     let optima = if rt.reference_optima && !jobs.is_empty() {
-        let touched: HashSet<&str> = jobs.iter().map(|j| j.key.instance.as_str()).collect();
+        let touched: BTreeSet<&str> = jobs.iter().map(|j| j.key.instance.as_str()).collect();
         reference_optima(corpus, Some(&touched), rt.prep_cache, cache)
     } else {
-        HashMap::new()
+        BTreeMap::new()
     };
     let aggregator = BatchAggregator::with_optima_at(optima, range.start);
     let (aggregator, pumps, peak_buffered) = stream_jobs(jobs, aggregator, rt, cache, on_result);

@@ -31,7 +31,7 @@ use crate::snap;
 use dapc_core::engine::{BackendStats, SolveReport};
 use dapc_ilp::Sense;
 use dapc_local::RoundCost;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::time::Duration;
 
@@ -471,7 +471,7 @@ impl Span {
 /// bit, timings aside.
 #[derive(Debug)]
 pub struct BatchAggregator {
-    optima: HashMap<String, (u64, bool)>,
+    optima: BTreeMap<String, (u64, bool)>,
     /// Disjoint spans of consecutive canonical indices. The span at
     /// index 0 is the *live* span [`BatchAggregator::push`] extends;
     /// merged-in spans follow in arrival order and are sorted at finish,
@@ -480,7 +480,7 @@ pub struct BatchAggregator {
     /// Cells already closed in the live span, for the out-of-order
     /// guard — a set lookup per new cell, so huge streamed corpora stay
     /// O(cells), not O(cells²).
-    seen_cells: HashSet<(String, String, u64)>,
+    seen_cells: BTreeSet<(String, String, u64)>,
 }
 
 /// Magic + version prefix of the aggregator snapshot format: seven
@@ -494,11 +494,11 @@ pub struct BatchAggregator {
 /// every string length-prefixed UTF-8. The normal form is what makes
 /// the stream canonical: aggregators holding the same aggregation
 /// serialise identically, whatever their push/merge history.
-pub const AGGREGATOR_MAGIC: &[u8; 8] = b"DAPCAGG\x01";
+pub const AGGREGATOR_MAGIC: &[u8; 8] = dapc_core::snapmagic::AGGREGATOR.bytes;
 
 impl Default for BatchAggregator {
     fn default() -> Self {
-        Self::with_optima_at(HashMap::new(), 0)
+        Self::with_optima_at(BTreeMap::new(), 0)
     }
 }
 
@@ -512,7 +512,7 @@ impl BatchAggregator {
     /// An aggregator with per-instance reference optima
     /// (`name → (optimum, proven exact)`), enabling the ratio columns;
     /// starts at canonical index 0.
-    pub fn with_optima(optima: HashMap<String, (u64, bool)>) -> Self {
+    pub fn with_optima(optima: BTreeMap<String, (u64, bool)>) -> Self {
         Self::with_optima_at(optima, 0)
     }
 
@@ -520,7 +520,7 @@ impl BatchAggregator {
     /// the first pushed result is declared to be the job at canonical
     /// index `start` — the information [`BatchAggregator::merge`] needs
     /// to stitch shards back together in corpus order.
-    pub fn with_optima_at(optima: HashMap<String, (u64, bool)>, start: usize) -> Self {
+    pub fn with_optima_at(optima: BTreeMap<String, (u64, bool)>, start: usize) -> Self {
         BatchAggregator {
             optima,
             spans: vec![Span {
@@ -528,7 +528,7 @@ impl BatchAggregator {
                 len: 0,
                 groups: Vec::new(),
             }],
-            seen_cells: HashSet::new(),
+            seen_cells: BTreeSet::new(),
         }
     }
 
@@ -582,6 +582,7 @@ impl BatchAggregator {
             };
             span.groups.push(GroupAcc::open(r, opt, opt_exact));
         }
+        // dapc-allow(panic): the accumulator was pushed by the branch directly above
         span.groups.last_mut().expect("group just ensured").fold(r);
     }
 
@@ -630,7 +631,7 @@ impl BatchAggregator {
     /// ranges (the same shard merged twice) or disagree on an instance's
     /// reference optimum.
     pub fn merge(&mut self, other: BatchAggregator) {
-        use std::collections::hash_map::Entry;
+        use std::collections::btree_map::Entry;
         for (name, val) in other.optima {
             match self.optima.entry(name) {
                 Entry::Occupied(e) => assert_eq!(
@@ -707,6 +708,7 @@ impl BatchAggregator {
     pub fn finish(self) -> (Vec<GroupSummary>, Vec<BackendSummary>) {
         let spans = Self::coalesced(self.spans);
         if let [first, second, ..] = &spans[..] {
+            // dapc-allow(panic): the documented merge-gap contract of finish (see # Panics)
             panic!(
                 "merged shards leave a gap: jobs [{}, {}) are missing",
                 first.end(),
@@ -736,6 +738,7 @@ impl BatchAggregator {
             let b = backends
                 .iter_mut()
                 .find(|b| b.backend == g.backend)
+                // dapc-allow(panic): the accumulator was pushed by the branch directly above
                 .expect("backend just ensured");
             b.jobs += g.jobs;
             b.feasible &= g.feasible;
@@ -840,7 +843,7 @@ impl BatchAggregator {
     pub fn load_from<R: io::Read>(mut r: R) -> io::Result<Self> {
         snap::check_magic(&mut r, AGGREGATOR_MAGIC, "batch-aggregator")?;
         let optima_count = snap::read_u64(&mut r)?;
-        let mut optima = HashMap::new();
+        let mut optima = BTreeMap::new();
         for _ in 0..optima_count {
             let name = snap::read_str(&mut r, "instance name")?;
             let opt = snap::read_u64(&mut r)?;
@@ -860,7 +863,7 @@ impl BatchAggregator {
             }
             let group_count = snap::read_u64(&mut r)?;
             let mut groups: Vec<GroupAcc> = Vec::new();
-            let mut cells = HashSet::new();
+            let mut cells = BTreeSet::new();
             let mut jobs_total = 0usize;
             for _ in 0..group_count {
                 let instance = snap::read_str(&mut r, "instance name")?;
@@ -938,7 +941,7 @@ impl BatchAggregator {
                 .iter()
                 .map(|g| (g.instance.clone(), g.backend.clone(), g.eps.to_bits()))
                 .collect(),
-            _ => HashSet::new(),
+            _ => BTreeSet::new(),
         };
         if spans.is_empty() {
             spans.push(Span {

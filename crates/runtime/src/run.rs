@@ -20,7 +20,7 @@ use crate::corpus::{Corpus, Job};
 use crate::report::{BatchAggregator, BatchReport, JobResult, StreamReport};
 use dapc_core::engine;
 use dapc_core::prep::SubsetSolver;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -162,11 +162,14 @@ pub fn solve_many_with_cache(
     let results = Arc::new(Mutex::new(Vec::with_capacity(corpus.len())));
     let sink = Arc::clone(&results);
     let stream = solve_many_streaming_with_cache(corpus, rt, cache, move |r: JobResult| {
+        // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
         sink.lock().expect("batch result sink").push(r);
     });
     let results = Arc::try_unwrap(results)
+        // dapc-allow(panic): the streaming call returned, so the hook (the only other holder) is dropped
         .expect("streaming returned, the hook was dropped")
         .into_inner()
+        // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
         .expect("batch result sink");
     BatchReport {
         results,
@@ -242,6 +245,7 @@ pub fn solve_many_streaming_with_cache<F>(
 where
     F: FnMut(JobResult) + Send + 'static,
 {
+    // dapc-allow(wall-clock): wall-time report field; timings are excluded from report identity
     let start = Instant::now();
     let jobs = corpus.jobs();
     let n = jobs.len();
@@ -255,7 +259,7 @@ where
     let optima = if rt.reference_optima {
         reference_optima(corpus, None, rt.prep_cache, cache)
     } else {
-        HashMap::new()
+        BTreeMap::new()
     };
     let aggregator = BatchAggregator::with_optima(optima);
     let (aggregator, pumps, peak_buffered) = stream_jobs(jobs, aggregator, rt, cache, on_result);
@@ -292,6 +296,7 @@ where
     let use_cache = rt.prep_cache;
     let prep_workers = rt.prep_workers.max(1);
     let pumps = rt.jobs.max(1).min(n).max(1);
+    // dapc-allow(wall-clock): stream-stage telemetry only, gated on dapc_obs::enabled
     let stream_started = dapc_obs::enabled().then(Instant::now);
     let finish = |out| {
         if let Some(started) = stream_started {
@@ -324,11 +329,13 @@ where
             let cursor = Arc::clone(&cursor);
             let cache = cache.clone();
             s.spawn(move || {
+                // dapc-allow(wall-clock): pump telemetry only, gated on dapc_obs::enabled
                 let pump_started = dapc_obs::enabled().then(Instant::now);
                 loop {
                     if delivery.is_poisoned() {
                         break;
                     }
+                    // ordering: Relaxed — pump cursor only claims unique job indices; results reorder downstream
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(index) else {
                         break;
@@ -357,6 +364,7 @@ where
     });
     let (aggregator, peak) = Arc::try_unwrap(delivery)
         .ok()
+        // dapc-allow(panic): the worker scope has joined, so no pump still holds the delivery
         .expect("scope joined, no pump holds the delivery")
         .into_parts();
     finish((aggregator, pumps, peak))
@@ -368,11 +376,11 @@ where
 /// instances a shard actually touches); `None` covers the whole corpus.
 pub(crate) fn reference_optima(
     corpus: &Corpus,
-    only: Option<&std::collections::HashSet<&str>>,
+    only: Option<&std::collections::BTreeSet<&str>>,
     use_cache: bool,
     cache: &PrepCache,
-) -> HashMap<String, (u64, bool)> {
-    let mut optima = HashMap::new();
+) -> BTreeMap<String, (u64, bool)> {
+    let mut optima = BTreeMap::new();
     for inst in &corpus.instances {
         if only.is_some_and(|names| !names.contains(inst.name.as_str())) {
             continue;
@@ -463,6 +471,7 @@ impl<F: FnMut(JobResult)> Delivery<F> {
     /// waits for the in-order frontier to advance. On a poisoned
     /// pipeline the result is discarded and the call returns at once.
     fn submit(&self, index: usize, result: JobResult) {
+        // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
         let mut st = self.state.lock().expect("delivery lock");
         let mut slot = Some(result);
         loop {
@@ -470,6 +479,7 @@ impl<F: FnMut(JobResult)> Delivery<F> {
                 return;
             }
             if index == st.next {
+                // dapc-allow(panic): the slot is refilled before every loop iteration that can reach this take
                 let result = slot.take().expect("result still in hand");
                 // The aggregator or the caller's hook may panic; that
                 // still has to poison the pipeline (and wake parked
@@ -498,6 +508,7 @@ impl<F: FnMut(JobResult)> Delivery<F> {
             }
             if st.parked.len() < self.capacity {
                 st.parked
+                    // dapc-allow(panic): the slot is refilled before every loop iteration that can reach this take
                     .insert(index, slot.take().expect("result still in hand"));
                 st.peak = st.peak.max(st.parked.len());
                 if dapc_obs::enabled() {
@@ -505,6 +516,7 @@ impl<F: FnMut(JobResult)> Delivery<F> {
                 }
                 return;
             }
+            // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
             st = self.advanced.wait(st).expect("delivery lock");
         }
     }
@@ -512,15 +524,18 @@ impl<F: FnMut(JobResult)> Delivery<F> {
     /// Marks the pipeline dead after a job panic and wakes every parked
     /// submitter so the batch fails fast instead of hanging.
     fn poison(&self) {
+        // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
         self.state.lock().expect("delivery lock").poisoned = true;
         self.advanced.notify_all();
     }
 
     fn is_poisoned(&self) -> bool {
+        // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
         self.state.lock().expect("delivery lock").poisoned
     }
 
     fn into_parts(self) -> (BatchAggregator, usize) {
+        // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
         let st = self.state.into_inner().expect("delivery lock");
         debug_assert!(
             st.poisoned || st.parked.is_empty(),
@@ -551,8 +566,10 @@ fn run_job(job: Job, use_cache: bool, cache: &PrepCache, prep_workers: usize) ->
     if prep_workers > 1 {
         cfg.prep_workers = prep_workers;
     }
+    // dapc-allow(wall-clock): per-job micros field; timings are excluded from report identity
     let timer = Instant::now();
     let report =
+        // dapc-allow(panic): corpus construction already validated every backend key against the registry
         engine::solve(&key.backend, &ilp, &cfg).expect("corpus build validated every backend key");
     let micros = timer.elapsed().as_micros() as u64;
     if dapc_obs::enabled() {

@@ -33,7 +33,7 @@ use std::time::Duration;
 /// integers little-endian. Version 2 appends a 16-byte FNV-1a-128 seal
 /// over every preceding byte, so any bit flip or truncation in a shipped
 /// report surfaces as a load error instead of a silently wrong merge.
-pub const SHARD_MAGIC: &[u8; 8] = b"DAPCSHD\x02";
+pub const SHARD_MAGIC: &[u8; 8] = dapc_core::snapmagic::SHARD.bytes;
 
 /// What one shard of a corpus sends home: the mergeable aggregation of
 /// its job slice plus run counters — everything the merged experiment
@@ -85,6 +85,7 @@ impl ShardReport {
         let mut snapshot = Vec::new();
         cache
             .save_to(&mut snapshot)
+            // dapc-allow(panic): writing to a Vec cannot fail
             .expect("writing to a Vec cannot fail");
         self.prep = Some(snapshot);
         self

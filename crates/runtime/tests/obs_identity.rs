@@ -92,12 +92,12 @@ fn shard_snapshot_bytes(enabled: bool) -> Vec<u8> {
     let sink = Arc::clone(&collected);
     let stream = solve_many_streaming(&corpus, &RuntimeConfig::new().jobs(1), move |mut r| {
         r.micros = 0;
-        sink.lock().unwrap().push(r);
+        sink.lock().expect("result sink").push(r);
     });
     dapc_obs::set_enabled(false);
 
     let mut aggregator = BatchAggregator::new();
-    for r in collected.lock().unwrap().iter() {
+    for r in collected.lock().expect("result sink").iter() {
         aggregator.push(r);
     }
     let report = ShardReport {

@@ -245,7 +245,7 @@ fn merged_and_pushed_aggregators_serialise_identically() {
     // Split at index 1 — inside the first cell's seed run.
     let mut left = BatchAggregator::new();
     left.push(&results[0]);
-    let mut right = BatchAggregator::with_optima_at(std::collections::HashMap::new(), 1);
+    let mut right = BatchAggregator::with_optima_at(std::collections::BTreeMap::new(), 1);
     for r in &results[1..] {
         right.push(r);
     }
@@ -273,7 +273,7 @@ fn empty_shard_checkpoint_resumes_at_its_offset() {
     let rt = RuntimeConfig::new().reference_optima(false);
     let batch = solve_many(&corpus, &rt);
 
-    let fresh = BatchAggregator::with_optima_at(std::collections::HashMap::new(), 2);
+    let fresh = BatchAggregator::with_optima_at(std::collections::BTreeMap::new(), 2);
     let mut bytes = Vec::new();
     fresh.save_to(&mut bytes).expect("write to a Vec");
     let mut resumed = BatchAggregator::load_from(bytes.as_slice()).expect("read back");

@@ -19,6 +19,8 @@
 //! 0 ok, 2 usage, 3 transient I/O, 4 corrupt snapshot/spec bytes,
 //! 5 solve panic.
 
+#![forbid(unsafe_code)]
+
 use dapc_serve::{client, exit, CorpusSpec, Daemon, DaemonConfig, SweepConfig, WorkerOptions};
 use std::io::{self, Write};
 use std::ops::Range;

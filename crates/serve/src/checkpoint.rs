@@ -31,7 +31,7 @@ use std::path::{Path, PathBuf};
 /// Magic + version prefix of `manifest.bin`. Version 2 appends a
 /// 16-byte FNV-1a-128 seal over every preceding byte — a flipped or
 /// truncated manifest must fail to load (exit 4), never half-load.
-pub const MANIFEST_MAGIC: &[u8; 8] = b"DAPCMAN\x02";
+pub const MANIFEST_MAGIC: &[u8; 8] = dapc_core::snapmagic::MANIFEST.bytes;
 
 /// File name of the sweep manifest inside a sweep directory.
 pub const MANIFEST_FILE: &str = "manifest.bin";
@@ -216,6 +216,7 @@ pub fn write_part(dir: &Path, part: &PartReport) -> io::Result<PathBuf> {
     };
     // Timed as one unit: serialisation plus the atomic publish — the
     // span a crashing worker would forfeit.
+    // dapc-allow(wall-clock): checkpoint-publish telemetry only, gated on dapc_obs::enabled
     let started = dapc_obs::enabled().then(std::time::Instant::now);
     let mut bytes = Vec::new();
     part.save_to(&mut bytes)?;

@@ -159,6 +159,7 @@ impl Supervisor {
                 if dapc_obs::enabled() {
                     metrics::spawns().inc();
                 }
+                // dapc-allow(wall-clock): worker start time drives retry backoff, never report bytes
                 running.push((task, attempt, child, Instant::now()));
             }
             // Poll for any exit or straggler; workers are independent
@@ -408,9 +409,9 @@ where
     manifest.done = scan.covered.clone();
     manifest.store(dir)?;
     let mut parts = scan.parts.into_iter();
-    let mut merged: PartReport = parts
-        .next()
-        .expect("full coverage implies at least one part");
+    let mut merged: PartReport = parts.next().ok_or_else(|| {
+        io::Error::other("checkpoint scan reported full coverage but produced no parts")
+    })?;
     for p in parts {
         merged.merge(p);
     }

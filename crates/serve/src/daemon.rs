@@ -37,7 +37,7 @@ use crate::proto::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION}
 use crate::spec::CorpusSpec;
 use dapc_local::RoundCost;
 use dapc_runtime::{solve_range_streaming_with_cache, JobResult, PrepCache, RuntimeConfig};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -147,7 +147,7 @@ struct Shared {
     deadline: Option<Duration>,
     /// Deadline registrations: request id → (due time, a handle to the
     /// connection to kill).
-    watch: Mutex<HashMap<u64, (Instant, UnixStream)>>,
+    watch: Mutex<BTreeMap<u64, (Instant, UnixStream)>>,
 }
 
 /// The persistent solve server. See the module docs.
@@ -227,7 +227,7 @@ impl Daemon {
             queue: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
             deadline: self.cfg.deadline,
-            watch: Mutex::new(HashMap::new()),
+            watch: Mutex::new(BTreeMap::new()),
         });
         self.listener.set_nonblocking(true)?;
         let mut handlers = Vec::new();
@@ -241,10 +241,12 @@ impl Daemon {
         }
         let watchdog = shared.deadline.is_some().then(|| {
             let shared = Arc::clone(&shared);
+            // dapc-allow(thread-spawn): the deadline watchdog is supervisor infrastructure, not solve work
             std::thread::spawn(move || watchdog_loop(&shared))
         });
         let queue_cap = self.cfg.queue.max(1);
         let accept_result = loop {
+            // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
             if shared.shutdown.load(Ordering::SeqCst) {
                 break Ok(());
             }
@@ -255,6 +257,7 @@ impl Daemon {
                     if dapc_chaos::roll("daemon.accept").is_some() {
                         continue;
                     }
+                    // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
                     let mut q = shared.queue.lock().expect("daemon queue");
                     if q.len() >= queue_cap {
                         drop(q);
@@ -279,6 +282,7 @@ impl Daemon {
                     std::thread::sleep(Duration::from_millis(5));
                 }
                 Err(e) => {
+                    // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
                     shared.shutdown.store(true, Ordering::SeqCst);
                     break Err(e);
                 }
@@ -290,6 +294,7 @@ impl Daemon {
         for h in handlers {
             h.join().ok();
         }
+        // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
         shared.drained.store(true, Ordering::SeqCst);
         if let Some(w) = watchdog {
             w.join().ok();
@@ -304,17 +309,20 @@ impl Daemon {
 fn handler_loop(shared: &Shared) {
     loop {
         let popped = {
+            // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
             let mut q = shared.queue.lock().expect("daemon queue");
             loop {
                 if let Some(s) = q.pop_front() {
                     break Some((s, q.len()));
                 }
+                // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
                 let (guard, _timeout) = shared
                     .wake
                     .wait_timeout(q, Duration::from_millis(100))
+                    // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
                     .expect("daemon queue");
                 q = guard;
             }
@@ -334,9 +342,12 @@ fn handler_loop(shared: &Shared) {
 /// itself keeps running (killing a thread mid-solve could poison the
 /// shared cache); only the client's wait is bounded.
 fn watchdog_loop(shared: &Shared) {
+    // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
     while !shared.drained.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(25));
+        // dapc-allow(wall-clock): deadline sweeps are client-visible timeouts, never report bytes
         let now = Instant::now();
+        // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
         let mut watch = shared.watch.lock().expect("daemon deadline registry");
         watch.retain(|_id, (due, stream)| {
             if *due <= now {
@@ -362,11 +373,14 @@ impl<'a> DeadlineGuard<'a> {
     fn register(shared: &'a Shared, stream: &UnixStream) -> Self {
         let id = shared.deadline.and_then(|budget| {
             let handle = stream.try_clone().ok()?;
+            // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
             let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
             shared
                 .watch
                 .lock()
+                // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
                 .expect("daemon deadline registry")
+                // dapc-allow(wall-clock): request deadline registration, never report bytes
                 .insert(id, (Instant::now() + budget, handle));
             Some(id)
         });
@@ -380,6 +394,7 @@ impl Drop for DeadlineGuard<'_> {
             self.shared
                 .watch
                 .lock()
+                // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
                 .expect("daemon deadline registry")
                 .remove(&id);
         }
@@ -407,6 +422,7 @@ fn serve_connection(shared: &Shared, mut stream: UnixStream) -> io::Result<()> {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
+                // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return Ok(());
                 }
@@ -421,6 +437,7 @@ fn serve_connection(shared: &Shared, mut stream: UnixStream) -> io::Result<()> {
         let Some(body) = read_frame(&mut reader)? else {
             return Ok(());
         };
+        // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
         shared.requests.fetch_add(1, Ordering::SeqCst);
         if dapc_obs::enabled() {
             metrics::requests().inc();
@@ -440,6 +457,7 @@ fn serve_connection(shared: &Shared, mut stream: UnixStream) -> io::Result<()> {
         // Latency covers the whole service of the request, including
         // writing the reply frames. Shutdown is excluded: its timer
         // would never be read.
+        // dapc-allow(wall-clock): request-latency telemetry only, gated on dapc_obs::enabled
         let started = dapc_obs::enabled().then(Instant::now);
         let kind = match request {
             Request::Ping => {
@@ -452,7 +470,9 @@ fn serve_connection(shared: &Shared, mut stream: UnixStream) -> io::Result<()> {
             Request::Stats => {
                 let c = shared.cache.stats();
                 let resp = Response::Stats {
+                    // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
                     requests: shared.requests.load(Ordering::SeqCst),
+                    // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
                     jobs_solved: shared.jobs_solved.load(Ordering::SeqCst),
                     cache_families: c.families as u64,
                     cache_entries: c.entries as u64,
@@ -465,6 +485,7 @@ fn serve_connection(shared: &Shared, mut stream: UnixStream) -> io::Result<()> {
             }
             Request::Shutdown => {
                 write_frame(&mut stream, &Response::ShutdownAck.to_bytes())?;
+                // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
                 shared.shutdown.store(true, Ordering::SeqCst);
                 shared.wake.notify_all();
                 return Ok(());
@@ -526,6 +547,7 @@ fn stream_solve(
         move |r: JobResult| {
             // Results arrive in canonical order, so a counter
             // recovers each job's global index.
+            // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
             let index = next_index.fetch_add(1, Ordering::SeqCst);
             let frame = Response::Job {
                 index,
@@ -536,8 +558,10 @@ fn stream_solve(
                 micros: r.micros,
             }
             .to_bytes();
+            // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
             let mut failed = hook_failed.lock().expect("daemon sink failure flag");
             if failed.is_none() {
+                // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
                 let mut sink = hook_sink.lock().expect("daemon sink");
                 if let Err(e) = write_frame(&mut *sink, &frame) {
                     *failed = Some(e);
@@ -547,7 +571,9 @@ fn stream_solve(
     );
     shared
         .jobs_solved
+        // ordering: SeqCst — daemon control plane; total order over throughput off the hot path
         .fetch_add(part.jobs as u64, Ordering::SeqCst);
+    // dapc-allow(panic): poisoned only if a sibling worker already panicked; propagate that crash
     if let Some(e) = failed.lock().expect("daemon sink failure flag").take() {
         return Err(e);
     }

@@ -229,6 +229,7 @@ impl Request {
             }
             Ok(())
         })();
+        // dapc-allow(panic): writing to a Vec cannot fail
         r.expect("writing to a Vec cannot fail");
         w
     }
@@ -341,6 +342,7 @@ impl Response {
             }
             Ok(())
         })();
+        // dapc-allow(panic): writing to a Vec cannot fail
         r.expect("writing to a Vec cannot fail");
         w
     }

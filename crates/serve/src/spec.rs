@@ -23,7 +23,7 @@ use std::ops::Range;
 
 /// Magic + version prefix of the spec's binary form (see
 /// [`CorpusSpec::save_to`]).
-pub const SPEC_MAGIC: &[u8; 8] = b"DAPCSPC\x01";
+pub const SPEC_MAGIC: &[u8; 8] = dapc_core::snapmagic::SPEC.bytes;
 
 /// Caps applied by [`CorpusSpec::validate`] so a hostile spec cannot
 /// talk a server into unbounded work: instances per corpus, vertices per
@@ -560,6 +560,7 @@ impl CorpusSpec {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut bytes = Vec::new();
         self.save_to(&mut bytes)
+            // dapc-allow(panic): writing to a Vec cannot fail
             .expect("writing a spec to a Vec cannot fail");
         bytes
     }

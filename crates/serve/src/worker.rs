@@ -103,6 +103,7 @@ pub fn run_worker(
         let fuse = opts.self_destruct_after;
         let part =
             solve_range_streaming_with_cache(&corpus, unit.clone(), &rt, &cache, move |_r| {
+                // ordering: SeqCst — the chaos crash fuse must observe an exact solve count
                 let count = solved.fetch_add(1, Ordering::SeqCst) + 1;
                 if fuse.is_some_and(|k| count >= k) {
                     // The injected crash: no unwinding, no cleanup — the
